@@ -1,0 +1,91 @@
+// Lemma 2.5/2.6 ablation — how large does the sample really need to be?
+// The analysis prescribes |S| = c * rho * k * n^delta * log m * log n
+// and proves that one iteration then shrinks the residual by ~n^delta.
+//
+// Planted-block instances hide the effect (any cover of a sample
+// generalizes perfectly), so this sweep uses sparse random instances
+// (sets of <= 128 uniform elements): a cover computed on a small sample
+// covers little outside it, making the shrink-vs-sample-size trade
+// visible. We sweep the constant c and report the realized shrink per
+// iteration, success rate, cover quality, and space.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/iter_set_cover.h"
+#include "setsystem/generators.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace streamcover {
+namespace {
+
+void Run() {
+  const uint32_t n = 8192;
+  const uint32_t set_size = 128;
+  const uint32_t blocks = n / set_size;  // hidden partition => OPT ~ 64
+  const double delta = 1.0 / 3.0;
+  benchutil::Banner(
+      "Lemma 2.5/2.6 ablation — sample-size constant c sweep "
+      "(sparse random: n=8192, m=4n, |set|<=128, OPT~64, delta=1/3, "
+      "k-guess fixed at 64, 3 seeds)");
+  Table table({"c", "sample (iter 1)", "mean shrink / iter",
+               "target n^delta", "success", "cover/OPT", "space words"});
+  for (double c : {0.0002, 0.001, 0.005, 0.02, 0.1}) {
+    RunningStats sample, shrink, ratio, space;
+    int successes = 0, runs = 0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      Rng rng(seed);
+      PlantedInstance inst = GenerateSparse(n, 4 * n, set_size, rng);
+
+      SetStream stream(&inst.system);
+      IterSetCoverOptions options;
+      options.delta = delta;
+      options.sample_constant = c;
+      options.seed = seed;
+      StreamingResult r = IterSetCoverSingleGuess(stream, blocks, options);
+      ++runs;
+      if (r.success) ++successes;
+      if (!r.diagnostics.empty()) {
+        sample.Add(static_cast<double>(r.diagnostics[0].sample_size));
+      }
+      for (const auto& diag : r.diagnostics) {
+        if (diag.uncovered_after > 0) {
+          shrink.Add(static_cast<double>(diag.uncovered_before) /
+                     static_cast<double>(diag.uncovered_after));
+        }
+      }
+      if (r.success) {
+        ratio.Add(static_cast<double>(r.cover.size()) /
+                  static_cast<double>(inst.planted_cover.size()));
+      }
+      space.Add(static_cast<double>(r.space_words_max_guess));
+    }
+    table.AddRow(
+        {Table::Fmt(c, 4),
+         Table::Fmt(static_cast<uint64_t>(sample.mean())),
+         shrink.count() > 0 ? Table::Fmt(shrink.mean(), 1) : "complete",
+         Table::Fmt(std::pow(static_cast<double>(n), delta), 1),
+         Table::Fmt(successes) + "/" + Table::Fmt(runs),
+         ratio.count() > 0 ? Table::Fmt(ratio.mean(), 2) : "-",
+         Table::Fmt(static_cast<uint64_t>(space.mean()))});
+  }
+  table.Print(std::cout);
+  benchutil::Note(
+      "\nreading: below the Lemma 2.6 threshold the per-iteration shrink "
+      "falls short of\nn^delta and runs start failing inside the 1/delta "
+      "iteration budget; above it,\nextra sample (and space) buys "
+      "nothing. The paper's constant is conservative —\nthe knee sits "
+      "well below c = 1.");
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main() {
+  streamcover::Run();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// The rho knob of Theorem 2.8 — algOfflineSC ablation. iterSetCover's
+// approximation is O(rho/delta) for whichever offline solver it embeds:
+// greedy (rho = ln n, polynomial) or exact branch-and-bound (rho = 1,
+// "exponential computational power"). This bench measures:
+//  (1) solver quality head-to-head on instances where exact is feasible
+//      (including the adversarial family where greedy provably loses);
+//  (2) the effect of rho on iterSetCover's final covers;
+//  (3) wall-clock microbenchmarks of both solvers (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/iter_set_cover.h"
+#include "offline/exact.h"
+#include "offline/greedy.h"
+#include "setsystem/generators.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace streamcover {
+namespace {
+
+void QualityTable() {
+  benchutil::Banner(
+      "algOfflineSC ablation (1) — greedy (rho = ln n) vs exact "
+      "(rho = 1) cover sizes");
+  Table table({"instance", "n", "m", "greedy", "exact", "exact proven",
+               "greedy/exact"});
+  // Random planted instances.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    PlantedOptions options;
+    options.num_elements = 120;
+    options.num_sets = 90;
+    options.cover_size = 6;
+    options.noise_max_size = 40;
+    PlantedInstance inst = GeneratePlanted(options, rng);
+    OfflineResult greedy = GreedySolver().Solve(inst.system);
+    OfflineResult exact = ExactSolver(20'000'000).Solve(inst.system);
+    table.AddRow({"planted seed " + Table::Fmt(seed), Table::Fmt(120),
+                  Table::Fmt(90), Table::Fmt(greedy.cover.size()),
+                  Table::Fmt(exact.cover.size()),
+                  exact.proven_optimal ? "yes" : "no",
+                  Table::Fmt(static_cast<double>(greedy.cover.size()) /
+                                 static_cast<double>(exact.cover.size()),
+                             2)});
+  }
+  // The adversarial family: greedy pays the full log factor.
+  for (uint32_t levels : {4u, 6u, 8u}) {
+    PlantedInstance inst = GenerateGreedyAdversarial(levels);
+    OfflineResult greedy = GreedySolver().Solve(inst.system);
+    OfflineResult exact = ExactSolver().Solve(inst.system);
+    table.AddRow({"adversarial L=" + Table::Fmt(levels),
+                  Table::Fmt(inst.system.num_elements()),
+                  Table::Fmt(inst.system.num_sets()),
+                  Table::Fmt(greedy.cover.size()),
+                  Table::Fmt(exact.cover.size()),
+                  exact.proven_optimal ? "yes" : "no",
+                  Table::Fmt(static_cast<double>(greedy.cover.size()) /
+                                 static_cast<double>(exact.cover.size()),
+                             2)});
+  }
+  table.Print(std::cout);
+}
+
+void RhoInIterSetCover() {
+  benchutil::Banner(
+      "algOfflineSC ablation (2) — iterSetCover end-to-end with rho = "
+      "ln n vs rho = 1 (n=400, m=800, OPT=8, delta=1/2)");
+  Table table({"seed", "cover w/ greedy", "cover w/ exact", "both feasible"});
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    PlantedOptions options;
+    options.num_elements = 400;
+    options.num_sets = 800;
+    options.cover_size = 8;
+    options.noise_max_size = 30;
+    PlantedInstance inst = GeneratePlanted(options, rng);
+
+    IterSetCoverOptions greedy_options;
+    greedy_options.delta = 0.5;
+    greedy_options.sample_constant = 0.05;
+    greedy_options.seed = seed;
+    SetStream s1(&inst.system);
+    StreamingResult with_greedy = IterSetCover(s1, greedy_options);
+
+    ExactSolver exact(500'000);
+    IterSetCoverOptions exact_options = greedy_options;
+    exact_options.offline = &exact;
+    SetStream s2(&inst.system);
+    StreamingResult with_exact = IterSetCover(s2, exact_options);
+
+    table.AddRow({Table::Fmt(seed), Table::Fmt(with_greedy.cover.size()),
+                  Table::Fmt(with_exact.cover.size()),
+                  (with_greedy.success && with_exact.success &&
+                   IsFullCover(inst.system, with_greedy.cover) &&
+                   IsFullCover(inst.system, with_exact.cover))
+                      ? "yes"
+                      : "NO"});
+  }
+  table.Print(std::cout);
+}
+
+// --- google-benchmark micro timings -------------------------------
+
+void BM_GreedySolve(benchmark::State& state) {
+  Rng rng(1);
+  PlantedOptions options;
+  options.num_elements = static_cast<uint32_t>(state.range(0));
+  options.num_sets = options.num_elements * 2;
+  options.cover_size = 10;
+  options.noise_max_size = options.num_elements / 20;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  for (auto _ : state) {
+    OfflineResult r = GreedySolver().Solve(inst.system);
+    benchmark::DoNotOptimize(r.cover.set_ids.data());
+  }
+  state.counters["cover"] = static_cast<double>(
+      GreedySolver().Solve(inst.system).cover.size());
+}
+BENCHMARK(BM_GreedySolve)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_ExactSolve(benchmark::State& state) {
+  Rng rng(1);
+  PlantedOptions options;
+  options.num_elements = static_cast<uint32_t>(state.range(0));
+  options.num_sets = options.num_elements;
+  options.cover_size = 5;
+  options.noise_max_size = options.num_elements / 5;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  for (auto _ : state) {
+    OfflineResult r = ExactSolver(5'000'000).Solve(inst.system);
+    benchmark::DoNotOptimize(r.cover.set_ids.data());
+  }
+}
+BENCHMARK(BM_ExactSolve)->Arg(60)->Arg(120);
+
+void BM_IterSetCoverPass(benchmark::State& state) {
+  // Wall time of the full streaming solve (all guesses, all passes).
+  Rng rng(1);
+  PlantedOptions options;
+  options.num_elements = static_cast<uint32_t>(state.range(0));
+  options.num_sets = options.num_elements * 2;
+  options.cover_size = 10;
+  options.noise_max_size = options.num_elements / 20;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  for (auto _ : state) {
+    SetStream stream(&inst.system);
+    IterSetCoverOptions algo;
+    algo.delta = 0.5;
+    algo.sample_constant = 0.05;
+    StreamingResult r = IterSetCover(stream, algo);
+    benchmark::DoNotOptimize(r.cover.set_ids.data());
+  }
+}
+BENCHMARK(BM_IterSetCoverPass)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace streamcover
+
+int main(int argc, char** argv) {
+  streamcover::QualityTable();
+  streamcover::RhoInIterSetCover();
+  streamcover::benchutil::Banner(
+      "algOfflineSC ablation (3) — wall-clock (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

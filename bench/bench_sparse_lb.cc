@@ -1,0 +1,126 @@
+// Theorem 6.6 — the sparse lower bound: ORt(Equal Limited Pointer
+// Chasing) overlays into an ISC instance whose §5 reduction is
+// O~(t)-SPARSE (every set has <= rt+O(1) elements, r ~ log n). Exact
+// algorithms on s-sparse instances therefore need Ω~(ms) space.
+//
+// Reported: measured max set size vs the rt bound, the overlay's
+// ORt-vs-ISC agreement (Lemma 6.5's fidelity), and a dichotomy
+// spot-check through the exact solver on tiny instances.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "commlb/isc_to_setcover.h"
+#include "commlb/sparse_lb.h"
+#include "offline/exact.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace streamcover {
+namespace {
+
+void SparsityTable() {
+  benchutil::Banner(
+      "Theorem 6.6 — sparsity of the ORt overlay reduction "
+      "(p = 2, r = ceil(log2 n)+1, mean over 3 seeds)");
+  Table table({"n", "t", "r", "|F|", "max set size s", "rt+3 bound",
+               "m*s (words)", "m*n (dense)"});
+  for (uint32_t n : {16u, 32u, 64u}) {
+    for (uint32_t t : {1u, 2u, 4u}) {
+      RunningStats max_size, sets;
+      uint32_t r_used = 0;
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        Rng rng(seed * 7 + n + t);
+        OrtOverlayInstance overlay = GenerateOrtOverlay(n, 2, t, rng);
+        r_used = overlay.r;
+        IscReduction red = ReduceIscToSetCover(overlay.isc);
+        max_size.Add(static_cast<double>(MaxSetSize(red.system)));
+        sets.Add(static_cast<double>(red.system.num_sets()));
+      }
+      const uint64_t m = static_cast<uint64_t>(sets.mean());
+      table.AddRow(
+          {Table::Fmt(n), Table::Fmt(t), Table::Fmt(r_used),
+           Table::Fmt(m), Table::Fmt(max_size.mean(), 1),
+           Table::Fmt(static_cast<uint64_t>(r_used) * t + 3),
+           Table::Fmt(static_cast<uint64_t>(m * max_size.mean())),
+           Table::Fmt(m * static_cast<uint64_t>(
+                              (4 * 2 + 2) * n + 2 * 2))});
+    }
+  }
+  table.Print(std::cout);
+  benchutil::Note(
+      "\nreading: the instances are genuinely sparse (s << |U|), so the "
+      "Omega~(ms) bound\nbites far below the dense Omega~(mn^delta) — "
+      "yet still forces Omega(log n) passes\nfor exact algorithms in "
+      "o(ms) space.");
+}
+
+void FidelityTable() {
+  benchutil::Banner(
+      "Lemma 6.5 fidelity — ORt(EPC) answer vs overlaid ISC answer "
+      "(100 seeds each)");
+  Table table({"n", "p", "t", "ORt=1 implies ISC=1", "overall agreement",
+               "r-non-injective runs"});
+  for (uint32_t t : {1u, 2u, 3u}) {
+    const uint32_t n = 32, p = 2;
+    int sound = 0, total_ort = 0, agree = 0, flagged = 0;
+    const int kRuns = 100;
+    for (int seed = 1; seed <= kRuns; ++seed) {
+      Rng rng(seed);
+      OrtOverlayInstance overlay = GenerateOrtOverlay(n, p, t, rng);
+      bool isc = EvaluateIsc(overlay.isc);
+      if (overlay.ort_value) {
+        ++total_ort;
+        if (isc) ++sound;
+      }
+      if (isc == overlay.ort_value) ++agree;
+      if (overlay.r_non_injective) ++flagged;
+    }
+    table.AddRow({Table::Fmt(n), Table::Fmt(p), Table::Fmt(t),
+                  total_ort == 0
+                      ? std::string("n/a")
+                      : Table::Fmt(100.0 * sound / total_ort, 0) + "%",
+                  Table::Fmt(100.0 * agree / kRuns, 0) + "%",
+                  Table::Fmt(flagged)});
+  }
+  table.Print(std::cout);
+  benchutil::Note(
+      "\nthe ORt=1 -> ISC=1 direction is exact by construction; the "
+      "reverse can fail via\ncross-instance collisions whose rate "
+      "Lemma 6.5 bounds by t^2 p r^{p-1} / n.");
+}
+
+void DichotomySpotCheck() {
+  benchutil::Banner(
+      "§6 end-to-end spot check — overlay reduction keeps the §5 "
+      "dichotomy (exact solver, n=3, p=2, t=2)");
+  Table table({"seed", "ISC", "expected OPT", "exact OPT", "verdict"});
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 8 && checked < 4; ++seed) {
+    Rng rng(seed);
+    OrtOverlayInstance overlay = GenerateOrtOverlay(3, 2, 2, rng);
+    IscReduction red = ReduceIscToSetCover(overlay.isc);
+    ExactSolver solver(40'000'000);
+    OfflineResult opt = solver.Solve(red.system);
+    if (!opt.proven_optimal) continue;
+    ++checked;
+    table.AddRow({Table::Fmt(seed), red.isc_value ? "1" : "0",
+                  Table::Fmt(red.expected_opt),
+                  Table::Fmt(opt.cover.size()),
+                  opt.cover.size() == red.expected_opt ? "MATCH"
+                                                       : "MISMATCH"});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main() {
+  streamcover::SparsityTable();
+  streamcover::FidelityTable();
+  streamcover::DichotomySpotCheck();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the bench binaries: section banners and common
+// instance recipes. Every bench prints GitHub-markdown tables (via
+// util/table.h) mirroring the paper artifact it reproduces, so
+// bench_output.txt can be pasted into EXPERIMENTS.md verbatim.
+
+#ifndef STREAMCOVER_BENCH_BENCH_UTIL_H_
+#define STREAMCOVER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace streamcover {
+namespace benchutil {
+
+inline void Banner(const std::string& title) {
+  std::printf("\n## %s\n\n", title.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+}  // namespace benchutil
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_BENCH_BENCH_UTIL_H_

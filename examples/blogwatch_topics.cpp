@@ -1,0 +1,82 @@
+// Multi-topic blog-watch (the [SG09] application that introduced
+// streaming SetCover): subscribe to the fewest feeds so that every
+// topic of interest is covered by at least one subscribed feed. Feeds
+// are sparse — each covers a handful of topics — which makes this a
+// natural s-Sparse Set Cover workload (§6's regime).
+//
+//   ./build/examples/blogwatch_topics
+
+#include <cstdio>
+
+#include "streamcover.h"
+
+int main() {
+  using namespace streamcover;
+
+  Rng rng(99);
+  const uint32_t kTopics = 20000;
+  const uint32_t kFeeds = 80000;
+  const uint32_t kTopicsPerFeed = 12;  // sparsity s
+  PlantedInstance blogs =
+      GenerateSparse(kTopics, kFeeds, kTopicsPerFeed, rng);
+  std::printf("blog-watch instance: %u topics, %u feeds, <= %u topics "
+              "per feed\n",
+              blogs.system.num_elements(), blogs.system.num_sets(),
+              kTopicsPerFeed);
+
+  struct Row {
+    const char* name;
+    size_t feeds;
+    uint64_t passes;
+    uint64_t space;
+  };
+  std::vector<Row> rows;
+
+  // [SG09]-style progressive greedy: log n passes, O~(n) space.
+  {
+    SetStream stream(&blogs.system);
+    BaselineResult r = ProgressiveGreedy(stream);
+    rows.push_back({"progressive greedy [SG09]", r.cover.size(), r.passes,
+                    r.space_words});
+  }
+  // [CW16] with p = 2 and p = 3 passes.
+  for (uint32_t p : {2u, 3u}) {
+    SetStream stream(&blogs.system);
+    BaselineResult r = PolynomialThresholdCover(stream, p);
+    static char name[2][32];
+    std::snprintf(name[p - 2], sizeof(name[0]), "threshold p=%u [CW16]", p);
+    rows.push_back({name[p - 2], r.cover.size(), r.passes, r.space_words});
+  }
+  // iterSetCover.
+  {
+    SetStream stream(&blogs.system);
+    IterSetCoverOptions options;
+    options.delta = 0.5;
+    options.sample_constant = 0.05;
+    StreamingResult r = IterSetCover(stream, options);
+    if (!r.success || !IsFullCover(blogs.system, r.cover)) {
+      std::printf("iterSetCover failed!\n");
+      return 1;
+    }
+    rows.push_back({"iterSetCover delta=1/2", r.cover.size(), r.passes,
+                    r.space_words_parallel});
+  }
+  // Exact lower-bound anchor on sparsity: ceil(n/s) feeds are necessary.
+  const size_t lower_bound =
+      (kTopics + kTopicsPerFeed - 1) / kTopicsPerFeed;
+
+  std::printf("\n%-28s %10s %8s %14s\n", "strategy", "feeds", "passes",
+              "space(words)");
+  for (const auto& row : rows) {
+    std::printf("%-28s %10zu %8llu %14llu\n", row.name, row.feeds,
+                static_cast<unsigned long long>(row.passes),
+                static_cast<unsigned long long>(row.space));
+  }
+  std::printf("\nno subscription plan can use fewer than %zu feeds "
+              "(each covers <= %u topics);\nTheorem 6.6 says exact "
+              "answers on such sparse instances inherently cost\n"
+              "Omega~(m*s) streaming memory — approximation is what "
+              "makes the above cheap.\n",
+              lower_bound, kTopicsPerFeed);
+  return 0;
+}

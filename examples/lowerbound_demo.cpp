@@ -1,0 +1,81 @@
+// The paper's lower bounds, run as executable constructions:
+//
+//  1. §3  — algRecoverBit decodes all of Alice's random bits from a
+//           one-way Set Disjointness transcript, so any sub-3/2-approx
+//           single-pass algorithm needs Ω(mn) space (Theorem 3.8).
+//  2. §5  — Intersection Set Chasing reduces to SetCover with optimum
+//           (2p+1)n+1 iff the ISC answer is 1 (Theorem 5.4) — checked
+//           here with the exact solver.
+//
+//   ./build/examples/lowerbound_demo
+
+#include <cstdio>
+
+#include "streamcover.h"
+
+int main() {
+  using namespace streamcover;
+
+  // ---------------------------------------------------------------
+  // Part 1: decode Alice's bits through the disjointness oracle.
+  // ---------------------------------------------------------------
+  std::printf("=== Part 1: single-pass bound via algRecoverBit ===\n");
+  Rng rng(5);
+  const uint32_t m = 8, n = 48;
+  DisjointnessInstance alice = GenerateRandomDisjointness(m, n, rng);
+  std::printf("Alice holds %u random subsets of [%u] (%u bits total)\n",
+              m, n, m * n);
+
+  NaiveProtocol naive;
+  RecoverBitOptions rec;
+  rec.seed = 11;
+  rec.query_budget = 3'000'000;
+  RecoverBitResult full = RunRecoverBit(alice, naive, rec);
+  std::printf("full transcript  (%llu bits): recovered %.0f%% of the "
+              "family in %llu oracle queries -> %s\n",
+              static_cast<unsigned long long>(full.message_bits),
+              full.recovered_fraction * 100,
+              static_cast<unsigned long long>(full.queries_used),
+              full.fully_recovered ? "DECODED" : "failed");
+
+  TruncatedProtocol lossy(m * n / 8);
+  RecoverBitResult partial = RunRecoverBit(alice, lossy, rec);
+  std::printf("1/8   transcript (%llu bits): recovered %.0f%% -> %s\n",
+              static_cast<unsigned long long>(partial.message_bits),
+              partial.recovered_fraction * 100,
+              partial.fully_recovered ? "decoded (?!)" : "CANNOT decode");
+  std::printf("conclusion: the transcript must carry ~mn bits "
+              "(Theorem 3.2), hence\nsingle-pass (3/2-eps)-approximation "
+              "needs Omega(mn) memory (Theorem 3.8).\n");
+
+  // ---------------------------------------------------------------
+  // Part 2: the multi-pass gadget and its optimum dichotomy.
+  // ---------------------------------------------------------------
+  std::printf("\n=== Part 2: multi-pass bound via ISC -> SetCover ===\n");
+  const uint32_t isc_n = 3, isc_p = 2;
+  for (bool outcome : {true, false}) {
+    Rng gen_rng(outcome ? 31 : 17);
+    IscInstance isc =
+        GenerateIscWithOutcome(isc_n, isc_p, 2, outcome, gen_rng);
+    IscReduction red = ReduceIscToSetCover(isc);
+    std::printf("\nISC(n=%u, p=%u) with answer %d:\n", isc_n, isc_p,
+                outcome ? 1 : 0);
+    std::printf("  reduced instance: |U|=%u, |F|=%u (both O(np))\n",
+                red.system.num_elements(), red.system.num_sets());
+    std::printf("  witness cover   : %zu sets (feasible: %s)\n",
+                red.witness_cover.size(),
+                IsFullCover(red.system, red.witness_cover) ? "yes" : "no");
+    ExactSolver solver(20'000'000);
+    OfflineResult opt = solver.Solve(red.system);
+    std::printf("  exact optimum   : %zu  [formula (2p+1)n+%d = %llu]%s\n",
+                opt.cover.size(), outcome ? 1 : 2,
+                static_cast<unsigned long long>(red.expected_opt),
+                opt.cover.size() == red.expected_opt ? "  MATCH" : "  ??");
+  }
+  std::printf(
+      "\nconclusion: a streaming algorithm that solves SetCover exactly "
+      "in\n(1/2delta - 1) passes would solve ISC, which needs "
+      "n^{1+Omega(1/p)} bits of\ncommunication [GO13] -> Omega~(m n^delta) "
+      "space (Theorem 5.4).\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Common result type for the baseline streaming algorithms (the
+// non-iterSetCover rows of Figure 1.1).
+
+#ifndef STREAMCOVER_BASELINES_BASELINE_RESULT_H_
+#define STREAMCOVER_BASELINES_BASELINE_RESULT_H_
+
+#include <cstdint>
+
+#include "setsystem/cover.h"
+
+namespace streamcover {
+
+/// Cover plus the pass/space accounting the Figure 1.1 table reports.
+struct BaselineResult {
+  Cover cover;
+  bool success = false;        ///< full cover achieved
+  uint64_t passes = 0;         ///< sequential scans of F
+  uint64_t space_words = 0;    ///< peak retained 64-bit words
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_BASELINES_BASELINE_RESULT_H_

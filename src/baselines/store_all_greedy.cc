@@ -1,0 +1,31 @@
+#include "baselines/store_all_greedy.h"
+
+#include "offline/greedy.h"
+#include "stream/space_tracker.h"
+
+namespace streamcover {
+
+BaselineResult StoreAllGreedy(SetStream& stream) {
+  SpaceTracker tracker;
+  const uint64_t passes_before = stream.passes();
+
+  // One pass: copy every set into working memory.
+  SetSystem::Builder builder(stream.num_elements());
+  stream.ForEachSet([&](uint32_t /*id*/, std::span<const uint32_t> elems) {
+    tracker.Charge(elems.size() + 1);
+    builder.AddSet({elems.begin(), elems.end()});
+  });
+  SetSystem buffered = std::move(builder).Build();
+
+  OfflineResult offline = GreedySolver().Solve(buffered);
+  tracker.Charge(offline.cover.size());
+
+  BaselineResult result;
+  result.cover = std::move(offline.cover);  // ids match stream order
+  result.success = IsFullCover(buffered, result.cover);
+  result.passes = stream.passes() - passes_before;
+  result.space_words = tracker.peak_words();
+  return result;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,20 @@
+// Figure 1.1 row "Greedy, 1 pass, O(mn) space": buffer the entire stream
+// in working memory, then run offline greedy. The trivial upper end of
+// the space spectrum; the single-pass lower bound (Theorem 3.8) says no
+// sub-3/2-approximation one-pass algorithm can do asymptotically better
+// than this Ω(mn) footprint.
+
+#ifndef STREAMCOVER_BASELINES_STORE_ALL_GREEDY_H_
+#define STREAMCOVER_BASELINES_STORE_ALL_GREEDY_H_
+
+#include "baselines/baseline_result.h"
+#include "stream/set_stream.h"
+
+namespace streamcover {
+
+/// One pass, stores all of F (Θ(total_size) words), greedy offline.
+BaselineResult StoreAllGreedy(SetStream& stream);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_BASELINES_STORE_ALL_GREEDY_H_

@@ -1,0 +1,46 @@
+#include "baselines/streaming_max_cover.h"
+
+#include "stream/space_tracker.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace streamcover {
+
+StreamingMaxCoverResult StreamingMaxCover(SetStream& stream,
+                                          uint32_t budget) {
+  SC_CHECK_GE(budget, 1u);
+  SpaceTracker tracker;
+  const uint64_t passes_before = stream.passes();
+  const uint32_t n = stream.num_elements();
+
+  DynamicBitset uncovered(n, true);
+  tracker.Charge(uncovered.WordCount());
+
+  StreamingMaxCoverResult result;
+  for (double threshold = static_cast<double>(n) / 2.0;;
+       threshold /= 2.0) {
+    if (threshold < 1.0) threshold = 1.0;
+    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      if (result.cover.size() >= budget) return;
+      size_t gain = 0;
+      for (uint32_t e : elems) {
+        if (uncovered.Test(e)) ++gain;
+      }
+      if (gain > 0 && static_cast<double>(gain) >= threshold) {
+        result.cover.set_ids.push_back(id);
+        tracker.Charge(1);
+        result.covered += gain;
+        for (uint32_t e : elems) uncovered.Reset(e);
+      }
+    });
+    if (result.cover.size() >= budget) break;
+    if (!uncovered.Any()) break;
+    if (threshold == 1.0) break;
+  }
+
+  result.passes = stream.passes() - passes_before;
+  result.space_words = tracker.peak_words();
+  return result;
+}
+
+}  // namespace streamcover

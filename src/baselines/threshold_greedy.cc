@@ -1,0 +1,141 @@
+#include "baselines/threshold_greedy.h"
+
+#include <cmath>
+#include <vector>
+
+#include "stream/space_tracker.h"
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace streamcover {
+namespace {
+
+// One threshold pass: takes (immediately) every set whose residual
+// coverage is >= threshold, stopping acquisition once `remaining`
+// reaches `allowed_uncovered` (the epsilon-Partial stop; the scan still
+// finishes — a pass cannot be aborted — but nothing more is stored).
+// Returns the number of sets taken; `remaining` is kept in sync.
+size_t ThresholdPass(SetStream& stream, DynamicBitset& uncovered,
+                     uint64_t& remaining, uint64_t allowed_uncovered,
+                     double threshold, Cover& cover, SpaceTracker& tracker) {
+  size_t taken = 0;
+  stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+    if (remaining <= allowed_uncovered) return;
+    size_t gain = 0;
+    for (uint32_t e : elems) {
+      if (uncovered.Test(e)) ++gain;
+    }
+    if (gain > 0 && static_cast<double>(gain) >= threshold) {
+      cover.set_ids.push_back(id);
+      tracker.Charge(1);
+      for (uint32_t e : elems) uncovered.Reset(e);
+      remaining -= gain;
+      ++taken;
+    }
+  });
+  return taken;
+}
+
+}  // namespace
+
+BaselineResult ProgressiveGreedy(SetStream& stream,
+                                 double coverage_fraction) {
+  SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
+  SpaceTracker tracker;
+  const uint64_t passes_before = stream.passes();
+  const uint32_t n = stream.num_elements();
+  // n - ceil(fraction*n), epsilon-guarded (see iter_set_cover.cc).
+  const uint64_t allowed_uncovered =
+      n - static_cast<uint64_t>(std::ceil(
+              coverage_fraction * static_cast<double>(n) - 1e-9));
+
+  DynamicBitset uncovered(n, true);
+  tracker.Charge(uncovered.WordCount());
+  uint64_t remaining = n;
+
+  BaselineResult result;
+  // Thresholds n/2, n/4, ..., 1. The final threshold-1 pass takes any
+  // set covering something new, so coverable elements always finish.
+  for (double threshold = static_cast<double>(n) / 2.0;;
+       threshold /= 2.0) {
+    if (threshold < 1.0) threshold = 1.0;
+    ThresholdPass(stream, uncovered, remaining, allowed_uncovered,
+                  threshold, result.cover, tracker);
+    if (remaining <= allowed_uncovered) break;
+    if (threshold == 1.0) break;  // leftovers are uncoverable
+  }
+
+  result.success = remaining <= allowed_uncovered;
+  result.passes = stream.passes() - passes_before;
+  result.space_words = tracker.peak_words();
+  return result;
+}
+
+BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
+                                        double coverage_fraction) {
+  SC_CHECK_GE(p, 1u);
+  SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
+  SpaceTracker tracker;
+  const uint64_t passes_before = stream.passes();
+  const uint32_t n = stream.num_elements();
+  // n - ceil(fraction*n), epsilon-guarded (see iter_set_cover.cc).
+  const uint64_t allowed_uncovered =
+      n - static_cast<uint64_t>(std::ceil(
+              coverage_fraction * static_cast<double>(n) - 1e-9));
+  const double dn = static_cast<double>(std::max(n, 2u));
+
+  DynamicBitset uncovered(n, true);
+  tracker.Charge(uncovered.WordCount());
+
+  // backup[e]: some set containing e, learned during the passes (O(n)
+  // words). UINT32_MAX = never seen in any set (uncoverable).
+  std::vector<uint32_t> backup(n, UINT32_MAX);
+  tracker.Charge(n);
+  uint64_t remaining = n;
+
+  BaselineResult result;
+  for (uint32_t i = 1; i <= p; ++i) {
+    double exponent =
+        static_cast<double>(p + 1 - i) / static_cast<double>(p + 1);
+    double threshold = std::pow(dn, exponent);
+    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      size_t gain = 0;
+      for (uint32_t e : elems) {
+        if (uncovered.Test(e)) {
+          ++gain;
+          if (backup[e] == UINT32_MAX) backup[e] = id;
+        }
+      }
+      if (remaining <= allowed_uncovered) return;  // partial target met
+      if (gain > 0 && static_cast<double>(gain) >= threshold) {
+        result.cover.set_ids.push_back(id);
+        tracker.Charge(1);
+        for (uint32_t e : elems) uncovered.Reset(e);
+        remaining -= gain;
+      }
+    });
+  }
+
+  // Finish from the per-element backups — no extra pass. For the
+  // epsilon-Partial variant, stop as soon as the allowance is met.
+  std::vector<uint32_t> stragglers = uncovered.ToVector();
+  for (uint32_t e : stragglers) {
+    if (remaining <= allowed_uncovered) break;
+    if (!uncovered.Test(e)) continue;  // a previous backup also had e
+    if (backup[e] == UINT32_MAX) continue;  // uncoverable
+    result.cover.set_ids.push_back(backup[e]);
+    tracker.Charge(1);
+    uncovered.Reset(e);
+    --remaining;
+  }
+  result.cover.Deduplicate();
+
+  // Backup sets can overlap; clearing only `e` above over-counts the
+  // residual but never misses coverage, so success uses the bitset.
+  result.success = uncovered.Count() <= allowed_uncovered;
+  result.passes = stream.passes() - passes_before;
+  result.space_words = tracker.peak_words();
+  return result;
+}
+
+}  // namespace streamcover

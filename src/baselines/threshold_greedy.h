@@ -1,0 +1,39 @@
+// Threshold-greedy baselines in O~(n) space:
+//
+// * ProgressiveGreedy — the [SG09]-style thresholding of greedy: passes
+//   with thresholds n/2, n/4, ..., 1; any set covering >= threshold
+//   yet-uncovered elements is taken on sight. O(log n) passes, O(log n)
+//   approximation, O~(n) space (Figure 1.1 row [SG09]).
+//
+// * PolynomialThresholdCover — the [ER14]/[CW16] trade-off: p passes
+//   with thresholds n^{(p+1-i)/(p+1)} (i = 1..p); throughout, each
+//   still-uncovered element remembers one set containing it (O(n)
+//   words); after the last pass those remembered sets finish the cover.
+//   Approximation (p+1) * n^{1/(p+1)}; p = 1 is [ER14]'s one-pass
+//   O(sqrt(n)), general p is [CW16]. These are the published algorithms'
+//   threshold skeletons, which realize the stated bounds; paper-specific
+//   charging refinements do not change the exponent (see DESIGN.md).
+
+#ifndef STREAMCOVER_BASELINES_THRESHOLD_GREEDY_H_
+#define STREAMCOVER_BASELINES_THRESHOLD_GREEDY_H_
+
+#include "baselines/baseline_result.h"
+#include "stream/set_stream.h"
+
+namespace streamcover {
+
+/// [SG09]-style: halving thresholds, O(log n) passes, O~(n) space.
+/// `coverage_fraction` < 1 runs the epsilon-Partial Set Cover variant
+/// (both [ER14] and [CW16] state their results for it): the algorithm
+/// stops as soon as that fraction of U is covered.
+BaselineResult ProgressiveGreedy(SetStream& stream,
+                                 double coverage_fraction = 1.0);
+
+/// [ER14] (p=1) / [CW16] (p>=1): p threshold passes + pointer finish.
+/// `coverage_fraction` < 1 gives the epsilon-Partial variant.
+BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
+                                        double coverage_fraction = 1.0);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_BASELINES_THRESHOLD_GREEDY_H_

@@ -1,0 +1,107 @@
+#include "commlb/chasing.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+DynamicBitset EvaluateSetChasing(const SetChasingInstance& instance) {
+  SC_CHECK_GT(instance.n, 0u);
+  SC_CHECK_EQ(instance.functions.size(), instance.p);
+  DynamicBitset frontier(instance.n);
+  frontier.Set(0);  // the paper's start vertex "1"
+  // Apply f_p first, then f_{p-1}, ..., f_1.
+  for (uint32_t i = instance.p; i >= 1; --i) {
+    DynamicBitset next(instance.n);
+    frontier.ForEach([&](uint32_t j) {
+      for (uint32_t l : instance.functions[i - 1][j]) next.Set(l);
+    });
+    frontier = next;
+  }
+  return frontier;
+}
+
+bool EvaluateIsc(const IscInstance& instance) {
+  DynamicBitset a = EvaluateSetChasing(instance.first);
+  DynamicBitset b = EvaluateSetChasing(instance.second);
+  a &= b;
+  return a.Any();
+}
+
+SetChasingInstance GenerateRandomSetChasing(uint32_t n, uint32_t p,
+                                            uint32_t max_out_degree,
+                                            Rng& rng) {
+  SC_CHECK_GE(n, 1u);
+  SC_CHECK_GE(p, 1u);
+  SC_CHECK_GE(max_out_degree, 1u);
+  SetChasingInstance instance;
+  instance.n = n;
+  instance.p = p;
+  instance.functions.resize(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    instance.functions[i].resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      uint32_t degree = static_cast<uint32_t>(
+          rng.UniformInt(1, std::min(max_out_degree, n)));
+      instance.functions[i][j] = rng.SampleWithoutReplacement(n, degree);
+      std::sort(instance.functions[i][j].begin(),
+                instance.functions[i][j].end());
+    }
+  }
+  return instance;
+}
+
+IscInstance GenerateRandomIsc(uint32_t n, uint32_t p,
+                              uint32_t max_out_degree, Rng& rng) {
+  IscInstance instance;
+  instance.first = GenerateRandomSetChasing(n, p, max_out_degree, rng);
+  instance.second = GenerateRandomSetChasing(n, p, max_out_degree, rng);
+  return instance;
+}
+
+IscInstance GenerateIscWithOutcome(uint32_t n, uint32_t p,
+                                   uint32_t max_out_degree, bool desired,
+                                   Rng& rng, uint32_t max_tries) {
+  for (uint32_t attempt = 0; attempt < max_tries; ++attempt) {
+    IscInstance instance = GenerateRandomIsc(n, p, max_out_degree, rng);
+    if (EvaluateIsc(instance) == desired) return instance;
+  }
+  SC_CHECK(false);  // astronomically unlikely for sane parameters
+  return {};
+}
+
+uint32_t EvaluatePointerChasing(const PointerChasingInstance& instance) {
+  SC_CHECK_EQ(instance.functions.size(), instance.p);
+  uint32_t v = 0;
+  for (uint32_t i = instance.p; i >= 1; --i) {
+    v = instance.functions[i - 1][v];
+  }
+  return v;
+}
+
+PointerChasingInstance GenerateRandomPointerChasing(uint32_t n, uint32_t p,
+                                                    Rng& rng) {
+  PointerChasingInstance instance;
+  instance.n = n;
+  instance.p = p;
+  instance.functions.resize(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    instance.functions[i].resize(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      instance.functions[i][j] = static_cast<uint32_t>(rng.Uniform(n));
+    }
+  }
+  return instance;
+}
+
+bool IsRNonInjective(const std::vector<uint32_t>& function, uint32_t r) {
+  std::vector<uint32_t> counts;
+  for (uint32_t v : function) {
+    if (v >= counts.size()) counts.resize(v + 1, 0);
+    if (++counts[v] >= r) return true;
+  }
+  return false;
+}
+
+}  // namespace streamcover

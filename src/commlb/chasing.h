@@ -1,0 +1,75 @@
+// Communication problems underlying the multi-pass lower bounds (§5–§6):
+// Pointer Chasing, Set Chasing, Intersection Set Chasing (Definitions
+// 5.1–5.2) and their evaluation. Vertices are 0-based: the paper's start
+// vertex "1" is our index 0.
+
+#ifndef STREAMCOVER_COMMLB_CHASING_H_
+#define STREAMCOVER_COMMLB_CHASING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace streamcover {
+
+/// One Set Chasing instance: p functions f_1..f_p : [n] -> 2^[n]
+/// (Definition 5.1). functions[i-1][j] = f_i(j), sorted ascending,
+/// always non-empty for generated instances.
+struct SetChasingInstance {
+  uint32_t n = 0;
+  uint32_t p = 0;
+  std::vector<std::vector<std::vector<uint32_t>>> functions;
+};
+
+/// Evaluates ~f_1(~f_2(... ~f_p({0}) ...)): the subset of layer-1
+/// vertices reachable from vertex 0 of layer p+1.
+DynamicBitset EvaluateSetChasing(const SetChasingInstance& instance);
+
+/// Intersection Set Chasing (Definition 5.2): two Set Chasing instances;
+/// output 1 iff their evaluations intersect.
+struct IscInstance {
+  SetChasingInstance first;
+  SetChasingInstance second;
+};
+
+/// The ISC output bit.
+bool EvaluateIsc(const IscInstance& instance);
+
+/// Random Set Chasing instance: each f_i(j) is a uniform non-empty
+/// subset with |f_i(j)| ~ Uniform[1, max_out_degree].
+SetChasingInstance GenerateRandomSetChasing(uint32_t n, uint32_t p,
+                                            uint32_t max_out_degree,
+                                            Rng& rng);
+
+/// Random ISC instance (both halves drawn independently).
+IscInstance GenerateRandomIsc(uint32_t n, uint32_t p,
+                              uint32_t max_out_degree, Rng& rng);
+
+/// Rejection-samples random ISC instances until the output equals
+/// `desired`; CHECK-fails after `max_tries`. Deterministic per rng.
+IscInstance GenerateIscWithOutcome(uint32_t n, uint32_t p,
+                                   uint32_t max_out_degree, bool desired,
+                                   Rng& rng, uint32_t max_tries = 10000);
+
+/// One Pointer Chasing instance (Definition 6.2): functions [n] -> [n].
+struct PointerChasingInstance {
+  uint32_t n = 0;
+  uint32_t p = 0;
+  std::vector<std::vector<uint32_t>> functions;  ///< functions[i-1][j]
+};
+
+/// Evaluates f_1(f_2(... f_p(0) ...)).
+uint32_t EvaluatePointerChasing(const PointerChasingInstance& instance);
+
+/// Uniformly random pointer-chasing functions.
+PointerChasingInstance GenerateRandomPointerChasing(uint32_t n, uint32_t p,
+                                                    Rng& rng);
+
+/// Definition 6.1: is f r-non-injective (some value with >= r preimages)?
+bool IsRNonInjective(const std::vector<uint32_t>& function, uint32_t r);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_COMMLB_CHASING_H_

@@ -1,0 +1,78 @@
+// The §5 reduction: Intersection Set Chasing(n, p) -> SetCover, the
+// vehicle of the multi-pass lower bound (Theorem 5.4).
+//
+// Gadget (Figures 5.2–5.3): per non-merged vertex x two elements in(x),
+// out(x); per player i an element e_i; layer-1 vertices of the two
+// chasing halves are merged (elements in_v(1,j), in_u(1,j)). Sets:
+//   S^j_i    (first half,  i=1..p): {out_v(i+1, j)} ∪ {in_v(i, l) :
+//            l ∈ f_i(j)} ∪ {e_i}; the start-vertex encoding puts e_p in
+//            S^1_p ONLY (Lemma 5.5's "e_p is only covered by S^1_p").
+//   S^j_{p+i} (second half, i=1..p): {in_u(i, j)} ∪ {out_u(i+1, l) :
+//            l ∈ f'^{-1}_i(j)} ∪ {e_{p+i}}; the second half's source
+//            encoding restricts e_{2p} to the S-sets of the source's
+//            successors (j ∈ f'_p(0)) — the binding form of the paper's
+//            "all S^j_{2p} contain out(u^1_{p+1})", whose literal element
+//            is also kept (see the comment in the .cc).
+//   R^j_i    (i=2..p+1): {in_v(i,j), out_v(i,j)}.
+//   T^j_i    (i=2..p+1): {in_u(i,j), out_u(i,j)}.
+//   T^j_1    (merged):   {in_v(1,j), in_u(1,j)}.
+//
+// Identities (asserted in tests): |U| = (2p+1)*2n + 2p,
+// |F| = (4p+1)*n, and OPT = (2p+1)n+1 iff ISC = 1 else (2p+1)n+2
+// (Lemmas 5.5–5.7).
+
+#ifndef STREAMCOVER_COMMLB_ISC_TO_SETCOVER_H_
+#define STREAMCOVER_COMMLB_ISC_TO_SETCOVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "commlb/chasing.h"
+#include "setsystem/cover.h"
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+
+/// Typed handle on the reduction's sets (for tests and diagnostics).
+enum class IscSetKind : uint8_t {
+  kSFirst,   ///< S^j_i, first half (player i in 1..p)
+  kSSecond,  ///< S^j_{p+i}, second half (player p+i)
+  kR,        ///< R^j_i, first-half vertex sets (i in 2..p+1)
+  kT,        ///< T^j_i, second-half vertex sets (i in 2..p+1)
+  kTMerged,  ///< T^j_1, merged layer
+};
+
+/// The reduced instance plus all bookkeeping needed by tests/benches.
+struct IscReduction {
+  SetSystem system;
+  uint32_t n = 0;
+  uint32_t p = 0;
+  bool isc_value = false;          ///< ground truth EvaluateIsc
+  uint64_t expected_opt = 0;       ///< (2p+1)n+1 or (2p+1)n+2
+  /// Explicit feasible cover of size expected_opt (Lemma 5.6 for YES;
+  /// the two-path + extra-T construction for NO).
+  Cover witness_cover;
+
+  /// Set-id lookup: kind, layer index i, vertex j (see IscSetKind).
+  struct SetDescriptor {
+    IscSetKind kind;
+    uint32_t layer;
+    uint32_t vertex;
+  };
+  std::vector<SetDescriptor> set_descriptors;  ///< by set id
+
+  uint32_t SetId(IscSetKind kind, uint32_t layer, uint32_t vertex) const;
+
+ private:
+  friend IscReduction ReduceIscToSetCover(const IscInstance&);
+  std::vector<uint32_t> set_id_table_;
+  uint32_t TableIndex(IscSetKind kind, uint32_t layer,
+                      uint32_t vertex) const;
+};
+
+/// Builds the reduction; see the header comment for the gadget.
+IscReduction ReduceIscToSetCover(const IscInstance& instance);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_COMMLB_ISC_TO_SETCOVER_H_

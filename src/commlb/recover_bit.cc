@@ -1,0 +1,121 @@
+#include "commlb/recover_bit.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace streamcover {
+namespace {
+
+// Is a ⊆ b for sorted vectors?
+bool IsSubset(const std::vector<uint32_t>& a,
+              const std::vector<uint32_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+RecoverBitResult RunRecoverBit(const DisjointnessInstance& instance,
+                               const OneWayProtocol& protocol,
+                               const RecoverBitOptions& options) {
+  const uint32_t n = instance.n;
+  const uint32_t m = instance.m();
+  SC_CHECK_GE(m, 1u);
+  Rng rng(options.seed);
+
+  const uint32_t query_size =
+      options.query_size > 0
+          ? options.query_size
+          : std::min(n, CeilLog2(std::max(m, 2u)) + 2);
+  SC_CHECK_LE(query_size, n);
+
+  // Alice speaks once.
+  const std::vector<uint8_t> message = protocol.Encode(instance);
+
+  RecoverBitResult result;
+  result.message_bits = protocol.MessageBits(instance);
+
+  auto exists_disjoint = [&](const DynamicBitset& query) {
+    ++result.queries_used;
+    return protocol.ExistsDisjoint(message, n, m, query);
+  };
+
+  std::vector<std::vector<uint32_t>> family;  // pruned discoveries
+
+  // Ground truth, used only for the experiment-side early exit below
+  // (stop once recovery is complete). It never influences what gets
+  // recovered — only the reported query count, which thereby measures
+  // "queries until full recovery".
+  std::set<std::vector<uint32_t>> truth;
+  for (const auto& s : instance.alice_sets) truth.insert(s.ToVector());
+  auto family_matches_truth = [&] {
+    if (family.size() != truth.size()) return false;
+    for (const auto& r : family) {
+      if (truth.count(r) == 0) return false;
+    }
+    return true;
+  };
+
+  while (result.queries_used + n < options.query_budget) {
+    if (family_matches_truth()) break;
+    // Random probe rb of size query_size.
+    std::vector<uint32_t> rb_elems =
+        rng.SampleWithoutReplacement(n, query_size);
+    DynamicBitset rb(n);
+    for (uint32_t e : rb_elems) rb.Set(e);
+
+    if (!exists_disjoint(rb)) continue;
+
+    // Discover the set (or union of sets) disjoint from rb: element e
+    // belongs iff adding it to rb kills all disjoint sets.
+    std::vector<uint32_t> discovered;
+    for (uint32_t e = 0; e < n; ++e) {
+      if (rb.Test(e)) continue;
+      rb.Set(e);
+      if (!exists_disjoint(rb)) discovered.push_back(e);
+      rb.Reset(e);
+      if (result.queries_used >= options.query_budget) break;
+    }
+    if (result.queries_used >= options.query_budget) break;
+
+    // Pruning step. When rb is disjoint from k >= 2 Alice sets, the
+    // element-probe loop discovers their INTERSECTION (adding e must
+    // kill *every* disjoint set for ExistsDisjoint to flip), which in an
+    // intersecting family is a strict subset of each true set. So we
+    // keep ⊆-maximal discoveries: true sets displace their spurious
+    // intersections and are never displaced themselves (a discovery
+    // strictly containing a true set would make the family
+    // non-intersecting, which Observation 3.4 rules out whp).
+    bool dominated = false;
+    for (const auto& r : family) {
+      if (IsSubset(discovered, r)) {
+        dominated = true;  // a known set already contains it: drop
+        break;
+      }
+    }
+    if (!dominated) {
+      std::erase_if(family, [&](const std::vector<uint32_t>& r) {
+        return IsSubset(r, discovered);
+      });
+      family.push_back(discovered);
+    }
+  }
+
+  // Score against the ground truth.
+  size_t hits = 0;
+  for (const auto& r : family) {
+    if (truth.count(r) > 0) ++hits;
+  }
+  result.recovered = std::move(family);
+  result.recovered_fraction =
+      truth.empty() ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(truth.size());
+  result.fully_recovered =
+      hits == truth.size() && result.recovered.size() == truth.size();
+  return result;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,56 @@
+// algRecoverBit (Figure 3.1): Bob reconstructs Alice's entire random set
+// family from a one-way Set Disjointness protocol, using only
+// algExistsDisj queries against the single message s.
+//
+// Mechanism: a random query set rb of size ~log2(m)+2 is, with
+// non-negligible probability, disjoint from *exactly one* Alice set r
+// (Lemma 3.3). When that happens, probing rb ∪ {e} for every e ∈ U \ rb
+// identifies r exactly: the probe reports "no disjoint set" iff e ∈ r.
+// A pruning step (keep ⊆-maximal discoveries) removes the rare probes
+// that were disjoint from several sets at once — those discover the
+// intersection of the disjoint sets, a strict subset of each true set
+// whenever the family is intersecting (Observation 3.4, whp).
+// Full recovery of Ω(2^{mn}) distinguishable inputs implies the message
+// has Ω(mn) bits (Theorem 3.2).
+
+#ifndef STREAMCOVER_COMMLB_RECOVER_BIT_H_
+#define STREAMCOVER_COMMLB_RECOVER_BIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "commlb/set_disjointness.h"
+#include "util/rng.h"
+
+namespace streamcover {
+
+/// Knobs for the recovery experiment.
+struct RecoverBitOptions {
+  /// Size of each random probe rb; 0 = automatic (ceil(log2 m) + 2, the
+  /// paper's c1*log m with the constant made explicit).
+  uint32_t query_size = 0;
+  /// Hard cap on algExistsDisj invocations.
+  uint64_t query_budget = 2'000'000;
+  uint64_t seed = 1;
+};
+
+/// Outcome of one recovery run.
+struct RecoverBitResult {
+  /// Recovered sets (each sorted), after pruning.
+  std::vector<std::vector<uint32_t>> recovered;
+  uint64_t queries_used = 0;
+  uint64_t message_bits = 0;
+  /// True iff the recovered family equals Alice's family exactly.
+  bool fully_recovered = false;
+  /// Fraction of Alice's sets present among the recovered ones.
+  double recovered_fraction = 0.0;
+};
+
+/// Runs algRecoverBit against `protocol` on `instance`.
+RecoverBitResult RunRecoverBit(const DisjointnessInstance& instance,
+                               const OneWayProtocol& protocol,
+                               const RecoverBitOptions& options);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_COMMLB_RECOVER_BIT_H_

@@ -1,0 +1,106 @@
+#include "commlb/set_disjointness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamcover {
+namespace {
+
+// Packs instance bits row-major: bit (set i, element e) at index i*n+e.
+std::vector<uint8_t> PackBits(const DisjointnessInstance& instance,
+                              uint64_t keep_bits) {
+  const uint64_t total = static_cast<uint64_t>(instance.m()) * instance.n;
+  const uint64_t kept = std::min(total, keep_bits);
+  std::vector<uint8_t> message((total + 7) / 8, 0);
+  for (uint64_t bit = 0; bit < kept; ++bit) {
+    uint32_t set = static_cast<uint32_t>(bit / instance.n);
+    uint32_t elem = static_cast<uint32_t>(bit % instance.n);
+    if (instance.alice_sets[set].Test(elem)) {
+      message[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
+  return message;
+}
+
+bool DecodedExistsDisjoint(const std::vector<uint8_t>& message, uint32_t n,
+                           uint32_t m, const DynamicBitset& query) {
+  for (uint32_t set = 0; set < m; ++set) {
+    bool disjoint = true;
+    for (uint32_t e = 0; e < n && disjoint; ++e) {
+      uint64_t bit = static_cast<uint64_t>(set) * n + e;
+      bool member = (message[bit / 8] >> (bit % 8)) & 1u;
+      if (member && query.Test(e)) disjoint = false;
+    }
+    if (disjoint) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DisjointnessInstance GenerateRandomDisjointness(uint32_t m, uint32_t n,
+                                                Rng& rng) {
+  DisjointnessInstance instance;
+  instance.n = n;
+  instance.alice_sets.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    DynamicBitset set(n);
+    for (uint32_t e = 0; e < n; ++e) {
+      if (rng.Bernoulli(0.5)) set.Set(e);
+    }
+    instance.alice_sets.push_back(std::move(set));
+  }
+  return instance;
+}
+
+bool IsIntersectingFamily(const DisjointnessInstance& instance) {
+  const uint32_t m = instance.m();
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      DynamicBitset diff = instance.alice_sets[i];
+      diff.AndNot(instance.alice_sets[j]);
+      if (diff.None()) return false;  // set i ⊆ set j
+    }
+  }
+  return true;
+}
+
+std::vector<uint8_t> NaiveProtocol::Encode(
+    const DisjointnessInstance& instance) const {
+  return PackBits(instance, UINT64_MAX);
+}
+
+uint64_t NaiveProtocol::MessageBits(
+    const DisjointnessInstance& instance) const {
+  return static_cast<uint64_t>(instance.m()) * instance.n;
+}
+
+bool NaiveProtocol::ExistsDisjoint(const std::vector<uint8_t>& message,
+                                   uint32_t n, uint32_t m,
+                                   const DynamicBitset& query) const {
+  return DecodedExistsDisjoint(message, n, m, query);
+}
+
+TruncatedProtocol::TruncatedProtocol(uint64_t budget_bits)
+    : budget_bits_(budget_bits) {}
+
+std::vector<uint8_t> TruncatedProtocol::Encode(
+    const DisjointnessInstance& instance) const {
+  return PackBits(instance, budget_bits_);
+}
+
+uint64_t TruncatedProtocol::MessageBits(
+    const DisjointnessInstance& instance) const {
+  return std::min(budget_bits_,
+                  static_cast<uint64_t>(instance.m()) * instance.n);
+}
+
+bool TruncatedProtocol::ExistsDisjoint(const std::vector<uint8_t>& message,
+                                       uint32_t n, uint32_t m,
+                                       const DynamicBitset& query) const {
+  return DecodedExistsDisjoint(message, n, m, query);
+}
+
+}  // namespace streamcover

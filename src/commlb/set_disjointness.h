@@ -1,0 +1,93 @@
+// (Many vs One)-Set Disjointness and one-way protocols (§3).
+//
+// Alice holds m random subsets of [n]; Bob holds a query set and must
+// decide whether some Alice set is disjoint from it, after receiving a
+// single message from Alice. Theorem 3.2: any protocol with error
+// O(m^-c) needs Ω(mn) bits — proved by showing Bob can *decode all of
+// Alice's mn random bits* from the message (algRecoverBit). We realize
+// the naive Ω(mn)-bit protocol and budget-truncated variants whose
+// decode failure exhibits the contrapositive.
+
+#ifndef STREAMCOVER_COMMLB_SET_DISJOINTNESS_H_
+#define STREAMCOVER_COMMLB_SET_DISJOINTNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace streamcover {
+
+/// Alice's input: m subsets of [0, n).
+struct DisjointnessInstance {
+  uint32_t n = 0;
+  std::vector<DynamicBitset> alice_sets;
+
+  uint32_t m() const { return static_cast<uint32_t>(alice_sets.size()); }
+};
+
+/// Each element joins each set independently with probability 1/2 (the
+/// distribution of Theorem 3.2).
+DisjointnessInstance GenerateRandomDisjointness(uint32_t m, uint32_t n,
+                                                Rng& rng);
+
+/// A family is intersecting iff no member contains another
+/// (Observation 3.4's precondition for full recovery).
+bool IsIntersectingFamily(const DisjointnessInstance& instance);
+
+/// One-way protocol: Alice encodes once; Bob answers disjointness
+/// queries from the message alone (algExistsDisj).
+class OneWayProtocol {
+ public:
+  virtual ~OneWayProtocol() = default;
+
+  /// Alice -> Bob message, as packed bits.
+  virtual std::vector<uint8_t> Encode(
+      const DisjointnessInstance& instance) const = 0;
+
+  /// Size of the message in bits (the communication cost).
+  virtual uint64_t MessageBits(const DisjointnessInstance& instance) const = 0;
+
+  /// Bob: does some Alice set (as reconstructible from `message`) avoid
+  /// `query` entirely? `n` and `m` are public parameters of the game.
+  virtual bool ExistsDisjoint(const std::vector<uint8_t>& message,
+                              uint32_t n, uint32_t m,
+                              const DynamicBitset& query) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The naive exact protocol: message = all m*n bits.
+class NaiveProtocol : public OneWayProtocol {
+ public:
+  std::vector<uint8_t> Encode(
+      const DisjointnessInstance& instance) const override;
+  uint64_t MessageBits(const DisjointnessInstance& instance) const override;
+  bool ExistsDisjoint(const std::vector<uint8_t>& message, uint32_t n,
+                      uint32_t m, const DynamicBitset& query) const override;
+  std::string name() const override { return "naive-mn"; }
+};
+
+/// Lossy protocol: transmits only the first `budget_bits` of the naive
+/// encoding; missing bits decode as 0 (elements assumed absent). Used to
+/// demonstrate that sub-linear messages cannot support recovery.
+class TruncatedProtocol : public OneWayProtocol {
+ public:
+  explicit TruncatedProtocol(uint64_t budget_bits);
+
+  std::vector<uint8_t> Encode(
+      const DisjointnessInstance& instance) const override;
+  uint64_t MessageBits(const DisjointnessInstance& instance) const override;
+  bool ExistsDisjoint(const std::vector<uint8_t>& message, uint32_t n,
+                      uint32_t m, const DynamicBitset& query) const override;
+  std::string name() const override { return "truncated"; }
+
+ private:
+  uint64_t budget_bits_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_COMMLB_SET_DISJOINTNESS_H_

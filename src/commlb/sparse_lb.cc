@@ -1,0 +1,133 @@
+#include "commlb/sparse_lb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace streamcover {
+namespace {
+
+// Random permutation of [0, n); if fix_zero, then perm[0] == 0.
+std::vector<uint32_t> RandomPermutation(uint32_t n, bool fix_zero,
+                                        Rng& rng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  rng.Shuffle(perm);
+  if (fix_zero) {
+    auto it = std::find(perm.begin(), perm.end(), 0u);
+    std::swap(*it, perm[0]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> Invert(const std::vector<uint32_t>& perm) {
+  std::vector<uint32_t> inv(perm.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) inv[perm[i]] = i;
+  return inv;
+}
+
+// Scrambles one pointer-chasing chain: layer permutations perms[0..p]
+// (perms[i-1] is pi_i over layer i), g_i = pi_i ∘ f_i ∘ pi_{i+1}^{-1}.
+std::vector<std::vector<uint32_t>> ScrambleChain(
+    const PointerChasingInstance& chain,
+    const std::vector<std::vector<uint32_t>>& perms) {
+  const uint32_t n = chain.n;
+  const uint32_t p = chain.p;
+  SC_CHECK_EQ(perms.size(), p + 1);
+  std::vector<std::vector<uint32_t>> scrambled(
+      p, std::vector<uint32_t>(n, 0));
+  for (uint32_t i = 1; i <= p; ++i) {
+    const auto& pi_i = perms[i - 1];
+    const auto inv_next = Invert(perms[i]);
+    for (uint32_t a = 0; a < n; ++a) {
+      scrambled[i - 1][a] = pi_i[chain.functions[i - 1][inv_next[a]]];
+    }
+  }
+  return scrambled;
+}
+
+}  // namespace
+
+OrtOverlayInstance GenerateOrtOverlay(uint32_t n, uint32_t p, uint32_t t,
+                                      Rng& rng) {
+  SC_CHECK_GE(t, 1u);
+  OrtOverlayInstance overlay;
+  overlay.t = t;
+  overlay.r = CeilLog2(std::max(n, 2u)) + 1;
+
+  // Overlay accumulators: per layer function, per vertex, a set of
+  // images (the union over the t instances).
+  auto make_accumulator = [&] {
+    SetChasingInstance chase;
+    chase.n = n;
+    chase.p = p;
+    chase.functions.assign(
+        p, std::vector<std::vector<uint32_t>>(n));
+    return chase;
+  };
+  overlay.isc.first = make_accumulator();
+  overlay.isc.second = make_accumulator();
+
+  for (uint32_t j = 0; j < t; ++j) {
+    PointerChasingInstance first = GenerateRandomPointerChasing(n, p, rng);
+    PointerChasingInstance second = GenerateRandomPointerChasing(n, p, rng);
+    overlay.epc_equal.push_back(EvaluatePointerChasing(first) ==
+                                EvaluatePointerChasing(second));
+
+    for (const auto& chain : {first, second}) {
+      for (const auto& f : chain.functions) {
+        if (IsRNonInjective(f, overlay.r)) overlay.r_non_injective = true;
+      }
+    }
+
+    // Per-layer permutations: layer 1 (the equality layer) shares sigma_j
+    // across the two chains; layer p+1 fixes the start vertex 0.
+    std::vector<std::vector<uint32_t>> perms_a(p + 1), perms_b(p + 1);
+    std::vector<uint32_t> sigma = RandomPermutation(n, false, rng);
+    perms_a[0] = sigma;
+    perms_b[0] = sigma;
+    for (uint32_t i = 1; i < p; ++i) {
+      perms_a[i] = RandomPermutation(n, false, rng);
+      perms_b[i] = RandomPermutation(n, false, rng);
+    }
+    perms_a[p] = RandomPermutation(n, true, rng);
+    perms_b[p] = RandomPermutation(n, true, rng);
+
+    auto ga = ScrambleChain(first, perms_a);
+    auto gb = ScrambleChain(second, perms_b);
+    for (uint32_t i = 0; i < p; ++i) {
+      for (uint32_t a = 0; a < n; ++a) {
+        overlay.isc.first.functions[i][a].push_back(ga[i][a]);
+        overlay.isc.second.functions[i][a].push_back(gb[i][a]);
+      }
+    }
+  }
+
+  // Sort/dedup the overlaid image sets.
+  for (auto* chase : {&overlay.isc.first, &overlay.isc.second}) {
+    for (auto& fn : chase->functions) {
+      for (auto& images : fn) {
+        std::sort(images.begin(), images.end());
+        images.erase(std::unique(images.begin(), images.end()),
+                     images.end());
+      }
+    }
+  }
+
+  overlay.ort_value = std::any_of(overlay.epc_equal.begin(),
+                                  overlay.epc_equal.end(),
+                                  [](bool b) { return b; });
+  return overlay;
+}
+
+uint32_t MaxSetSize(const SetSystem& system) {
+  uint32_t max_size = 0;
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    max_size = std::max(max_size, static_cast<uint32_t>(system.SetSize(s)));
+  }
+  return max_size;
+}
+
+}  // namespace streamcover

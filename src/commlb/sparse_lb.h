@@ -1,0 +1,52 @@
+// Sparse Set Cover lower-bound instances (§6, Theorem 6.6).
+//
+// ORt(Equal Limited Pointer Chasing) overlays t pointer-chasing instance
+// pairs — each scrambled by per-layer random permutations (the paper's
+// footnote 5: player i's function in instance j is
+// pi_{i,j} ∘ f_{i,j} ∘ pi^{-1}_{i+1,j}) — into one Intersection Set
+// Chasing instance with f_i(a) = ∪_j f_{i,j}(a). Reducing that ISC
+// instance through §5 yields a SetCover instance whose sets have size
+// O~(t): first-half S-sets have <= t+2 elements and second-half S-sets
+// <= rt+2 where r = O(log n) bounds preimage sizes (Definition 6.1's
+// r-non-injectivity threshold). The §5 dichotomy still decides
+// ORt-equality, so exact algorithms on s-sparse instances inherit the
+// Ω~(ms) bound.
+
+#ifndef STREAMCOVER_COMMLB_SPARSE_LB_H_
+#define STREAMCOVER_COMMLB_SPARSE_LB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "commlb/chasing.h"
+#include "commlb/isc_to_setcover.h"
+
+namespace streamcover {
+
+/// The overlay construction plus its ground truth.
+struct OrtOverlayInstance {
+  IscInstance isc;            ///< the overlaid ISC instance
+  uint32_t t = 0;             ///< number of overlaid EPC instances
+  /// Per-instance Equal Pointer Chasing outcomes (first == second).
+  std::vector<bool> epc_equal;
+  /// OR over epc_equal — the ORt(EPC) answer the reduction must decide.
+  bool ort_value = false;
+  /// Whether any scrambled function is r-non-injective for the r used
+  /// (the "Limited" promise; whp false for r ~ log n).
+  bool r_non_injective = false;
+  uint32_t r = 0;
+};
+
+/// Builds the overlay of `t` random Equal Pointer Chasing(n, p)
+/// instances. All permutations fix vertex 0 at the outer layers so the
+/// chases share their start and the layer-1 equality test is preserved
+/// per instance.
+OrtOverlayInstance GenerateOrtOverlay(uint32_t n, uint32_t p, uint32_t t,
+                                      Rng& rng);
+
+/// Maximum set size of `system` — the sparsity s of Theorem 6.6.
+uint32_t MaxSetSize(const SetSystem& system);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_COMMLB_SPARSE_LB_H_

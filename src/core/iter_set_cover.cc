@@ -1,0 +1,281 @@
+#include "core/iter_set_cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "offline/greedy.h"
+#include "stream/sampling.h"
+#include "util/bitset.h"
+#include "util/check.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+// One guess of the optimal cover size. Returns the result of running the
+// 1/delta iterations of Figure 1.3 with the given k, charging `tracker`.
+StreamingResult RunGuess(SetStream& stream, uint64_t k,
+                         const IterSetCoverOptions& options,
+                         const OfflineSolver& offline, SpaceTracker& tracker,
+                         Rng& rng) {
+  const uint32_t n = stream.num_elements();
+  const uint32_t m = stream.num_sets();
+  const double rho = offline.Rho(n);
+  const uint64_t iterations = static_cast<uint64_t>(
+      std::ceil(1.0 / options.delta) + 1e-9);
+
+  StreamingResult result;
+  const uint64_t passes_before = stream.passes();
+  // epsilon-Partial Set Cover target: stop once the residual fits the
+  // allowance (0 for a classic full cover).
+  SC_CHECK(options.coverage_fraction > 0.0 &&
+           options.coverage_fraction <= 1.0);
+  // Computed as n - ceil(fraction*n) (with an epsilon guard) so that
+  // e.g. fraction 0.9 of n=100 allows exactly 10 uncovered elements
+  // despite 1.0 - 0.9 not being representable.
+  const uint64_t allowed_uncovered =
+      n - static_cast<uint64_t>(
+              std::ceil(options.coverage_fraction *
+                            static_cast<double>(n) -
+                        1e-9));
+
+  // Residual ground set, kept across all passes: n/64 words.
+  DynamicBitset uncovered(n, true);
+  tracker.Charge(uncovered.WordCount());
+
+  Cover sol;
+
+  for (uint64_t iter = 0; iter < iterations; ++iter) {
+    uint64_t uncovered_count = uncovered.Count();
+    if (uncovered_count <= allowed_uncovered) break;
+
+    IterSetCoverIterationDiag diag;
+    diag.iteration = static_cast<uint32_t>(iter + 1);
+    diag.uncovered_before = uncovered_count;
+
+    // Section 4.2 refinement: when <= k stragglers remain, one sweep
+    // taking any covering set per straggler finishes the job.
+    if (options.final_sweep && uncovered_count <= k) {
+      std::vector<uint32_t> new_picks;
+      stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+        if (uncovered.None()) return;
+        bool hits = false;
+        for (uint32_t e : elems) {
+          if (uncovered.Test(e)) {
+            hits = true;
+            break;
+          }
+        }
+        if (hits) {
+          new_picks.push_back(id);
+          tracker.Charge(1);
+          for (uint32_t e : elems) uncovered.Reset(e);
+        }
+      });
+      sol.set_ids.insert(sol.set_ids.end(), new_picks.begin(),
+                         new_picks.end());
+      diag.heavy_picked = new_picks.size();
+      diag.uncovered_after = uncovered.Count();
+      result.diagnostics.push_back(diag);
+      break;
+    }
+
+    // --- Sample S from the residual (Lemma 2.5 size). ---
+    const uint64_t sample_size = IterSetCoverSampleSize(
+        options.sample_constant, rho, k, n, options.delta, m,
+        uncovered_count);
+    std::vector<uint32_t> sample = SampleFromBitset(uncovered, sample_size,
+                                                    rng);
+    diag.sample_size = sample.size();
+    tracker.Charge(sample.size());  // the sample's element ids
+
+    // L <- S, as a membership mask over U (n/64 words).
+    DynamicBitset live(n);
+    for (uint32_t e : sample) live.Set(e);
+    tracker.Charge(live.WordCount());
+
+    const double threshold = options.size_test_multiplier *
+                             static_cast<double>(sample.size()) /
+                             static_cast<double>(k);
+
+    // --- Pass 1: Size Test; store projections of light sets. ---
+    std::vector<uint32_t> heavy_picks;
+    std::vector<std::pair<uint32_t, std::vector<uint32_t>>> projections;
+    uint64_t projection_words = 0;
+    std::vector<uint32_t> scratch;  // per-set transient, not charged
+    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      scratch.clear();
+      for (uint32_t e : elems) {
+        if (live.Test(e)) scratch.push_back(e);
+      }
+      if (scratch.empty()) return;
+      if (static_cast<double>(scratch.size()) >= threshold) {
+        heavy_picks.push_back(id);
+        tracker.Charge(1);
+        for (uint32_t e : scratch) live.Reset(e);
+      } else {
+        projection_words += scratch.size() + 1;  // elements + set id
+        tracker.Charge(scratch.size() + 1);
+        projections.emplace_back(id, scratch);
+      }
+    });
+    diag.heavy_picked = heavy_picks.size();
+    diag.projection_words = projection_words;
+    sol.set_ids.insert(sol.set_ids.end(), heavy_picks.begin(),
+                       heavy_picks.end());
+
+    // --- Offline solve on the sampled sub-instance (no pass). ---
+    // Re-index the still-live sampled elements to [0, n_sub).
+    std::vector<uint32_t> live_elems;
+    for (uint32_t e : sample) {
+      if (live.Test(e)) live_elems.push_back(e);
+    }
+    if (!live_elems.empty()) {
+      std::unordered_map<uint32_t, uint32_t> reindex;
+      reindex.reserve(live_elems.size() * 2);
+      for (uint32_t i = 0; i < live_elems.size(); ++i) {
+        reindex[live_elems[i]] = i;
+      }
+      SetSystem::Builder sub_builder(
+          static_cast<uint32_t>(live_elems.size()));
+      std::vector<uint32_t> original_ids;
+      original_ids.reserve(projections.size());
+      for (auto& [id, proj] : projections) {
+        std::vector<uint32_t> mapped;
+        mapped.reserve(proj.size());
+        for (uint32_t e : proj) {
+          auto it = reindex.find(e);
+          if (it != reindex.end()) mapped.push_back(it->second);
+        }
+        if (mapped.empty()) continue;
+        sub_builder.AddSet(std::move(mapped));
+        original_ids.push_back(id);
+      }
+      SetSystem sub = std::move(sub_builder).Build();
+      OfflineResult offline_result = offline.Solve(sub);
+      size_t take = offline_result.cover.size();
+      if (allowed_uncovered > 0 && uncovered_count > 0) {
+        // epsilon-Partial: the sample is a relative approximation of the
+        // residual (Lemma 2.5), so leaving the proportional share of the
+        // sample uncovered suffices. Greedy emits picks in decreasing
+        // marginal order, so trimming the pick tail IS the greedy
+        // partial cover of the sub-instance.
+        const uint64_t sub_allowed =
+            allowed_uncovered * live_elems.size() / uncovered_count;
+        if (sub_allowed > 0) {
+          DynamicBitset covered_sub(sub.num_elements());
+          uint64_t covered_count = 0;
+          take = 0;
+          for (uint32_t sub_id : offline_result.cover.set_ids) {
+            if (sub.num_elements() - covered_count <= sub_allowed) break;
+            for (uint32_t e : sub.GetSet(sub_id)) {
+              if (!covered_sub.Test(e)) {
+                covered_sub.Set(e);
+                ++covered_count;
+              }
+            }
+            ++take;
+          }
+        }
+      }
+      diag.offline_picked = take;
+      for (size_t i = 0; i < take; ++i) {
+        sol.set_ids.push_back(original_ids[offline_result.cover.set_ids[i]]);
+        tracker.Charge(1);
+      }
+    }
+
+    // Projections, sample ids, and the live mask die with the iteration.
+    tracker.Release(projection_words);
+    tracker.Release(sample.size());
+    tracker.Release(live.WordCount());
+
+    // --- Pass 2: recompute the uncovered elements. ---
+    // Only the sets picked in this iteration can newly cover anything.
+    DynamicBitset picked_this_iter(m);
+    size_t new_from = sol.set_ids.size() - diag.heavy_picked -
+                      diag.offline_picked;
+    for (size_t i = new_from; i < sol.set_ids.size(); ++i) {
+      picked_this_iter.Set(sol.set_ids[i]);
+    }
+    tracker.Charge(picked_this_iter.WordCount());
+    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      if (!picked_this_iter.Test(id)) return;
+      for (uint32_t e : elems) uncovered.Reset(e);
+    });
+    tracker.Release(picked_this_iter.WordCount());
+
+    diag.uncovered_after = uncovered.Count();
+    result.diagnostics.push_back(diag);
+  }
+
+  result.success = uncovered.Count() <= allowed_uncovered;
+  tracker.Release(uncovered.WordCount());
+
+  sol.Deduplicate();
+  result.cover = std::move(sol);
+  result.winning_k = k;
+  result.passes = stream.passes() - passes_before;
+  result.sequential_scans = result.passes;
+  result.space_words_parallel = tracker.peak_words();
+  result.space_words_max_guess = tracker.peak_words();
+  return result;
+}
+
+}  // namespace
+
+StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
+                                        const IterSetCoverOptions& options) {
+  SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
+  GreedySolver default_solver;
+  const OfflineSolver& offline =
+      options.offline != nullptr ? *options.offline : default_solver;
+  SpaceTracker tracker;
+  Rng rng(options.seed ^ (k * 0x9e3779b97f4a7c15ULL));
+  return RunGuess(stream, k, options, offline, tracker, rng);
+}
+
+StreamingResult IterSetCover(SetStream& stream,
+                             const IterSetCoverOptions& options) {
+  SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
+  GreedySolver default_solver;
+  const OfflineSolver& offline =
+      options.offline != nullptr ? *options.offline : default_solver;
+
+  const uint32_t n = stream.num_elements();
+  StreamingResult best;
+  uint64_t passes_max = 0;
+  uint64_t scans_total = 0;
+  uint64_t space_sum = 0;
+  uint64_t space_max = 0;
+
+  // Guesses k = 2^i, i in [0, log n] — run sequentially, accounted as
+  // parallel (passes: max; space: sum).
+  for (uint64_t k = 1; ; k *= 2) {
+    SpaceTracker tracker;
+    Rng rng(options.seed ^ (k * 0x9e3779b97f4a7c15ULL));
+    StreamingResult guess_result =
+        RunGuess(stream, k, options, offline, tracker, rng);
+
+    passes_max = std::max(passes_max, guess_result.passes);
+    scans_total += guess_result.sequential_scans;
+    space_sum += tracker.peak_words();
+    space_max = std::max(space_max, tracker.peak_words());
+
+    if (guess_result.success &&
+        (!best.success || guess_result.cover.size() < best.cover.size())) {
+      best = std::move(guess_result);
+    }
+    if (k >= n) break;
+  }
+
+  best.passes = passes_max;
+  best.sequential_scans = scans_total;
+  best.space_words_parallel = space_sum;
+  best.space_words_max_guess = space_max;
+  return best;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,102 @@
+// iterSetCover — the paper's main algorithm (Figure 1.3, Theorem 2.8).
+//
+// A O(1/delta)-pass, O~(m n^delta)-space, O(rho/delta)-approximation
+// streaming algorithm for SetCover. Per optimal-size guess k (all powers
+// of two, composed "in parallel"):
+//
+//   repeat 1/delta times:
+//     S  <- uniform sample of the uncovered elements,
+//           |S| = c * rho * k * n^delta * log m * log n     (Lemma 2.5)
+//     pass 1 over F:
+//       heavy set (covers >= |S|/k of the live sample)  -> take it now
+//       light set -> store its projection onto the live sample
+//     D  <- algOfflineSC on the sampled sub-instance; take D
+//     pass 2 over F: recompute the uncovered elements
+//
+// Lemma 2.6: each iteration shrinks the uncovered count by ~n^delta and
+// adds O(rho k) sets, so 1/delta iterations cover everything with
+// O(rho k / delta) sets in 2/delta passes (Lemma 2.1) and O~(m n^delta)
+// words (Lemma 2.2).
+
+#ifndef STREAMCOVER_CORE_ITER_SET_COVER_H_
+#define STREAMCOVER_CORE_ITER_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "offline/solver.h"
+#include "setsystem/cover.h"
+#include "stream/set_stream.h"
+#include "stream/space_tracker.h"
+
+namespace streamcover {
+
+/// Tuning knobs for IterSetCover. Defaults follow Figure 1.3 with the
+/// constant c made explicit (and honest at laptop scale).
+struct IterSetCoverOptions {
+  /// Trade-off parameter: 2/delta passes, O~(m n^delta) space.
+  double delta = 0.5;
+  /// The constant c in the sample size c*rho*k*n^delta*log m*log n.
+  double sample_constant = 0.5;
+  /// Offline solver (algOfflineSC). If null, a GreedySolver is used.
+  const OfflineSolver* offline = nullptr;
+  /// Seed for the element sampler.
+  uint64_t seed = 1;
+  /// Multiplies the Size-Test threshold |S|/k (1.0 = paper). Ablation
+  /// knob for Lemma 2.3.
+  double size_test_multiplier = 1.0;
+  /// Section 4.2 refinement: once <= k elements remain uncovered, spend
+  /// one final pass taking an arbitrary covering set per element instead
+  /// of more sampling iterations.
+  bool final_sweep = false;
+  /// epsilon-Partial Set Cover ([ER14]/[CW16] generalization, §1): stop
+  /// once at least this fraction of U is covered; `success` then means
+  /// the fraction was reached. 1.0 = classic full cover.
+  double coverage_fraction = 1.0;
+};
+
+/// Per-iteration trace of the winning guess (benches & tests).
+struct IterSetCoverIterationDiag {
+  uint32_t iteration = 0;
+  uint64_t uncovered_before = 0;
+  uint64_t uncovered_after = 0;
+  uint64_t sample_size = 0;
+  uint64_t heavy_picked = 0;
+  uint64_t offline_picked = 0;
+  uint64_t projection_words = 0;  ///< peak words of stored projections
+};
+
+/// Outcome of a streaming solve, with the accounting the paper's bounds
+/// are stated in.
+struct StreamingResult {
+  Cover cover;
+  /// True iff every element ended up covered.
+  bool success = false;
+  /// Passes per Lemma 2.1: the per-guess maximum (guesses run in
+  /// parallel in the paper's accounting).
+  uint64_t passes = 0;
+  /// Total stream scans actually performed by this (sequential)
+  /// implementation, summed over all guesses.
+  uint64_t sequential_scans = 0;
+  /// Peak working memory: sum over guesses of per-guess peaks (parallel
+  /// composition, Lemma 2.2's x log n factor).
+  uint64_t space_words_parallel = 0;
+  /// Peak working memory of the single heaviest guess.
+  uint64_t space_words_max_guess = 0;
+  /// The guess k that produced the returned cover.
+  uint64_t winning_k = 0;
+  std::vector<IterSetCoverIterationDiag> diagnostics;
+};
+
+/// Runs iterSetCover over `stream`. The returned cover is verified
+/// feasible iff `success`.
+StreamingResult IterSetCover(SetStream& stream,
+                             const IterSetCoverOptions& options);
+
+/// Runs only the single guess `k` (exposed for tests and ablations).
+StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
+                                        const IterSetCoverOptions& options);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_CORE_ITER_SET_COVER_H_

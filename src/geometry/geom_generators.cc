@@ -1,0 +1,137 @@
+#include "geometry/geom_generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace streamcover {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Shape MakeCoveringShape(ShapeClass cls, const Point& center, double radius) {
+  switch (cls) {
+    case ShapeClass::kDisk:
+      return Disk{center, radius};
+    case ShapeClass::kRect:
+      return Rect{center.x - radius, center.y - radius, center.x + radius,
+                  center.y + radius};
+    case ShapeClass::kFatTriangle: {
+      // Equilateral triangle whose inscribed circle has radius `radius`
+      // (so it covers the disk of that radius): circumradius = 2*radius.
+      const double circum = 2.0 * radius;
+      FatTriangle t;
+      t.a = {center.x + circum * std::cos(kPi / 2),
+             center.y + circum * std::sin(kPi / 2)};
+      t.b = {center.x + circum * std::cos(kPi / 2 + 2 * kPi / 3),
+             center.y + circum * std::sin(kPi / 2 + 2 * kPi / 3)};
+      t.c = {center.x + circum * std::cos(kPi / 2 + 4 * kPi / 3),
+             center.y + circum * std::sin(kPi / 2 + 4 * kPi / 3)};
+      return t;
+    }
+  }
+  SC_CHECK(false);
+  return Rect{};
+}
+
+}  // namespace
+
+GeomInstance GeneratePlantedGeom(const GeomPlantedOptions& options,
+                                 Rng& rng) {
+  SC_CHECK_GE(options.cover_size, 1u);
+  SC_CHECK_GE(options.num_shapes, options.cover_size);
+  const double world = options.world_size;
+  const uint32_t k = options.cover_size;
+
+  GeomInstance instance;
+
+  // Cluster centers and radii; clusters stay inside the world box.
+  std::vector<Point> centers;
+  std::vector<double> radii;
+  for (uint32_t c = 0; c < k; ++c) {
+    centers.push_back({world * (0.1 + 0.8 * rng.UniformDouble()),
+                       world * (0.1 + 0.8 * rng.UniformDouble())});
+    radii.push_back(world * (0.02 + 0.05 * rng.UniformDouble()));
+  }
+
+  // Points: uniformly inside a random cluster's inscribed disk.
+  for (uint32_t i = 0; i < options.num_points; ++i) {
+    uint32_t c = static_cast<uint32_t>(rng.Uniform(k));
+    const double angle = 2.0 * kPi * rng.UniformDouble();
+    const double r = radii[c] * std::sqrt(rng.UniformDouble());
+    instance.points.push_back({centers[c].x + r * std::cos(angle),
+                               centers[c].y + r * std::sin(angle)});
+  }
+
+  // Planted shapes (one per cluster) plus noise, shuffled.
+  std::vector<Shape> shapes;
+  for (uint32_t c = 0; c < k; ++c) {
+    shapes.push_back(
+        MakeCoveringShape(options.shape_class, centers[c], radii[c] * 1.01));
+  }
+  for (uint32_t s = k; s < options.num_shapes; ++s) {
+    Point center{world * rng.UniformDouble(), world * rng.UniformDouble()};
+    double extent =
+        world * (options.noise_min_extent +
+                 (options.noise_max_extent - options.noise_min_extent) *
+                     rng.UniformDouble());
+    shapes.push_back(MakeCoveringShape(options.shape_class, center, extent));
+  }
+  std::vector<uint32_t> order(shapes.size());
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(order);
+  instance.shapes.resize(shapes.size());
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    instance.shapes[pos] = shapes[order[pos]];
+    if (order[pos] < k) instance.planted_cover.push_back(pos);
+  }
+  std::sort(instance.planted_cover.begin(), instance.planted_cover.end());
+  return instance;
+}
+
+GeomInstance GenerateFigure12(uint32_t n) {
+  SC_CHECK_GE(n, 4u);
+  SC_CHECK_EQ(n % 2, 0u);
+  const uint32_t h = n / 2;
+  const double offset = 2.0 * static_cast<double>(h);  // C > h
+
+  GeomInstance instance;
+  // Top line: (i, i + offset), i in [0, h). Bottom: (h + i, h + i - offset).
+  for (uint32_t i = 0; i < h; ++i) {
+    instance.points.push_back(
+        {static_cast<double>(i), static_cast<double>(i) + offset});
+  }
+  for (uint32_t i = 0; i < h; ++i) {
+    const double x = static_cast<double>(h + i);
+    instance.points.push_back({x, x - offset});
+  }
+
+  // All h^2 two-point rectangles: upper-left = top point t, lower-right
+  // = bottom point b.
+  for (uint32_t t = 0; t < h; ++t) {
+    const Point& top = instance.points[t];
+    for (uint32_t b = 0; b < h; ++b) {
+      const Point& bottom = instance.points[h + b];
+      instance.shapes.push_back(Rect{top.x, bottom.y, bottom.x, top.y});
+    }
+  }
+
+  // Two covering rectangles (one per line) keep the instance coverable.
+  const double pad = 0.5;
+  instance.shapes.push_back(Rect{-pad, offset - pad,
+                                 static_cast<double>(h - 1) + pad,
+                                 static_cast<double>(h - 1) + offset + pad});
+  instance.shapes.push_back(Rect{static_cast<double>(h) - pad,
+                                 static_cast<double>(h) - offset - pad,
+                                 static_cast<double>(2 * h - 1) + pad,
+                                 static_cast<double>(2 * h - 1) - offset +
+                                     pad});
+  instance.planted_cover = {
+      static_cast<uint32_t>(instance.shapes.size()) - 2,
+      static_cast<uint32_t>(instance.shapes.size()) - 1};
+  return instance;
+}
+
+}  // namespace streamcover

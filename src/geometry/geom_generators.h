@@ -1,0 +1,58 @@
+// Geometric instance generators: planted covers for disks / rectangles /
+// fat triangles, plus the Figure 1.2 pathological family (Theta(n^2)
+// distinct 2-point rectangles).
+
+#ifndef STREAMCOVER_GEOMETRY_GEOM_GENERATORS_H_
+#define STREAMCOVER_GEOMETRY_GEOM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/primitives.h"
+#include "util/rng.h"
+
+namespace streamcover {
+
+/// Which shape class a generator should emit.
+enum class ShapeClass { kDisk, kRect, kFatTriangle };
+
+/// A geometric instance: points, shape stream, and the ids of a planted
+/// feasible cover (upper bound on OPT).
+struct GeomInstance {
+  std::vector<Point> points;
+  std::vector<Shape> shapes;
+  std::vector<uint32_t> planted_cover;
+};
+
+/// Options for the planted geometric generator.
+struct GeomPlantedOptions {
+  uint32_t num_points = 1000;
+  uint32_t num_shapes = 4000;
+  uint32_t cover_size = 20;     ///< planted clusters / covering shapes
+  ShapeClass shape_class = ShapeClass::kDisk;
+  double world_size = 1000.0;   ///< points live in [0, world]^2
+  /// Noise shapes have extent uniform in
+  /// [noise_min_extent, noise_max_extent] * world_size.
+  double noise_min_extent = 0.01;
+  double noise_max_extent = 0.1;
+};
+
+/// Points drawn around `cover_size` cluster centers; one planted shape
+/// fully covering each cluster; the rest are random noise shapes of the
+/// same class. Planted fat triangles have fatness ratio <= ~2.4
+/// (near-equilateral).
+GeomInstance GeneratePlantedGeom(const GeomPlantedOptions& options,
+                                 Rng& rng);
+
+/// The Figure 1.2 construction: `n` points on two parallel slope-1
+/// lines (n/2 each; every top point above-left of every bottom point)
+/// and all (n/2)^2 rectangles with a top point as upper-left corner and
+/// a bottom point as lower-right corner — each containing exactly two
+/// points, all with distinct traces. A planted cover of two rectangles
+/// (one per line) is appended at the end of the stream so the instance
+/// is coverable with OPT <= 2. Requires n even, n >= 4.
+GeomInstance GenerateFigure12(uint32_t n);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_GEOMETRY_GEOM_GENERATORS_H_

@@ -1,0 +1,107 @@
+#include "geometry/geom_io.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace streamcover {
+
+void WriteGeomDataset(const GeomDataset& dataset, std::ostream& os) {
+  os << "geomcover " << dataset.points.size() << ' '
+     << dataset.shapes.size() << '\n';
+  os << std::setprecision(17);
+  for (const Point& p : dataset.points) {
+    os << "p " << p.x << ' ' << p.y << '\n';
+  }
+  struct Writer {
+    std::ostream& os;
+    void operator()(const Disk& d) const {
+      os << "disk " << d.center.x << ' ' << d.center.y << ' ' << d.radius
+         << '\n';
+    }
+    void operator()(const Rect& r) const {
+      os << "rect " << r.x_min << ' ' << r.y_min << ' ' << r.x_max << ' '
+         << r.y_max << '\n';
+    }
+    void operator()(const FatTriangle& t) const {
+      os << "tri " << t.a.x << ' ' << t.a.y << ' ' << t.b.x << ' ' << t.b.y
+         << ' ' << t.c.x << ' ' << t.c.y << '\n';
+    }
+  };
+  for (const Shape& shape : dataset.shapes) {
+    std::visit(Writer{os}, shape);
+  }
+}
+
+std::optional<GeomDataset> ReadGeomDataset(std::istream& is,
+                                           std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<GeomDataset> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::string magic;
+  if (!(is >> magic)) return fail("empty input");
+  if (magic != "geomcover") return fail("bad magic: " + magic);
+  uint64_t n = 0, m = 0;
+  if (!(is >> n >> m)) return fail("missing n/m header");
+  if (n > (1ULL << 31) || m > (1ULL << 31)) return fail("n/m out of range");
+
+  GeomDataset dataset;
+  dataset.points.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string tag;
+    Point p;
+    if (!(is >> tag >> p.x >> p.y) || tag != "p") {
+      return fail("malformed point line");
+    }
+    dataset.points.push_back(p);
+  }
+  dataset.shapes.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    std::string tag;
+    if (!(is >> tag)) return fail("truncated shape list");
+    if (tag == "disk") {
+      Disk d;
+      if (!(is >> d.center.x >> d.center.y >> d.radius)) {
+        return fail("malformed disk");
+      }
+      if (d.radius < 0) return fail("negative disk radius");
+      dataset.shapes.push_back(d);
+    } else if (tag == "rect") {
+      Rect r;
+      if (!(is >> r.x_min >> r.y_min >> r.x_max >> r.y_max)) {
+        return fail("malformed rect");
+      }
+      if (!r.IsValid()) return fail("inverted rect");
+      dataset.shapes.push_back(r);
+    } else if (tag == "tri") {
+      FatTriangle t;
+      if (!(is >> t.a.x >> t.a.y >> t.b.x >> t.b.y >> t.c.x >> t.c.y)) {
+        return fail("malformed triangle");
+      }
+      dataset.shapes.push_back(t);
+    } else {
+      return fail("unknown shape tag: " + tag);
+    }
+  }
+  return dataset;
+}
+
+bool SaveGeomDatasetToFile(const GeomDataset& dataset,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteGeomDataset(dataset, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<GeomDataset> LoadGeomDatasetFromFile(const std::string& path,
+                                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadGeomDataset(in, error);
+}
+
+}  // namespace streamcover

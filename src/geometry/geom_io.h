@@ -1,0 +1,45 @@
+// Plain-text serialization of geometric instances (§4 workloads).
+//
+// Format (whitespace separated):
+//   geomcover <num_points> <num_shapes>
+//   p <x> <y>                  (num_points lines)
+//   disk <cx> <cy> <r>
+//   rect <x_min> <y_min> <x_max> <y_max>
+//   tri <ax> <ay> <bx> <by> <cx> <cy>
+
+#ifndef STREAMCOVER_GEOMETRY_GEOM_IO_H_
+#define STREAMCOVER_GEOMETRY_GEOM_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "geometry/geom_generators.h"
+#include "geometry/primitives.h"
+
+namespace streamcover {
+
+/// A geometric instance without planted-cover metadata (what the file
+/// format stores).
+struct GeomDataset {
+  std::vector<Point> points;
+  std::vector<Shape> shapes;
+};
+
+/// Writes points and shapes in the text format above.
+void WriteGeomDataset(const GeomDataset& dataset, std::ostream& os);
+
+/// Parses a dataset; std::nullopt + *error on malformed input.
+std::optional<GeomDataset> ReadGeomDataset(std::istream& is,
+                                           std::string* error);
+
+/// Convenience file wrappers.
+bool SaveGeomDatasetToFile(const GeomDataset& dataset,
+                           const std::string& path);
+std::optional<GeomDataset> LoadGeomDatasetFromFile(const std::string& path,
+                                                   std::string* error);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_GEOMETRY_GEOM_IO_H_

@@ -1,0 +1,78 @@
+#include "geometry/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace streamcover {
+
+bool Disk::Contains(const Point& p) const {
+  const double dx = p.x - center.x;
+  const double dy = p.y - center.y;
+  return dx * dx + dy * dy <= radius * radius * (1.0 + 1e-12);
+}
+
+bool Rect::Contains(const Point& p) const {
+  return p.x >= x_min && p.x <= x_max && p.y >= y_min && p.y <= y_max;
+}
+
+double FatTriangle::SignedArea2() const {
+  return (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+}
+
+namespace {
+
+double Cross(const Point& o, const Point& p, const Point& q) {
+  return (p.x - o.x) * (q.y - o.y) - (q.x - o.x) * (p.y - o.y);
+}
+
+}  // namespace
+
+bool FatTriangle::Contains(const Point& p) const {
+  const double d1 = Cross(a, b, p);
+  const double d2 = Cross(b, c, p);
+  const double d3 = Cross(c, a, p);
+  const double eps = 1e-9 * (std::fabs(d1) + std::fabs(d2) + std::fabs(d3) +
+                             1.0);
+  const bool has_neg = d1 < -eps || d2 < -eps || d3 < -eps;
+  const bool has_pos = d1 > eps || d2 > eps || d3 > eps;
+  return !(has_neg && has_pos);
+}
+
+double FatTriangle::FatnessRatio() const {
+  const double area2 = std::fabs(SignedArea2());
+  if (area2 == 0.0) return std::numeric_limits<double>::infinity();
+  auto edge = [](const Point& p, const Point& q) {
+    return std::hypot(q.x - p.x, q.y - p.y);
+  };
+  const double longest =
+      std::max({edge(a, b), edge(b, c), edge(c, a)});
+  // Height on the longest edge: area2 / longest.
+  return longest * longest / area2;
+}
+
+bool ShapeContains(const Shape& shape, const Point& p) {
+  return std::visit([&p](const auto& s) { return s.Contains(p); }, shape);
+}
+
+const char* ShapeClassName(const Shape& shape) {
+  struct Namer {
+    const char* operator()(const Disk&) const { return "disk"; }
+    const char* operator()(const Rect&) const { return "rect"; }
+    const char* operator()(const FatTriangle&) const {
+      return "fat-triangle";
+    }
+  };
+  return std::visit(Namer{}, shape);
+}
+
+std::vector<uint32_t> TraceOf(const Shape& shape,
+                              const std::vector<Point>& points) {
+  std::vector<uint32_t> trace;
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    if (ShapeContains(shape, points[i])) trace.push_back(i);
+  }
+  return trace;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,66 @@
+// Geometric primitives for the Points-Shapes Set Cover problem (§4):
+// points in R^2 and ranges that are disks, axis-parallel rectangles, or
+// alpha-fat triangles. Every shape has O(1) description and a
+// point-containment predicate; closed boundaries throughout.
+
+#ifndef STREAMCOVER_GEOMETRY_PRIMITIVES_H_
+#define STREAMCOVER_GEOMETRY_PRIMITIVES_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+namespace streamcover {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Closed disk.
+struct Disk {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(const Point& p) const;
+};
+
+/// Closed axis-parallel rectangle [x_min,x_max] x [y_min,y_max].
+struct Rect {
+  double x_min = 0.0, y_min = 0.0, x_max = 0.0, y_max = 0.0;
+
+  bool Contains(const Point& p) const;
+  bool IsValid() const { return x_min <= x_max && y_min <= y_max; }
+};
+
+/// Closed triangle; "alpha-fat" iff longest-edge / height-on-it <= alpha.
+struct FatTriangle {
+  Point a, b, c;
+
+  bool Contains(const Point& p) const;
+
+  /// Twice the signed area.
+  double SignedArea2() const;
+
+  /// The fatness ratio: longest edge over the height on that edge.
+  /// Degenerate triangles return +infinity.
+  double FatnessRatio() const;
+};
+
+/// A streamed range: one of the three shape classes.
+using Shape = std::variant<Disk, Rect, FatTriangle>;
+
+/// Point-in-shape for the variant.
+bool ShapeContains(const Shape& shape, const Point& p);
+
+/// Human-readable class name ("disk" / "rect" / "fat-triangle").
+const char* ShapeClassName(const Shape& shape);
+
+/// Indices of the points of `points` inside `shape` (ascending). This is
+/// the "trace" (projection) of a range on a point set.
+std::vector<uint32_t> TraceOf(const Shape& shape,
+                              const std::vector<Point>& points);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_GEOMETRY_PRIMITIVES_H_

@@ -1,0 +1,21 @@
+#include "geometry/range_space.h"
+
+#include "util/check.h"
+
+namespace streamcover {
+
+SetSystem BuildRangeSpace(const std::vector<Point>& points,
+                          const std::vector<Shape>& shapes) {
+  SetSystem::Builder builder(static_cast<uint32_t>(points.size()));
+  for (const Shape& shape : shapes) {
+    builder.AddSet(TraceOf(shape, points));
+  }
+  return std::move(builder).Build();
+}
+
+ShapeStream::ShapeStream(const std::vector<Shape>* shapes)
+    : shapes_(shapes) {
+  SC_CHECK(shapes != nullptr);
+}
+
+}  // namespace streamcover

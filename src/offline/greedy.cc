@@ -1,0 +1,67 @@
+#include "offline/greedy.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+OfflineResult GreedySolver::Solve(const SetSystem& system) const {
+  DynamicBitset all(system.num_elements(), true);
+  return SolveTargets(system, all);
+}
+
+double GreedySolver::Rho(uint32_t num_elements) const {
+  return std::log(static_cast<double>(std::max(num_elements, 2u))) + 1.0;
+}
+
+OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
+                                         const DynamicBitset& targets) {
+  SC_CHECK_EQ(targets.size(), system.num_elements());
+  OfflineResult result;
+  DynamicBitset uncovered = targets;
+
+  // Clear target bits for elements no set contains (uncoverable).
+  {
+    DynamicBitset coverable(system.num_elements());
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      for (uint32_t e : system.GetSet(s)) coverable.Set(e);
+    }
+    uncovered &= coverable;
+  }
+
+  // Max-heap of (stale gain, set id). Gains only decrease over time, so a
+  // popped entry whose recomputed gain still beats the heap top is truly
+  // the best set right now.
+  using Entry = std::pair<size_t, uint32_t>;
+  std::priority_queue<Entry> heap;
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    size_t gain = 0;
+    for (uint32_t e : system.GetSet(s)) {
+      if (uncovered.Test(e)) ++gain;
+    }
+    if (gain > 0) heap.push({gain, s});
+  }
+
+  while (uncovered.Any() && !heap.empty()) {
+    auto [stale_gain, s] = heap.top();
+    heap.pop();
+    ++result.work;
+    size_t gain = 0;
+    for (uint32_t e : system.GetSet(s)) {
+      if (uncovered.Test(e)) ++gain;
+    }
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.push({gain, s});  // stale; re-queue with the fresh gain
+      continue;
+    }
+    result.cover.set_ids.push_back(s);
+    for (uint32_t e : system.GetSet(s)) uncovered.Reset(e);
+  }
+  return result;
+}
+
+}  // namespace streamcover

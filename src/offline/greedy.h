@@ -1,0 +1,32 @@
+// The classic greedy SetCover algorithm, rho = ln n.
+//
+// Lazy-evaluation variant: a max-heap of (stale gain, set id); gains are
+// only recomputed when a set is popped, which is correct because gains
+// are monotonically non-increasing as the cover grows.
+
+#ifndef STREAMCOVER_OFFLINE_GREEDY_H_
+#define STREAMCOVER_OFFLINE_GREEDY_H_
+
+#include "offline/solver.h"
+#include "util/bitset.h"
+
+namespace streamcover {
+
+/// Greedy offline solver (H_n <= ln n + 1 approximation).
+class GreedySolver : public OfflineSolver {
+ public:
+  OfflineResult Solve(const SetSystem& system) const override;
+
+  double Rho(uint32_t num_elements) const override;
+
+  std::string name() const override { return "greedy"; }
+
+  /// Greedy cover of only the elements flagged in `targets`.
+  /// Shared by solvers and baselines that cover residual ground sets.
+  static OfflineResult SolveTargets(const SetSystem& system,
+                                    const DynamicBitset& targets);
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_OFFLINE_GREEDY_H_

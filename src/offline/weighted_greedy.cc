@@ -1,0 +1,78 @@
+#include "offline/weighted_greedy.h"
+
+#include <limits>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace streamcover {
+
+WeightedCoverResult WeightedGreedyCover(
+    const SetSystem& system, const std::vector<double>& weights) {
+  SC_CHECK_EQ(weights.size(), system.num_sets());
+  for (double w : weights) SC_CHECK_GT(w, 0.0);
+
+  WeightedCoverResult result;
+  DynamicBitset uncovered(system.num_elements());
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    for (uint32_t e : system.GetSet(s)) uncovered.Set(e);
+  }
+
+  // Weighted gains are not monotone under arbitrary ratios the way the
+  // lazy-heap trick requires proof for, so recompute exactly each round;
+  // m is offline-scale here.
+  while (uncovered.Any()) {
+    uint32_t best = UINT32_MAX;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      size_t gain = 0;
+      for (uint32_t e : system.GetSet(s)) {
+        if (uncovered.Test(e)) ++gain;
+      }
+      if (gain == 0) continue;
+      double ratio = weights[s] / static_cast<double>(gain);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = s;
+      }
+    }
+    SC_CHECK_NE(best, UINT32_MAX);  // uncovered is restricted to coverable
+    result.cover.set_ids.push_back(best);
+    result.total_weight += weights[best];
+    for (uint32_t e : system.GetSet(best)) uncovered.Reset(e);
+  }
+  return result;
+}
+
+WeightedCoverResult BruteForceWeightedCover(
+    const SetSystem& system, const std::vector<double>& weights) {
+  const uint32_t m = system.num_sets();
+  SC_CHECK_LE(m, 24u);
+  WeightedCoverResult best;
+  best.total_weight = std::numeric_limits<double>::infinity();
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    Cover c;
+    double weight = 0;
+    for (uint32_t s = 0; s < m; ++s) {
+      if (mask & (1u << s)) {
+        c.set_ids.push_back(s);
+        weight += weights[s];
+      }
+    }
+    if (weight >= best.total_weight) continue;
+    // Feasibility = covers everything coverable.
+    DynamicBitset coverable(system.num_elements());
+    for (uint32_t s = 0; s < m; ++s) {
+      for (uint32_t e : system.GetSet(s)) coverable.Set(e);
+    }
+    DynamicBitset covered = CoverageMask(system, c);
+    coverable.AndNot(covered);
+    if (coverable.None()) {
+      best.cover = std::move(c);
+      best.total_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,37 @@
+// Weighted SetCover (future-work direction the paper scopes out in
+// Figure 1.3's caption — "(unweighted)"): each set carries a positive
+// weight, minimize the total weight of a cover. Greedy by
+// marginal-coverage-per-weight achieves H_n approximation [Chvatal'79].
+// Shipping it offline makes the library usable on weighted workloads
+// today and gives the streaming layer a drop-in rho-solver when a
+// weighted streaming variant is explored.
+
+#ifndef STREAMCOVER_OFFLINE_WEIGHTED_GREEDY_H_
+#define STREAMCOVER_OFFLINE_WEIGHTED_GREEDY_H_
+
+#include <vector>
+
+#include "setsystem/cover.h"
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+
+/// Result of a weighted cover computation.
+struct WeightedCoverResult {
+  Cover cover;
+  double total_weight = 0.0;
+};
+
+/// Chvatal's greedy: repeatedly picks the set minimizing
+/// weight / marginal-coverage. `weights` must be positive, one per set.
+/// Elements no set contains are ignored.
+WeightedCoverResult WeightedGreedyCover(const SetSystem& system,
+                                        const std::vector<double>& weights);
+
+/// Exhaustive optimum for tests (m <= ~20).
+WeightedCoverResult BruteForceWeightedCover(
+    const SetSystem& system, const std::vector<double>& weights);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_OFFLINE_WEIGHTED_GREEDY_H_

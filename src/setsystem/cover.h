@@ -1,0 +1,50 @@
+// Cover: a candidate solution (multiset of set ids) plus verification
+// utilities shared by every algorithm, test, and bench.
+
+#ifndef STREAMCOVER_SETSYSTEM_COVER_H_
+#define STREAMCOVER_SETSYSTEM_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "setsystem/set_system.h"
+#include "util/bitset.h"
+
+namespace streamcover {
+
+/// A candidate set cover: the ids of the chosen sets.
+struct Cover {
+  std::vector<uint32_t> set_ids;
+
+  size_t size() const { return set_ids.size(); }
+
+  /// Removes duplicate ids (algorithms may pick a set twice across
+  /// iterations; the solution counts it once).
+  void Deduplicate();
+};
+
+/// Bitmask over U of elements covered by `cover`.
+DynamicBitset CoverageMask(const SetSystem& system, const Cover& cover);
+
+/// Number of elements of U covered by `cover`.
+size_t CoveredCount(const SetSystem& system, const Cover& cover);
+
+/// True iff `cover` covers every element of U.
+bool IsFullCover(const SetSystem& system, const Cover& cover);
+
+/// True iff `cover` covers every element flagged in `targets`.
+bool CoversTargets(const SetSystem& system, const Cover& cover,
+                   const DynamicBitset& targets);
+
+/// True iff every element belongs to at least one set (a full cover
+/// exists at all).
+bool IsCoverable(const SetSystem& system);
+
+/// Greedily removes redundant sets from `cover` (sets whose elements are
+/// all covered by the rest), scanning in reverse pick order. Returns the
+/// number of sets removed. Keeps the cover feasible.
+size_t PruneRedundant(const SetSystem& system, Cover& cover);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_COVER_H_

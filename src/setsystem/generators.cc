@@ -1,0 +1,227 @@
+#include "setsystem/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng) {
+  SC_CHECK_GE(options.cover_size, 1u);
+  SC_CHECK_GE(options.num_sets, options.cover_size);
+  SC_CHECK_GE(options.num_elements, options.cover_size);
+  const uint32_t n = options.num_elements;
+
+  // Random permutation of U split into cover_size contiguous blocks.
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  std::vector<std::vector<uint32_t>> sets;
+  sets.reserve(options.num_sets);
+  const uint32_t k = options.cover_size;
+  for (uint32_t b = 0; b < k; ++b) {
+    uint32_t lo = static_cast<uint32_t>(
+        (static_cast<uint64_t>(b) * n) / k);
+    uint32_t hi = static_cast<uint32_t>(
+        (static_cast<uint64_t>(b + 1) * n) / k);
+    std::vector<uint32_t> block(perm.begin() + lo, perm.begin() + hi);
+    // Extra overlap elements drawn from the rest of U.
+    uint32_t extra = static_cast<uint32_t>(
+        options.planted_overlap * static_cast<double>(block.size()));
+    for (uint32_t i = 0; i < extra; ++i) {
+      block.push_back(
+          static_cast<uint32_t>(rng.Uniform(n)));
+    }
+    sets.push_back(std::move(block));
+  }
+  for (uint32_t s = k; s < options.num_sets; ++s) {
+    uint32_t size = static_cast<uint32_t>(rng.UniformInt(
+        options.noise_min_size,
+        std::max(options.noise_min_size, options.noise_max_size)));
+    size = std::min(size, n);
+    std::vector<uint32_t> elems = rng.SampleWithoutReplacement(n, size);
+    sets.push_back(std::move(elems));
+  }
+
+  // Stream order: planted sets hidden among noise if requested.
+  std::vector<uint32_t> order(sets.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.shuffle_order) rng.Shuffle(order);
+
+  SetSystem::Builder builder(n);
+  std::vector<uint32_t> planted_ids;
+  planted_ids.reserve(k);
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    builder.AddSet(std::move(sets[order[pos]]));
+    if (order[pos] < k) planted_ids.push_back(pos);
+  }
+  std::sort(planted_ids.begin(), planted_ids.end());
+  return PlantedInstance{std::move(builder).Build(), std::move(planted_ids)};
+}
+
+SetSystem GenerateUniformRandom(uint32_t num_elements, uint32_t num_sets,
+                                double p, Rng& rng) {
+  SetSystem::Builder builder(num_elements);
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    std::vector<uint32_t> elems;
+    for (uint32_t e = 0; e < num_elements; ++e) {
+      if (rng.Bernoulli(p)) elems.push_back(e);
+    }
+    builder.AddSet(std::move(elems));
+  }
+  return std::move(builder).Build();
+}
+
+PlantedInstance GenerateSparse(uint32_t num_elements, uint32_t num_sets,
+                               uint32_t max_set_size, Rng& rng) {
+  SC_CHECK_GE(max_set_size, 1u);
+  const uint32_t n = num_elements;
+  const uint32_t blocks =
+      static_cast<uint32_t>((n + max_set_size - 1) / max_set_size);
+  SC_CHECK_GE(num_sets, blocks);
+
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    uint32_t lo = b * max_set_size;
+    uint32_t hi = std::min(n, lo + max_set_size);
+    sets.emplace_back(perm.begin() + lo, perm.begin() + hi);
+  }
+  for (uint32_t s = blocks; s < num_sets; ++s) {
+    uint32_t size =
+        static_cast<uint32_t>(rng.UniformInt(1, max_set_size));
+    sets.push_back(rng.SampleWithoutReplacement(n, std::min(size, n)));
+  }
+  std::vector<uint32_t> order(sets.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  SetSystem::Builder builder(n);
+  std::vector<uint32_t> planted_ids;
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    builder.AddSet(std::move(sets[order[pos]]));
+    if (order[pos] < blocks) planted_ids.push_back(pos);
+  }
+  std::sort(planted_ids.begin(), planted_ids.end());
+  return PlantedInstance{std::move(builder).Build(), std::move(planted_ids)};
+}
+
+PlantedInstance GenerateZipf(uint32_t num_elements, uint32_t num_sets,
+                             double alpha, uint32_t max_set_size, Rng& rng) {
+  SC_CHECK_GE(max_set_size, 1u);
+  const uint32_t n = num_elements;
+
+  // Element popularity weights ~ rank^{-alpha} over a random ranking.
+  std::vector<uint32_t> rank(n);
+  std::iota(rank.begin(), rank.end(), 0);
+  rng.Shuffle(rank);
+  std::vector<double> cumulative(n);
+  double total = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cumulative[i] = total;
+  }
+
+  auto draw_element = [&]() -> uint32_t {
+    double x = rng.UniformDouble() * total;
+    auto it = std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    size_t idx = static_cast<size_t>(it - cumulative.begin());
+    if (idx >= n) idx = n - 1;
+    return rank[idx];
+  };
+
+  // Hidden partition guarantees coverability.
+  const uint32_t blocks =
+      static_cast<uint32_t>((n + max_set_size - 1) / max_set_size);
+  SC_CHECK_GE(num_sets, blocks);
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    uint32_t lo = b * max_set_size;
+    uint32_t hi = std::min(n, lo + max_set_size);
+    sets.emplace_back(perm.begin() + lo, perm.begin() + hi);
+  }
+  for (uint32_t s = blocks; s < num_sets; ++s) {
+    // Power-law set size in [1, max_set_size].
+    double u = rng.UniformDouble();
+    uint32_t size = static_cast<uint32_t>(
+        std::max(1.0, static_cast<double>(max_set_size) *
+                          std::pow(u, alpha)));
+    size = std::min(size, max_set_size);
+    std::vector<uint32_t> elems;
+    elems.reserve(size);
+    for (uint32_t i = 0; i < size; ++i) elems.push_back(draw_element());
+    sets.push_back(std::move(elems));
+  }
+  std::vector<uint32_t> order(sets.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  SetSystem::Builder builder(n);
+  std::vector<uint32_t> planted_ids;
+  for (uint32_t pos = 0; pos < order.size(); ++pos) {
+    builder.AddSet(std::move(sets[order[pos]]));
+    if (order[pos] < blocks) planted_ids.push_back(pos);
+  }
+  std::sort(planted_ids.begin(), planted_ids.end());
+  return PlantedInstance{std::move(builder).Build(), std::move(planted_ids)};
+}
+
+PlantedInstance GenerateGreedyAdversarial(uint32_t levels) {
+  SC_CHECK_GE(levels, 1u);
+  const uint32_t half = (1u << levels) - 1;  // 2^levels - 1
+  const uint32_t n = 2 * half;
+  // Row A = [0, half), Row B = [half, n). Column set C_i straddles both
+  // rows and has size 2^{levels-i+1}: strictly bigger than what remains
+  // of each row after C_1..C_{i-1} are taken, so greedy prefers it.
+  SetSystem::Builder builder(n);
+  std::vector<uint32_t> row_a(half), row_b(half);
+  std::iota(row_a.begin(), row_a.end(), 0u);
+  std::iota(row_b.begin(), row_b.end(), half);
+  uint32_t id_a = builder.AddSet(row_a);
+  uint32_t id_b = builder.AddSet(row_b);
+  uint32_t cursor = 0;  // consumes positions within each row
+  for (uint32_t i = 1; i <= levels; ++i) {
+    uint32_t width = 1u << (levels - i);  // elements taken from each row
+    std::vector<uint32_t> col;
+    for (uint32_t j = 0; j < width; ++j) {
+      col.push_back(cursor + j);         // from row A
+      col.push_back(half + cursor + j);  // from row B
+    }
+    cursor += width;
+    builder.AddSet(std::move(col));
+  }
+  return PlantedInstance{std::move(builder).Build(), {id_a, id_b}};
+}
+
+PlantedInstance GenerateDisjointBlocks(uint32_t num_elements, uint32_t k,
+                                       uint32_t num_singletons, Rng& rng) {
+  SC_CHECK_GE(k, 1u);
+  SC_CHECK_GE(num_elements, k);
+  SetSystem::Builder builder(num_elements);
+  std::vector<uint32_t> planted;
+  for (uint32_t b = 0; b < k; ++b) {
+    uint32_t lo = static_cast<uint32_t>(
+        (static_cast<uint64_t>(b) * num_elements) / k);
+    uint32_t hi = static_cast<uint32_t>(
+        (static_cast<uint64_t>(b + 1) * num_elements) / k);
+    std::vector<uint32_t> block;
+    for (uint32_t e = lo; e < hi; ++e) block.push_back(e);
+    planted.push_back(builder.AddSet(std::move(block)));
+  }
+  for (uint32_t s = 0; s < num_singletons; ++s) {
+    builder.AddSet({static_cast<uint32_t>(rng.Uniform(num_elements))});
+  }
+  return PlantedInstance{std::move(builder).Build(), std::move(planted)};
+}
+
+}  // namespace streamcover

@@ -1,0 +1,80 @@
+// Workload generators for abstract SetCover instances.
+//
+// Each generator is deterministic given its Rng. "Planted" generators
+// also return an upper bound on OPT (the planted cover), which benches
+// use as the denominator of measured approximation ratios.
+
+#ifndef STREAMCOVER_SETSYSTEM_GENERATORS_H_
+#define STREAMCOVER_SETSYSTEM_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "setsystem/set_system.h"
+#include "util/rng.h"
+
+namespace streamcover {
+
+/// A generated instance together with what is known about its optimum.
+struct PlantedInstance {
+  SetSystem system;
+  /// Ids of a feasible cover planted by the generator; |planted_cover| is
+  /// an upper bound on OPT.
+  std::vector<uint32_t> planted_cover;
+};
+
+/// Options for the planted-cover generator.
+struct PlantedOptions {
+  uint32_t num_elements = 1000;   ///< n
+  uint32_t num_sets = 2000;       ///< m (total, including the planted sets)
+  uint32_t cover_size = 20;       ///< number of planted cover sets (>= 1)
+  /// Each noise set draws its size uniformly from
+  /// [noise_min_size, noise_max_size] and its elements uniformly from U.
+  uint32_t noise_min_size = 1;
+  uint32_t noise_max_size = 100;
+  /// Fraction of extra overlap: each planted set additionally receives
+  /// this fraction of random elements outside its block, making the
+  /// planted cover non-disjoint (harder for greedy tie-breaking).
+  double planted_overlap = 0.1;
+  /// If true, planted sets are scattered among noise sets in stream
+  /// order; otherwise they come first.
+  bool shuffle_order = true;
+};
+
+/// Partitions U into `cover_size` blocks (the planted cover), adds
+/// `num_sets - cover_size` noise sets. OPT <= cover_size, and since the
+/// generator is balanced OPT is typically close to it.
+PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng);
+
+/// Uniform random instance: every set picks each element independently
+/// with probability `p`. Coverability is NOT guaranteed; callers that
+/// need it should check IsCoverable or use GeneratePlanted.
+SetSystem GenerateUniformRandom(uint32_t num_elements, uint32_t num_sets,
+                                double p, Rng& rng);
+
+/// Sparse instance: all sets have size exactly <= `max_set_size`, and a
+/// hidden partition of U into ceil(n / max_set_size) sets guarantees
+/// coverability. Returns the planted partition as the cover.
+PlantedInstance GenerateSparse(uint32_t num_elements, uint32_t num_sets,
+                               uint32_t max_set_size, Rng& rng);
+
+/// Zipf-flavored instance modelling web-scale coverage data (the paper's
+/// motivating applications): set sizes follow a power law with exponent
+/// `alpha`, element popularity is skewed, and a hidden partition keeps
+/// the instance coverable.
+PlantedInstance GenerateZipf(uint32_t num_elements, uint32_t num_sets,
+                             double alpha, uint32_t max_set_size, Rng& rng);
+
+/// The textbook greedy-adversarial family: OPT = 2 (two rows), but greedy
+/// picks the `levels` column sets, one per halving level. n = 2*(2^levels - 1),
+/// m = levels + 2. Deterministic.
+PlantedInstance GenerateGreedyAdversarial(uint32_t levels);
+
+/// Disjoint blocks: U split into `k` equal blocks, one set per block,
+/// plus singleton distractor sets. OPT = k exactly.
+PlantedInstance GenerateDisjointBlocks(uint32_t num_elements, uint32_t k,
+                                       uint32_t num_singletons, Rng& rng);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_GENERATORS_H_

@@ -1,0 +1,35 @@
+// Plain-text serialization of SetSystem instances.
+//
+// Format (whitespace separated):
+//   setcover <n> <m>
+//   <size_0> <e ...>
+//   ...
+//   <size_{m-1}> <e ...>
+
+#ifndef STREAMCOVER_SETSYSTEM_IO_H_
+#define STREAMCOVER_SETSYSTEM_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+
+/// Writes `system` to `os` in the text format above.
+void WriteSetSystem(const SetSystem& system, std::ostream& os);
+
+/// Parses a SetSystem; returns std::nullopt and fills `*error` on
+/// malformed input (bad magic, out-of-range element, truncated data).
+std::optional<SetSystem> ReadSetSystem(std::istream& is, std::string* error);
+
+/// Convenience file wrappers. Return false / nullopt on IO failure.
+bool SaveSetSystemToFile(const SetSystem& system, const std::string& path);
+std::optional<SetSystem> LoadSetSystemFromFile(const std::string& path,
+                                               std::string* error);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_IO_H_

@@ -1,0 +1,81 @@
+#include "setsystem/set_system.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+SetSystem::Builder::Builder(uint32_t num_elements)
+    : num_elements_(num_elements), offsets_{0} {}
+
+uint32_t SetSystem::Builder::AddSet(std::vector<uint32_t> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  if (!elements.empty()) {
+    SC_CHECK_LT(elements.back(), num_elements_);
+  }
+  elements_.insert(elements_.end(), elements.begin(), elements.end());
+  offsets_.push_back(elements_.size());
+  return static_cast<uint32_t>(offsets_.size()) - 2;
+}
+
+uint32_t SetSystem::Builder::num_sets() const {
+  return static_cast<uint32_t>(offsets_.size()) - 1;
+}
+
+SetSystem SetSystem::Builder::Build() && {
+  return SetSystem(num_elements_, std::move(offsets_), std::move(elements_));
+}
+
+SetSystem::SetSystem(uint32_t num_elements, std::vector<size_t> offsets,
+                     std::vector<uint32_t> elements)
+    : num_elements_(num_elements),
+      offsets_(std::move(offsets)),
+      elements_(std::move(elements)) {}
+
+std::span<const uint32_t> SetSystem::GetSet(uint32_t set_id) const {
+  SC_DCHECK_LT(set_id, num_sets());
+  return {elements_.data() + offsets_[set_id],
+          offsets_[set_id + 1] - offsets_[set_id]};
+}
+
+size_t SetSystem::SetSize(uint32_t set_id) const {
+  SC_DCHECK_LT(set_id, num_sets());
+  return offsets_[set_id + 1] - offsets_[set_id];
+}
+
+bool SetSystem::Contains(uint32_t set_id, uint32_t element) const {
+  auto s = GetSet(set_id);
+  return std::binary_search(s.begin(), s.end(), element);
+}
+
+InvertedIndex::InvertedIndex(const SetSystem& system) {
+  const uint32_t n = system.num_elements();
+  std::vector<size_t> degree(n, 0);
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    for (uint32_t e : system.GetSet(s)) ++degree[e];
+  }
+  offsets_.assign(n + 1, 0);
+  for (uint32_t e = 0; e < n; ++e) offsets_[e + 1] = offsets_[e] + degree[e];
+  set_ids_.resize(offsets_[n]);
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    for (uint32_t e : system.GetSet(s)) set_ids_[cursor[e]++] = s;
+  }
+}
+
+std::span<const uint32_t> InvertedIndex::SetsContaining(
+    uint32_t element) const {
+  SC_DCHECK_LT(element + 1, offsets_.size());
+  return {set_ids_.data() + offsets_[element],
+          offsets_[element + 1] - offsets_[element]};
+}
+
+size_t InvertedIndex::Degree(uint32_t element) const {
+  SC_DCHECK_LT(element + 1, offsets_.size());
+  return offsets_[element + 1] - offsets_[element];
+}
+
+}  // namespace streamcover

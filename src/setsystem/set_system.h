@@ -1,0 +1,90 @@
+// The SetCover instance representation.
+//
+// A SetSystem (U, F) is a ground set U = {0, ..., n-1} and a family of m
+// sets of elements, stored immutably in CSR form (one offsets array, one
+// flat element-id array). Sets keep their stream order: set id i is the
+// i-th set scanned in a pass. Construction goes through Builder, which
+// sorts and deduplicates each set's elements.
+
+#ifndef STREAMCOVER_SETSYSTEM_SET_SYSTEM_H_
+#define STREAMCOVER_SETSYSTEM_SET_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace streamcover {
+
+/// Immutable set system (U, F) in CSR layout.
+class SetSystem {
+ public:
+  /// Incremental constructor. Elements out of [0, num_elements) are
+  /// rejected with a CHECK; duplicate elements within a set are merged.
+  class Builder {
+   public:
+    explicit Builder(uint32_t num_elements);
+
+    /// Appends a set; returns its id (position in the stream order).
+    uint32_t AddSet(std::vector<uint32_t> elements);
+
+    /// Number of sets added so far.
+    uint32_t num_sets() const;
+
+    /// Finalizes. The builder must not be reused afterwards.
+    SetSystem Build() &&;
+
+   private:
+    uint32_t num_elements_;
+    std::vector<size_t> offsets_;
+    std::vector<uint32_t> elements_;
+  };
+
+  SetSystem() = default;
+
+  /// |U|.
+  uint32_t num_elements() const { return num_elements_; }
+  /// |F|.
+  uint32_t num_sets() const {
+    return static_cast<uint32_t>(offsets_.size()) - 1;
+  }
+  /// Sum of set sizes (the "input size" mn in the worst case).
+  size_t total_size() const { return elements_.size(); }
+
+  /// The elements of set `set_id`, sorted ascending.
+  std::span<const uint32_t> GetSet(uint32_t set_id) const;
+
+  size_t SetSize(uint32_t set_id) const;
+
+  /// True if `element` is a member of set `set_id` (binary search).
+  bool Contains(uint32_t set_id, uint32_t element) const;
+
+ private:
+  friend class Builder;
+  SetSystem(uint32_t num_elements, std::vector<size_t> offsets,
+            std::vector<uint32_t> elements);
+
+  uint32_t num_elements_ = 0;
+  std::vector<size_t> offsets_{0};
+  std::vector<uint32_t> elements_;
+};
+
+/// Element -> covering sets index in CSR form. Used by offline solvers;
+/// streaming algorithms never build it (it would cost O(mn) space).
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const SetSystem& system);
+
+  /// Ids of the sets containing `element`, ascending.
+  std::span<const uint32_t> SetsContaining(uint32_t element) const;
+
+  /// Number of sets containing `element`.
+  size_t Degree(uint32_t element) const;
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<uint32_t> set_ids_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_SET_SYSTEM_H_

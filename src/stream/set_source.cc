@@ -1,0 +1,73 @@
+#include "stream/set_source.h"
+
+#include <fstream>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+InMemorySetSource::InMemorySetSource(const SetSystem* system)
+    : system_(system) {
+  SC_CHECK(system != nullptr);
+}
+
+uint32_t InMemorySetSource::num_elements() const {
+  return system_->num_elements();
+}
+
+uint32_t InMemorySetSource::num_sets() const { return system_->num_sets(); }
+
+void InMemorySetSource::Scan(const SetVisitor& visit) {
+  const uint32_t m = system_->num_sets();
+  for (uint32_t s = 0; s < m; ++s) {
+    visit(s, system_->GetSet(s));
+  }
+}
+
+FileSetSource::FileSetSource(std::string path, uint32_t n, uint32_t m)
+    : path_(std::move(path)), num_elements_(n), num_sets_(m) {}
+
+std::optional<FileSetSource> FileSetSource::Open(const std::string& path,
+                                                 std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<FileSetSource> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  std::ifstream in(path);
+  if (!in) return fail("cannot open " + path);
+  std::string magic;
+  uint64_t n = 0, m = 0;
+  if (!(in >> magic) || magic != "setcover") {
+    return fail("bad magic in " + path);
+  }
+  if (!(in >> n >> m)) return fail("missing n/m header in " + path);
+  if (n > (1ULL << 31) || m > (1ULL << 31)) return fail("n/m out of range");
+  return FileSetSource(path, static_cast<uint32_t>(n),
+                       static_cast<uint32_t>(m));
+}
+
+void FileSetSource::Scan(const SetVisitor& visit) {
+  std::ifstream in(path_);
+  SC_CHECK(static_cast<bool>(in));  // validated by Open; must still exist
+  std::string magic;
+  uint64_t n = 0, m = 0;
+  in >> magic >> n >> m;
+  SC_CHECK_EQ(magic, std::string("setcover"));
+  std::vector<uint32_t> buffer;
+  for (uint32_t s = 0; s < num_sets_; ++s) {
+    uint64_t size = 0;
+    SC_CHECK(static_cast<bool>(in >> size));
+    SC_CHECK_LE(size, num_elements_);
+    buffer.clear();
+    buffer.reserve(size);
+    for (uint64_t i = 0; i < size; ++i) {
+      uint64_t e = 0;
+      SC_CHECK(static_cast<bool>(in >> e));
+      SC_CHECK_LT(e, num_elements_);
+      buffer.push_back(static_cast<uint32_t>(e));
+    }
+    visit(s, std::span<const uint32_t>(buffer));
+  }
+}
+
+}  // namespace streamcover

@@ -1,0 +1,79 @@
+// Pluggable stream backends.
+//
+// The paper's model keeps F in a read-only repository that is scanned
+// sequentially. `SetSource` abstracts where that repository lives:
+// in-memory CSR (the default, fastest for experiments) or an actual
+// on-disk file that is re-parsed on every pass (FileSetSource) — the
+// closest laptop analogue of "the data does not fit in memory".
+
+#ifndef STREAMCOVER_STREAM_SET_SOURCE_H_
+#define STREAMCOVER_STREAM_SET_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+
+/// Callback invoked once per set during a scan.
+using SetVisitor =
+    std::function<void(uint32_t set_id, std::span<const uint32_t>)>;
+
+/// A sequentially scannable repository of sets.
+class SetSource {
+ public:
+  virtual ~SetSource() = default;
+
+  virtual uint32_t num_elements() const = 0;
+  virtual uint32_t num_sets() const = 0;
+
+  /// One full sequential scan; calls `visit` for every set in order.
+  virtual void Scan(const SetVisitor& visit) = 0;
+};
+
+/// Scans an in-memory SetSystem (does not take ownership).
+class InMemorySetSource : public SetSource {
+ public:
+  explicit InMemorySetSource(const SetSystem* system);
+
+  uint32_t num_elements() const override;
+  uint32_t num_sets() const override;
+  void Scan(const SetVisitor& visit) override;
+
+ private:
+  const SetSystem* system_;
+};
+
+/// Scans a file in the setsystem text format (setsystem/io.h),
+/// re-parsing it front to back on every pass. Spans passed to the
+/// visitor are valid only for the duration of that callback.
+class FileSetSource : public SetSource {
+ public:
+  /// Validates the header; returns std::nullopt and fills *error if the
+  /// file is missing or malformed.
+  static std::optional<FileSetSource> Open(const std::string& path,
+                                           std::string* error);
+
+  uint32_t num_elements() const override { return num_elements_; }
+  uint32_t num_sets() const override { return num_sets_; }
+  void Scan(const SetVisitor& visit) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileSetSource(std::string path, uint32_t n, uint32_t m);
+
+  std::string path_;
+  uint32_t num_elements_ = 0;
+  uint32_t num_sets_ = 0;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_STREAM_SET_SOURCE_H_

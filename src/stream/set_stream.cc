@@ -1,0 +1,13 @@
+#include "stream/set_stream.h"
+
+namespace streamcover {
+
+SetStream::SetStream(const SetSystem* system)
+    : owned_(std::make_unique<InMemorySetSource>(system)),
+      source_(owned_.get()) {}
+
+SetStream::SetStream(SetSource* source) : source_(source) {
+  SC_CHECK(source != nullptr);
+}
+
+}  // namespace streamcover

@@ -1,0 +1,62 @@
+// Streaming access protocol for the set family F.
+//
+// The paper's model (Section 1): U is known up-front and fits in memory;
+// F lives in a read-only repository that can only be scanned
+// sequentially, and every full scan is a pass. `SetStream` is the sole
+// gateway algorithms get to F — it exposes no random access, and it
+// counts passes. Benches read the counter to fill the "passes" column of
+// Figure 1.1. The repository itself is pluggable (stream/set_source.h):
+// in-memory CSR or an on-disk file re-parsed per pass.
+
+#ifndef STREAMCOVER_STREAM_SET_STREAM_H_
+#define STREAMCOVER_STREAM_SET_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "setsystem/set_system.h"
+#include "stream/set_source.h"
+#include "util/check.h"
+
+namespace streamcover {
+
+/// One sequential scan per ForEachSet call; no other access to F.
+class SetStream {
+ public:
+  /// Streams an in-memory system. Does not take ownership; `system`
+  /// must outlive the stream.
+  explicit SetStream(const SetSystem* system);
+
+  /// Streams an arbitrary source. Does not take ownership; `source`
+  /// must outlive the stream.
+  explicit SetStream(SetSource* source);
+
+  /// Metadata the streaming model grants for free.
+  uint32_t num_elements() const { return source_->num_elements(); }
+  uint32_t num_sets() const { return source_->num_sets(); }
+
+  /// Performs one pass: invokes fn(set_id, elements) for every set in
+  /// stream order. Counts as one pass even if the caller stops consuming
+  /// early (the scan cursor cannot be rewound mid-pass).
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) {
+    ++passes_;
+    source_->Scan(SetVisitor(std::forward<Fn>(fn)));
+  }
+
+  /// Number of passes performed so far.
+  uint64_t passes() const { return passes_; }
+
+  /// Resets the pass counter (e.g., between benchmark repetitions).
+  void ResetPassCount() { passes_ = 0; }
+
+ private:
+  std::unique_ptr<InMemorySetSource> owned_;  // set for the SetSystem ctor
+  SetSource* source_;
+  uint64_t passes_ = 0;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_STREAM_SET_STREAM_H_

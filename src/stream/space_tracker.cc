@@ -1,0 +1,3 @@
+#include "stream/space_tracker.h"
+
+// Header-only; this TU anchors the library target.

@@ -1,0 +1,43 @@
+// streamcover — umbrella public header.
+//
+// A reproduction of "Towards Tight Bounds for the Streaming Set Cover
+// Problem" (Har-Peled, Indyk, Mahabadi, Vakilian; PODS 2016): the
+// iterSetCover trade-off algorithm, its geometric variant, every
+// baseline of Figure 1.1, and executable versions of the paper's
+// lower-bound constructions. See README.md for a tour and DESIGN.md for
+// the module map.
+
+#ifndef STREAMCOVER_STREAMCOVER_H_
+#define STREAMCOVER_STREAMCOVER_H_
+
+#include "baselines/dimv14.h"                 // IWYU pragma: export
+#include "baselines/iterative_greedy.h"       // IWYU pragma: export
+#include "baselines/store_all_greedy.h"       // IWYU pragma: export
+#include "baselines/streaming_max_cover.h"    // IWYU pragma: export
+#include "baselines/threshold_greedy.h"       // IWYU pragma: export
+#include "commlb/chasing.h"                   // IWYU pragma: export
+#include "commlb/isc_to_setcover.h"           // IWYU pragma: export
+#include "commlb/recover_bit.h"               // IWYU pragma: export
+#include "commlb/set_disjointness.h"          // IWYU pragma: export
+#include "commlb/sparse_lb.h"                 // IWYU pragma: export
+#include "core/iter_set_cover.h"              // IWYU pragma: export
+#include "geometry/canonical.h"               // IWYU pragma: export
+#include "geometry/geom_generators.h"         // IWYU pragma: export
+#include "geometry/geom_io.h"                 // IWYU pragma: export
+#include "geometry/geom_set_cover.h"          // IWYU pragma: export
+#include "geometry/primitives.h"              // IWYU pragma: export
+#include "geometry/range_space.h"             // IWYU pragma: export
+#include "offline/exact.h"                    // IWYU pragma: export
+#include "offline/greedy.h"                   // IWYU pragma: export
+#include "offline/max_cover.h"                // IWYU pragma: export
+#include "offline/weighted_greedy.h"          // IWYU pragma: export
+#include "setsystem/cover.h"                  // IWYU pragma: export
+#include "setsystem/generators.h"             // IWYU pragma: export
+#include "setsystem/io.h"                     // IWYU pragma: export
+#include "setsystem/set_system.h"             // IWYU pragma: export
+#include "stream/sampling.h"                  // IWYU pragma: export
+#include "stream/set_source.h"                // IWYU pragma: export
+#include "stream/set_stream.h"                // IWYU pragma: export
+#include "stream/space_tracker.h"             // IWYU pragma: export
+
+#endif  // STREAMCOVER_STREAMCOVER_H_

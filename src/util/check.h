@@ -1,0 +1,51 @@
+// Invariant-checking macros (Google-style CHECK/DCHECK).
+//
+// CHECK* abort with a diagnostic on violation in all build types; DCHECK*
+// compile away in release builds. The library does not throw exceptions on
+// hot paths; violated invariants are programming errors, not recoverable
+// conditions, so they terminate.
+
+#ifndef STREAMCOVER_UTIL_CHECK_H_
+#define STREAMCOVER_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamcover {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace streamcover
+
+#define SC_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::streamcover::internal::CheckFail(__FILE__, __LINE__, #cond); \
+    }                                                              \
+  } while (0)
+
+#define SC_CHECK_EQ(a, b) SC_CHECK((a) == (b))
+#define SC_CHECK_NE(a, b) SC_CHECK((a) != (b))
+#define SC_CHECK_LT(a, b) SC_CHECK((a) < (b))
+#define SC_CHECK_LE(a, b) SC_CHECK((a) <= (b))
+#define SC_CHECK_GT(a, b) SC_CHECK((a) > (b))
+#define SC_CHECK_GE(a, b) SC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SC_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define SC_DCHECK(cond) SC_CHECK(cond)
+#endif
+
+#define SC_DCHECK_LT(a, b) SC_DCHECK((a) < (b))
+#define SC_DCHECK_LE(a, b) SC_DCHECK((a) <= (b))
+
+#endif  // STREAMCOVER_UTIL_CHECK_H_

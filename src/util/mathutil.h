@@ -1,0 +1,50 @@
+// Integer/float math helpers shared across modules, including the
+// sample-size formulas from the paper (Lemma 2.5 and the sizes used by
+// iterSetCover / algGeomSC).
+
+#ifndef STREAMCOVER_UTIL_MATHUTIL_H_
+#define STREAMCOVER_UTIL_MATHUTIL_H_
+
+#include <cstdint>
+
+namespace streamcover {
+
+/// ceil(a / b) for positive integers.
+uint64_t CeilDiv(uint64_t a, uint64_t b);
+
+/// floor(log2(x)) for x >= 1.
+uint32_t FloorLog2(uint64_t x);
+
+/// ceil(log2(x)) for x >= 1.
+uint32_t CeilLog2(uint64_t x);
+
+/// log2(max(x,2)) as a double — the paper's "log" (base 2), floored at 1
+/// so degenerate tiny instances don't produce zero sample sizes.
+double Log2Clamped(uint64_t x);
+
+/// x^delta for x >= 0.
+double PowDouble(double x, double delta);
+
+/// Sample size from Lemma 2.5: a uniform sample of size
+///   (c' / (eps^2 p)) * (log |H| * log(1/p) + log(1/q))
+/// is a relative (p,eps)-approximation for the range family H with
+/// probability >= 1 - q. `log_ranges` is log2 |H|.
+uint64_t RelativeApproxSampleSize(double p, double eps, double log_ranges,
+                                  double log_inv_q, double c_prime);
+
+/// The iterSetCover per-iteration sample size (Figure 1.3):
+///   ceil(c * rho * k * n^delta * log m * log n),
+/// clamped to [1, universe_size].
+uint64_t IterSetCoverSampleSize(double c, double rho, uint64_t k, uint64_t n,
+                                double delta, uint64_t m,
+                                uint64_t universe_size);
+
+/// The algGeomSC per-iteration sample size (Figure 4.1):
+///   ceil(c * rho * k * (n/k)^delta * log m * log n),
+/// clamped to [1, universe_size].
+uint64_t GeomSampleSize(double c, double rho, uint64_t k, uint64_t n,
+                        double delta, uint64_t m, uint64_t universe_size);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_MATHUTIL_H_

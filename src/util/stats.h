@@ -1,0 +1,46 @@
+// Small numeric summaries used by benches and tests.
+
+#ifndef STREAMCOVER_UTIL_STATS_H_
+#define STREAMCOVER_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace streamcover {
+
+/// Accumulates a stream of doubles; O(1) memory (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear
+/// interpolation between order statistics. Empty input returns 0.
+double Quantile(std::vector<double> values, double q);
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// exponent of y ~ x^slope. Ignores non-positive pairs. Used by benches to
+/// verify space/approximation scaling laws. Returns 0 when fewer than two
+/// usable points remain.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_STATS_H_

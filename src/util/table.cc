@@ -1,0 +1,62 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SC_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SC_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string Table::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace streamcover

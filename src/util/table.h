@@ -1,0 +1,47 @@
+// Markdown table printer for benchmark output.
+//
+// Every bench binary mirrors its paper table/figure as a GitHub-markdown
+// table so that bench_output.txt can be pasted into EXPERIMENTS.md
+// verbatim.
+
+#ifndef STREAMCOVER_UTIL_TABLE_H_
+#define STREAMCOVER_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace streamcover {
+
+/// Column-aligned markdown table. Usage:
+///   Table t({"algo", "passes", "space"});
+///   t.AddRow({"greedy", "1", "123456"});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formatting helpers for mixed-type rows.
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int v) { return Fmt(static_cast<int64_t>(v)); }
+  static std::string Fmt(unsigned v) {
+    return Fmt(static_cast<uint64_t>(v));
+  }
+  static std::string Fmt(double v, int precision = 2);
+
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_TABLE_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for benches.
+
+#ifndef STREAMCOVER_UTIL_TIMER_H_
+#define STREAMCOVER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace streamcover {
+
+/// Monotonic wall timer; starts at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_TIMER_H_

@@ -1,0 +1,110 @@
+// Tests for Pointer/Set Chasing and ISC evaluation (Definitions 5.1-5.2,
+// 6.1-6.3).
+
+#include <gtest/gtest.h>
+
+#include "commlb/chasing.h"
+
+namespace streamcover {
+namespace {
+
+TEST(SetChasingTest, HandBuiltEvaluation) {
+  // n = 4, p = 2. f_2(0) = {1, 2}; f_1(1) = {0}, f_1(2) = {3}.
+  SetChasingInstance inst;
+  inst.n = 4;
+  inst.p = 2;
+  inst.functions = {
+      // f_1
+      {{2}, {0}, {3}, {1}},
+      // f_2
+      {{1, 2}, {0}, {0}, {0}},
+  };
+  DynamicBitset result = EvaluateSetChasing(inst);
+  EXPECT_EQ(result.ToVector(), (std::vector<uint32_t>{0, 3}));
+}
+
+TEST(SetChasingTest, SingleLayerIsJustTheFunction) {
+  SetChasingInstance inst;
+  inst.n = 5;
+  inst.p = 1;
+  inst.functions = {{{1, 3}, {0}, {0}, {0}, {0}}};
+  EXPECT_EQ(EvaluateSetChasing(inst).ToVector(),
+            (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(IscTest, IntersectionDetection) {
+  IscInstance inst;
+  inst.first.n = inst.second.n = 3;
+  inst.first.p = inst.second.p = 1;
+  inst.first.functions = {{{0, 1}, {2}, {2}}};
+  inst.second.functions = {{{2}, {0}, {0}}};
+  EXPECT_FALSE(EvaluateIsc(inst));  // {0,1} vs {2}
+  inst.second.functions = {{{1, 2}, {0}, {0}}};
+  EXPECT_TRUE(EvaluateIsc(inst));  // {0,1} vs {1,2}
+}
+
+TEST(SetChasingGeneratorTest, ShapeAndNonEmptyImages) {
+  Rng rng(1);
+  SetChasingInstance inst = GenerateRandomSetChasing(10, 3, 4, rng);
+  EXPECT_EQ(inst.functions.size(), 3u);
+  for (const auto& fn : inst.functions) {
+    ASSERT_EQ(fn.size(), 10u);
+    for (const auto& images : fn) {
+      EXPECT_GE(images.size(), 1u);
+      EXPECT_LE(images.size(), 4u);
+      EXPECT_TRUE(std::is_sorted(images.begin(), images.end()));
+      for (uint32_t v : images) EXPECT_LT(v, 10u);
+    }
+  }
+}
+
+TEST(IscGeneratorTest, OutcomeForcingWorks) {
+  Rng rng(2);
+  IscInstance yes = GenerateIscWithOutcome(6, 2, 2, true, rng);
+  EXPECT_TRUE(EvaluateIsc(yes));
+  IscInstance no = GenerateIscWithOutcome(6, 2, 2, false, rng);
+  EXPECT_FALSE(EvaluateIsc(no));
+}
+
+TEST(PointerChasingTest, HandBuiltEvaluation) {
+  PointerChasingInstance inst;
+  inst.n = 4;
+  inst.p = 3;
+  inst.functions = {
+      {3, 2, 1, 0},  // f_1
+      {1, 0, 3, 2},  // f_2
+      {2, 2, 2, 2},  // f_3
+  };
+  // f_3(0) = 2; f_2(2) = 3; f_1(3) = 0.
+  EXPECT_EQ(EvaluatePointerChasing(inst), 0u);
+}
+
+TEST(PointerChasingGeneratorTest, InRange) {
+  Rng rng(3);
+  PointerChasingInstance inst = GenerateRandomPointerChasing(16, 4, rng);
+  for (const auto& fn : inst.functions) {
+    for (uint32_t v : fn) EXPECT_LT(v, 16u);
+  }
+}
+
+TEST(RNonInjectiveTest, DetectsHeavyPreimages) {
+  EXPECT_TRUE(IsRNonInjective({1, 1, 1, 2}, 3));
+  EXPECT_FALSE(IsRNonInjective({1, 1, 2, 2}, 3));
+  EXPECT_TRUE(IsRNonInjective({0, 0}, 2));
+  EXPECT_FALSE(IsRNonInjective({0, 1, 2, 3}, 2));
+}
+
+TEST(SetChasingTest, FullFanoutReachesEverything) {
+  SetChasingInstance inst;
+  inst.n = 4;
+  inst.p = 2;
+  std::vector<uint32_t> all = {0, 1, 2, 3};
+  inst.functions = {
+      {all, all, all, all},
+      {all, all, all, all},
+  };
+  EXPECT_EQ(EvaluateSetChasing(inst).Count(), 4u);
+}
+
+}  // namespace
+}  // namespace streamcover

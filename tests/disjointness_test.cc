@@ -1,0 +1,111 @@
+// Tests for the (Many vs One)-Set Disjointness substrate (§3).
+
+#include <gtest/gtest.h>
+
+#include "commlb/set_disjointness.h"
+
+namespace streamcover {
+namespace {
+
+// Ground-truth disjointness against the raw instance.
+bool BruteForceExistsDisjoint(const DisjointnessInstance& instance,
+                              const DynamicBitset& query) {
+  for (const auto& set : instance.alice_sets) {
+    DynamicBitset overlap = set;
+    overlap &= query;
+    if (overlap.None()) return true;
+  }
+  return false;
+}
+
+TEST(DisjointnessInstanceTest, GeneratorDensityIsHalf) {
+  Rng rng(1);
+  DisjointnessInstance inst = GenerateRandomDisjointness(32, 256, rng);
+  EXPECT_EQ(inst.m(), 32u);
+  size_t total = 0;
+  for (const auto& s : inst.alice_sets) total += s.Count();
+  EXPECT_NEAR(static_cast<double>(total) / (32.0 * 256.0), 0.5, 0.05);
+}
+
+TEST(DisjointnessInstanceTest, RandomFamilyIsIntersectingWhp) {
+  // Observation 3.4: for n >> log m the family is intersecting whp.
+  Rng rng(2);
+  DisjointnessInstance inst = GenerateRandomDisjointness(16, 128, rng);
+  EXPECT_TRUE(IsIntersectingFamily(inst));
+}
+
+TEST(DisjointnessInstanceTest, DetectsNonIntersectingFamily) {
+  DisjointnessInstance inst;
+  inst.n = 4;
+  DynamicBitset small(4), big(4);
+  small.Set(1);
+  big.Set(1);
+  big.Set(2);
+  inst.alice_sets = {small, big};  // small ⊆ big
+  EXPECT_FALSE(IsIntersectingFamily(inst));
+}
+
+class NaiveProtocolTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NaiveProtocolTest, AnswersMatchBruteForce) {
+  Rng rng(GetParam());
+  DisjointnessInstance inst = GenerateRandomDisjointness(12, 48, rng);
+  NaiveProtocol protocol;
+  auto message = protocol.Encode(inst);
+  EXPECT_EQ(protocol.MessageBits(inst), 12u * 48u);
+  for (int trial = 0; trial < 200; ++trial) {
+    DynamicBitset query(48);
+    for (uint32_t e : rng.SampleWithoutReplacement(
+             48, static_cast<uint32_t>(rng.UniformInt(1, 10)))) {
+      query.Set(e);
+    }
+    EXPECT_EQ(protocol.ExistsDisjoint(message, 48, 12, query),
+              BruteForceExistsDisjoint(inst, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveProtocolTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TruncatedProtocolTest, FullBudgetEqualsNaive) {
+  Rng rng(5);
+  DisjointnessInstance inst = GenerateRandomDisjointness(8, 32, rng);
+  TruncatedProtocol full(8 * 32);
+  NaiveProtocol naive;
+  EXPECT_EQ(full.Encode(inst), naive.Encode(inst));
+  EXPECT_EQ(full.MessageBits(inst), naive.MessageBits(inst));
+}
+
+TEST(TruncatedProtocolTest, ZeroBudgetSeesEmptySets) {
+  Rng rng(6);
+  DisjointnessInstance inst = GenerateRandomDisjointness(8, 32, rng);
+  TruncatedProtocol empty(0);
+  auto message = empty.Encode(inst);
+  EXPECT_EQ(empty.MessageBits(inst), 0u);
+  // All sets decode as empty, so every query finds a "disjoint" set.
+  DynamicBitset query(32);
+  query.Set(3);
+  EXPECT_TRUE(empty.ExistsDisjoint(message, 32, 8, query));
+}
+
+TEST(TruncatedProtocolTest, PartialBudgetDistortsAnswers) {
+  // With half the bits, at least one query must get a wrong answer
+  // (statistically certain at this size).
+  Rng rng(7);
+  DisjointnessInstance inst = GenerateRandomDisjointness(16, 64, rng);
+  TruncatedProtocol half(16 * 64 / 2);
+  auto message = half.Encode(inst);
+  int disagreements = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    DynamicBitset query(64);
+    for (uint32_t e : rng.SampleWithoutReplacement(64, 6)) query.Set(e);
+    if (half.ExistsDisjoint(message, 64, 16, query) !=
+        BruteForceExistsDisjoint(inst, query)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+}  // namespace
+}  // namespace streamcover

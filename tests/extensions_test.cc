@@ -1,0 +1,214 @@
+// Tests for the extension features: epsilon-Partial Set Cover
+// (the [ER14]/[CW16] generalization), Max k-Cover ([SG09]'s origin
+// problem), and weighted greedy cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/streaming_max_cover.h"
+#include "baselines/threshold_greedy.h"
+#include "core/iter_set_cover.h"
+#include "offline/max_cover.h"
+#include "offline/weighted_greedy.h"
+#include "setsystem/generators.h"
+
+namespace streamcover {
+namespace {
+
+PlantedInstance MakeInstance(uint64_t seed, uint32_t n = 600,
+                             uint32_t m = 1400, uint32_t k = 12) {
+  Rng rng(seed);
+  PlantedOptions options;
+  options.num_elements = n;
+  options.num_sets = m;
+  options.cover_size = k;
+  options.noise_max_size = n / 20;
+  return GeneratePlanted(options, rng);
+}
+
+// ----- epsilon-Partial Set Cover ------------------------------------
+
+class PartialCoverTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PartialCoverTest, IterSetCoverReachesRequestedCoverage) {
+  const double fraction = GetParam();
+  PlantedInstance inst = MakeInstance(1);
+  SetStream stream(&inst.system);
+  IterSetCoverOptions options;
+  options.delta = 0.5;
+  options.coverage_fraction = fraction;
+  StreamingResult r = IterSetCover(stream, options);
+  ASSERT_TRUE(r.success);
+  const double covered = static_cast<double>(CoveredCount(inst.system,
+                                                          r.cover));
+  EXPECT_GE(covered,
+            fraction * inst.system.num_elements() - 1.0);
+}
+
+TEST_P(PartialCoverTest, ThresholdBaselinesReachRequestedCoverage) {
+  const double fraction = GetParam();
+  PlantedInstance inst = MakeInstance(2);
+  {
+    SetStream stream(&inst.system);
+    BaselineResult r = ProgressiveGreedy(stream, fraction);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(static_cast<double>(CoveredCount(inst.system, r.cover)),
+              fraction * inst.system.num_elements() - 1.0);
+  }
+  {
+    SetStream stream(&inst.system);
+    BaselineResult r = PolynomialThresholdCover(stream, 2, fraction);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(static_cast<double>(CoveredCount(inst.system, r.cover)),
+              fraction * inst.system.num_elements() - 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PartialCoverTest,
+                         ::testing::Values(0.5, 0.9, 0.99, 1.0));
+
+TEST(PartialCoverTest, PartialCoversAreNoLargerThanFull) {
+  PlantedInstance inst = MakeInstance(3);
+  auto run = [&](double fraction) {
+    SetStream stream(&inst.system);
+    IterSetCoverOptions options;
+    options.delta = 0.5;
+    options.coverage_fraction = fraction;
+    return IterSetCover(stream, options).cover.size();
+  };
+  EXPECT_LE(run(0.5), run(1.0));
+}
+
+TEST(PartialCoverTest, PartialSucceedsOnUncoverableInstances) {
+  // 10% of elements are in no set: a 0.9-partial cover must still
+  // succeed while the full cover fails.
+  SetSystem::Builder b(100);
+  std::vector<uint32_t> covered_part;
+  for (uint32_t e = 0; e < 90; ++e) covered_part.push_back(e);
+  b.AddSet(covered_part);
+  SetSystem system = std::move(b).Build();
+  {
+    SetStream stream(&system);
+    IterSetCoverOptions options;
+    options.coverage_fraction = 0.9;
+    EXPECT_TRUE(IterSetCover(stream, options).success);
+  }
+  {
+    SetStream stream(&system);
+    IterSetCoverOptions options;
+    EXPECT_FALSE(IterSetCover(stream, options).success);
+  }
+}
+
+// ----- Max k-Cover ---------------------------------------------------
+
+TEST(MaxCoverTest, GreedyMatchesNemhauserBoundVsBruteForce) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SetSystem system = GenerateUniformRandom(20, 12, 0.25, rng);
+    for (uint32_t budget : {1u, 2u, 3u}) {
+      MaxCoverResult greedy = GreedyMaxCover(system, budget);
+      MaxCoverResult opt = BruteForceMaxCover(system, budget);
+      EXPECT_LE(greedy.cover.size(), budget);
+      EXPECT_GE(static_cast<double>(greedy.covered),
+                (1.0 - 1.0 / std::exp(1.0)) *
+                        static_cast<double>(opt.covered) -
+                    1e-9)
+          << "seed " << seed << " budget " << budget;
+    }
+  }
+}
+
+TEST(MaxCoverTest, FullBudgetCoversEverythingCoverable) {
+  PlantedInstance inst = MakeInstance(4);
+  MaxCoverResult r =
+      GreedyMaxCover(inst.system, inst.system.num_sets());
+  EXPECT_EQ(r.covered, inst.system.num_elements());
+}
+
+TEST(MaxCoverTest, CoveredCountMatchesVerification) {
+  Rng rng(5);
+  SetSystem system = GenerateUniformRandom(50, 30, 0.2, rng);
+  MaxCoverResult r = GreedyMaxCover(system, 5);
+  EXPECT_EQ(r.covered, CoveredCount(system, r.cover));
+}
+
+TEST(StreamingMaxCoverTest, BudgetRespectedAndCompetitive) {
+  PlantedInstance inst = MakeInstance(6);
+  for (uint32_t budget : {4u, 8u, 16u}) {
+    SetStream stream(&inst.system);
+    StreamingMaxCoverResult streamed = StreamingMaxCover(stream, budget);
+    EXPECT_LE(streamed.cover.size(), budget);
+    EXPECT_EQ(streamed.covered,
+              CoveredCount(inst.system, streamed.cover));
+    MaxCoverResult offline = GreedyMaxCover(inst.system, budget);
+    // Thresholding loses at most a constant factor vs offline greedy.
+    EXPECT_GE(streamed.covered, offline.covered / 3);
+    // O~(n) space.
+    EXPECT_LT(streamed.space_words, inst.system.total_size());
+  }
+}
+
+TEST(StreamingMaxCoverTest, SingleBudgetTakesABigSet) {
+  PlantedInstance inst = MakeInstance(7);
+  SetStream stream(&inst.system);
+  StreamingMaxCoverResult r = StreamingMaxCover(stream, 1);
+  ASSERT_EQ(r.cover.size(), 1u);
+  // The thresholding guarantees at least n/2^passes coverage; with a
+  // planted block structure the first qualifying set is large.
+  EXPECT_GE(r.covered, inst.system.num_elements() / 64);
+}
+
+// ----- Weighted greedy -----------------------------------------------
+
+TEST(WeightedGreedyTest, UnitWeightsMatchUnweightedBehaviour) {
+  PlantedInstance inst = MakeInstance(8, /*n=*/200, /*m=*/150, /*k=*/6);
+  std::vector<double> unit(inst.system.num_sets(), 1.0);
+  WeightedCoverResult r = WeightedGreedyCover(inst.system, unit);
+  EXPECT_TRUE(IsFullCover(inst.system, r.cover));
+  EXPECT_DOUBLE_EQ(r.total_weight, static_cast<double>(r.cover.size()));
+}
+
+TEST(WeightedGreedyTest, PrefersCheapSets) {
+  // Two ways to cover {0,1}: one expensive set, or two cheap singletons.
+  SetSystem::Builder b(2);
+  b.AddSet({0, 1});  // weight 10
+  b.AddSet({0});     // weight 1
+  b.AddSet({1});     // weight 1
+  SetSystem system = std::move(b).Build();
+  WeightedCoverResult r =
+      WeightedGreedyCover(system, {10.0, 1.0, 1.0});
+  EXPECT_TRUE(IsFullCover(system, r.cover));
+  EXPECT_DOUBLE_EQ(r.total_weight, 2.0);
+}
+
+TEST(WeightedGreedyTest, WithinHarmonicFactorOfBruteForce) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    SetSystem system = GenerateUniformRandom(16, 10, 0.3, rng);
+    if (!IsCoverable(system)) continue;
+    std::vector<double> weights;
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      weights.push_back(0.5 + rng.UniformDouble() * 4.0);
+    }
+    WeightedCoverResult greedy = WeightedGreedyCover(system, weights);
+    WeightedCoverResult opt = BruteForceWeightedCover(system, weights);
+    double h_n = std::log(16.0) + 1.0;
+    EXPECT_LE(greedy.total_weight, h_n * opt.total_weight + 1e-9)
+        << "seed " << seed;
+    EXPECT_GE(greedy.total_weight, opt.total_weight - 1e-9);
+  }
+}
+
+TEST(WeightedGreedyTest, IgnoresUncoverableElements) {
+  SetSystem::Builder b(3);
+  b.AddSet({0});
+  SetSystem system = std::move(b).Build();
+  WeightedCoverResult r = WeightedGreedyCover(system, {2.0});
+  EXPECT_EQ(r.cover.set_ids, (std::vector<uint32_t>{0}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 2.0);
+}
+
+}  // namespace
+}  // namespace streamcover

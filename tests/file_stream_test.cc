@@ -1,0 +1,132 @@
+// Tests for the pluggable stream backends: FileSetSource must behave
+// identically to the in-memory source — same scans, same pass counts,
+// same algorithm results — while actually re-reading the file per pass.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/iter_set_cover.h"
+#include "setsystem/generators.h"
+#include "setsystem/io.h"
+#include "stream/set_source.h"
+#include "stream/set_stream.h"
+
+namespace streamcover {
+namespace {
+
+std::string WriteTempInstance(const SetSystem& system,
+                              const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  EXPECT_TRUE(SaveSetSystemToFile(system, path));
+  return path;
+}
+
+TEST(FileSetSourceTest, OpenValidatesHeader) {
+  std::string error;
+  EXPECT_FALSE(FileSetSource::Open("/no/such/file.txt", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  std::string bad = ::testing::TempDir() + "/bad_magic.txt";
+  {
+    std::ofstream out(bad);
+    out << "wrongmagic 3 1\n1 0\n";
+  }
+  EXPECT_FALSE(FileSetSource::Open(bad, &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+}
+
+TEST(FileSetSourceTest, ScanMatchesInMemorySource) {
+  Rng rng(1);
+  PlantedOptions options;
+  options.num_elements = 120;
+  options.num_sets = 250;
+  options.cover_size = 6;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  std::string path = WriteTempInstance(inst.system, "scan_match.txt");
+
+  std::string error;
+  auto file_source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(file_source.has_value()) << error;
+  EXPECT_EQ(file_source->num_elements(), inst.system.num_elements());
+  EXPECT_EQ(file_source->num_sets(), inst.system.num_sets());
+
+  std::vector<std::vector<uint32_t>> from_file;
+  file_source->Scan([&](uint32_t id, std::span<const uint32_t> elems) {
+    EXPECT_EQ(id, from_file.size());
+    from_file.emplace_back(elems.begin(), elems.end());
+  });
+  ASSERT_EQ(from_file.size(), inst.system.num_sets());
+  for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
+    auto expect = inst.system.GetSet(s);
+    EXPECT_EQ(from_file[s],
+              std::vector<uint32_t>(expect.begin(), expect.end()));
+  }
+}
+
+TEST(FileSetSourceTest, RepeatedScansAreStable) {
+  Rng rng(2);
+  PlantedInstance inst = GeneratePlanted(
+      {.num_elements = 50, .num_sets = 80, .cover_size = 4}, rng);
+  std::string path = WriteTempInstance(inst.system, "rescan.txt");
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  size_t first = 0, second = 0;
+  source->Scan([&](uint32_t, std::span<const uint32_t> e) {
+    first += e.size();
+  });
+  source->Scan([&](uint32_t, std::span<const uint32_t> e) {
+    second += e.size();
+  });
+  EXPECT_EQ(first, inst.system.total_size());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FileStreamTest, PassCountingThroughSetStream) {
+  Rng rng(3);
+  PlantedInstance inst = GeneratePlanted(
+      {.num_elements = 40, .num_sets = 60, .cover_size = 4}, rng);
+  std::string path = WriteTempInstance(inst.system, "pass_count.txt");
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  SetStream stream(&*source);
+  EXPECT_EQ(stream.num_elements(), 40u);
+  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  EXPECT_EQ(stream.passes(), 2u);
+}
+
+TEST(FileStreamTest, IterSetCoverIdenticalFromDiskAndMemory) {
+  Rng rng(4);
+  PlantedOptions options;
+  options.num_elements = 300;
+  options.num_sets = 700;
+  options.cover_size = 9;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  std::string path = WriteTempInstance(inst.system, "solve_match.txt");
+
+  IterSetCoverOptions algo;
+  algo.delta = 0.5;
+  algo.seed = 11;
+
+  SetStream memory_stream(&inst.system);
+  StreamingResult from_memory = IterSetCover(memory_stream, algo);
+
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  SetStream disk_stream(&*source);
+  StreamingResult from_disk = IterSetCover(disk_stream, algo);
+
+  ASSERT_TRUE(from_memory.success);
+  ASSERT_TRUE(from_disk.success);
+  EXPECT_EQ(from_memory.cover.set_ids, from_disk.cover.set_ids);
+  EXPECT_EQ(from_memory.passes, from_disk.passes);
+  EXPECT_EQ(from_memory.space_words_parallel,
+            from_disk.space_words_parallel);
+}
+
+}  // namespace
+}  // namespace streamcover

@@ -1,0 +1,115 @@
+// Property tests for the abstract instance generators: every generator
+// must yield a coverable instance whose planted cover is feasible, with
+// the advertised shape constraints, deterministically per seed.
+
+#include <gtest/gtest.h>
+
+#include "setsystem/cover.h"
+#include "setsystem/generators.h"
+
+namespace streamcover {
+namespace {
+
+class PlantedGeneratorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlantedGeneratorTest, PlantedCoverIsFeasible) {
+  Rng rng(GetParam());
+  PlantedOptions options;
+  options.num_elements = 500;
+  options.num_sets = 1200;
+  options.cover_size = 13;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  EXPECT_EQ(inst.system.num_elements(), 500u);
+  EXPECT_EQ(inst.system.num_sets(), 1200u);
+  EXPECT_EQ(inst.planted_cover.size(), 13u);
+  EXPECT_TRUE(IsFullCover(inst.system, Cover{inst.planted_cover}));
+}
+
+TEST_P(PlantedGeneratorTest, SparseInstanceRespectsMaxSize) {
+  Rng rng(GetParam());
+  PlantedInstance inst = GenerateSparse(300, 900, 7, rng);
+  for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
+    EXPECT_LE(inst.system.SetSize(s), 7u);
+  }
+  EXPECT_TRUE(IsFullCover(inst.system, Cover{inst.planted_cover}));
+}
+
+TEST_P(PlantedGeneratorTest, ZipfInstanceIsCoverable) {
+  Rng rng(GetParam());
+  PlantedInstance inst = GenerateZipf(400, 1000, 1.1, 25, rng);
+  EXPECT_TRUE(IsCoverable(inst.system));
+  EXPECT_TRUE(IsFullCover(inst.system, Cover{inst.planted_cover}));
+  for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
+    EXPECT_LE(inst.system.SetSize(s), 25u);
+  }
+}
+
+TEST_P(PlantedGeneratorTest, DisjointBlocksOptExact) {
+  Rng rng(GetParam());
+  PlantedInstance inst = GenerateDisjointBlocks(120, 8, 40, rng);
+  EXPECT_EQ(inst.planted_cover.size(), 8u);
+  EXPECT_TRUE(IsFullCover(inst.system, Cover{inst.planted_cover}));
+  // Blocks are disjoint, so no cover smaller than 8 exists: every block
+  // needs its own block set (singletons cover only one element each but
+  // blocks have 15 elements, so any cover needs >= 8 sets).
+  EXPECT_EQ(inst.system.num_sets(), 48u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedGeneratorTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(GeneratorDeterminismTest, SameSeedSameInstance) {
+  PlantedOptions options;
+  options.num_elements = 100;
+  options.num_sets = 300;
+  options.cover_size = 5;
+  Rng rng1(7), rng2(7);
+  PlantedInstance a = GeneratePlanted(options, rng1);
+  PlantedInstance b = GeneratePlanted(options, rng2);
+  ASSERT_EQ(a.system.num_sets(), b.system.num_sets());
+  for (uint32_t s = 0; s < a.system.num_sets(); ++s) {
+    auto sa = a.system.GetSet(s);
+    auto sb = b.system.GetSet(s);
+    ASSERT_EQ(std::vector<uint32_t>(sa.begin(), sa.end()),
+              std::vector<uint32_t>(sb.begin(), sb.end()));
+  }
+  EXPECT_EQ(a.planted_cover, b.planted_cover);
+}
+
+TEST(GreedyAdversarialTest, StructureMatchesConstruction) {
+  const uint32_t levels = 5;
+  PlantedInstance inst = GenerateGreedyAdversarial(levels);
+  const uint32_t half = (1u << levels) - 1;
+  EXPECT_EQ(inst.system.num_elements(), 2 * half);
+  EXPECT_EQ(inst.system.num_sets(), levels + 2);
+  EXPECT_EQ(inst.planted_cover.size(), 2u);
+  EXPECT_TRUE(IsFullCover(inst.system, Cover{inst.planted_cover}));
+  // Column set C_1 (id 2) has 2^levels elements, strictly more than a
+  // row's 2^levels - 1: greedy must prefer it.
+  EXPECT_EQ(inst.system.SetSize(2), uint64_t{1} << levels);
+  EXPECT_EQ(inst.system.SetSize(0), half);
+}
+
+TEST(UniformRandomTest, DensityMatchesP) {
+  Rng rng(5);
+  SetSystem s = GenerateUniformRandom(200, 100, 0.3, rng);
+  double density = static_cast<double>(s.total_size()) / (200.0 * 100.0);
+  EXPECT_NEAR(density, 0.3, 0.03);
+}
+
+TEST(GeneratorValidationTest, PlantedOverlapAddsExtraElements) {
+  PlantedOptions options;
+  options.num_elements = 200;
+  options.num_sets = 10;
+  options.cover_size = 10;
+  options.planted_overlap = 0.5;
+  options.shuffle_order = false;
+  Rng rng(3);
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  // With 10 planted blocks of 20 elements and 50% overlap, total size
+  // exceeds the disjoint-partition total of 200.
+  EXPECT_GT(inst.system.total_size(), 200u);
+}
+
+}  // namespace
+}  // namespace streamcover

@@ -1,0 +1,142 @@
+// Round-trip and malformed-input tests for geometric instance IO.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geometry/geom_generators.h"
+#include "geometry/geom_io.h"
+#include "setsystem/cover.h"
+#include "geometry/range_space.h"
+
+namespace streamcover {
+namespace {
+
+GeomDataset MakeMixedDataset(uint64_t seed) {
+  Rng rng(seed);
+  GeomDataset dataset;
+  for (int i = 0; i < 40; ++i) {
+    dataset.points.push_back(
+        {rng.UniformDouble() * 100, rng.UniformDouble() * 100});
+  }
+  for (int i = 0; i < 10; ++i) {
+    dataset.shapes.push_back(Disk{{rng.UniformDouble() * 100,
+                                   rng.UniformDouble() * 100},
+                                  rng.UniformDouble() * 20});
+    double x = rng.UniformDouble() * 90, y = rng.UniformDouble() * 90;
+    dataset.shapes.push_back(Rect{x, y, x + 10, y + 10});
+    dataset.shapes.push_back(FatTriangle{{x, y},
+                                         {x + 12, y},
+                                         {x + 6, y + 10}});
+  }
+  return dataset;
+}
+
+TEST(GeomIoTest, RoundTripPreservesTraces) {
+  GeomDataset original = MakeMixedDataset(1);
+  std::stringstream buffer;
+  WriteGeomDataset(original, buffer);
+  std::string error;
+  auto loaded = ReadGeomDataset(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->points.size(), original.points.size());
+  ASSERT_EQ(loaded->shapes.size(), original.shapes.size());
+  // Semantics preserved: every shape has the identical trace.
+  for (size_t i = 0; i < original.shapes.size(); ++i) {
+    EXPECT_EQ(TraceOf(loaded->shapes[i], loaded->points),
+              TraceOf(original.shapes[i], original.points))
+        << "shape " << i;
+  }
+}
+
+TEST(GeomIoTest, RoundTripPreservesShapeClasses) {
+  GeomDataset original = MakeMixedDataset(2);
+  std::stringstream buffer;
+  WriteGeomDataset(original, buffer);
+  std::string error;
+  auto loaded = ReadGeomDataset(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  for (size_t i = 0; i < original.shapes.size(); ++i) {
+    EXPECT_STREQ(ShapeClassName(loaded->shapes[i]),
+                 ShapeClassName(original.shapes[i]));
+  }
+}
+
+TEST(GeomIoTest, EmptyDatasetRoundTrips) {
+  GeomDataset empty;
+  std::stringstream buffer;
+  WriteGeomDataset(empty, buffer);
+  std::string error;
+  auto loaded = ReadGeomDataset(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->points.empty());
+  EXPECT_TRUE(loaded->shapes.empty());
+}
+
+TEST(GeomIoTest, RejectsBadMagic) {
+  std::stringstream buffer("setcover 3 1\n");
+  std::string error;
+  EXPECT_FALSE(ReadGeomDataset(buffer, &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+}
+
+TEST(GeomIoTest, RejectsUnknownShape) {
+  std::stringstream buffer("geomcover 1 1\np 0 0\nblob 1 2 3\n");
+  std::string error;
+  EXPECT_FALSE(ReadGeomDataset(buffer, &error).has_value());
+  EXPECT_NE(error.find("unknown shape"), std::string::npos);
+}
+
+TEST(GeomIoTest, RejectsNegativeRadiusAndInvertedRect) {
+  {
+    std::stringstream buffer("geomcover 0 1\ndisk 0 0 -1\n");
+    std::string error;
+    EXPECT_FALSE(ReadGeomDataset(buffer, &error).has_value());
+    EXPECT_NE(error.find("negative"), std::string::npos);
+  }
+  {
+    std::stringstream buffer("geomcover 0 1\nrect 5 0 1 1\n");
+    std::string error;
+    EXPECT_FALSE(ReadGeomDataset(buffer, &error).has_value());
+    EXPECT_NE(error.find("inverted"), std::string::npos);
+  }
+}
+
+TEST(GeomIoTest, RejectsTruncatedInput) {
+  std::stringstream buffer("geomcover 2 1\np 0 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadGeomDataset(buffer, &error).has_value());
+}
+
+TEST(GeomIoTest, FileHelpersRoundTrip) {
+  GeomDataset original = MakeMixedDataset(3);
+  const std::string path = ::testing::TempDir() + "/geom_io_test.txt";
+  ASSERT_TRUE(SaveGeomDatasetToFile(original, path));
+  std::string error;
+  auto loaded = LoadGeomDatasetFromFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->shapes.size(), original.shapes.size());
+}
+
+TEST(GeomIoTest, GeneratedInstanceSurvivesRoundTrip) {
+  Rng rng(4);
+  GeomPlantedOptions options;
+  options.num_points = 100;
+  options.num_shapes = 200;
+  options.cover_size = 5;
+  options.shape_class = ShapeClass::kRect;
+  GeomInstance inst = GeneratePlantedGeom(options, rng);
+
+  GeomDataset dataset{inst.points, inst.shapes};
+  std::stringstream buffer;
+  WriteGeomDataset(dataset, buffer);
+  std::string error;
+  auto loaded = ReadGeomDataset(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  // The planted cover remains feasible on the loaded copy.
+  SetSystem ranges = BuildRangeSpace(loaded->points, loaded->shapes);
+  EXPECT_TRUE(IsFullCover(ranges, Cover{inst.planted_cover}));
+}
+
+}  // namespace
+}  // namespace streamcover

@@ -1,0 +1,96 @@
+// Round-trip and malformed-input tests for the text serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "setsystem/generators.h"
+#include "setsystem/io.h"
+
+namespace streamcover {
+namespace {
+
+TEST(IoTest, RoundTripPreservesInstance) {
+  Rng rng(11);
+  PlantedOptions options;
+  options.num_elements = 80;
+  options.num_sets = 150;
+  options.cover_size = 6;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+
+  std::stringstream buffer;
+  WriteSetSystem(inst.system, buffer);
+  std::string error;
+  auto loaded = ReadSetSystem(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->num_elements(), inst.system.num_elements());
+  ASSERT_EQ(loaded->num_sets(), inst.system.num_sets());
+  for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
+    auto a = inst.system.GetSet(s);
+    auto b = loaded->GetSet(s);
+    EXPECT_EQ(std::vector<uint32_t>(a.begin(), a.end()),
+              std::vector<uint32_t>(b.begin(), b.end()));
+  }
+}
+
+TEST(IoTest, EmptySystemRoundTrips) {
+  SetSystem::Builder b(0);
+  SetSystem s = std::move(b).Build();
+  std::stringstream buffer;
+  WriteSetSystem(s, buffer);
+  std::string error;
+  auto loaded = ReadSetSystem(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_sets(), 0u);
+}
+
+TEST(IoTest, RejectsBadMagic) {
+  std::stringstream buffer("wrong 3 1\n1 0\n");
+  std::string error;
+  EXPECT_FALSE(ReadSetSystem(buffer, &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos);
+}
+
+TEST(IoTest, RejectsOutOfRangeElement) {
+  std::stringstream buffer("setcover 3 1\n1 7\n");
+  std::string error;
+  EXPECT_FALSE(ReadSetSystem(buffer, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(IoTest, RejectsTruncatedBody) {
+  std::stringstream buffer("setcover 3 2\n2 0 1\n3 0");
+  std::string error;
+  EXPECT_FALSE(ReadSetSystem(buffer, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(IoTest, RejectsEmptyInput) {
+  std::stringstream buffer("");
+  std::string error;
+  EXPECT_FALSE(ReadSetSystem(buffer, &error).has_value());
+}
+
+TEST(IoTest, FileHelpersRoundTrip) {
+  SetSystem::Builder b(4);
+  b.AddSet({0, 3});
+  b.AddSet({1, 2});
+  SetSystem s = std::move(b).Build();
+  const std::string path = ::testing::TempDir() + "/io_test_instance.txt";
+  ASSERT_TRUE(SaveSetSystemToFile(s, path));
+  std::string error;
+  auto loaded = LoadSetSystemFromFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_sets(), 2u);
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(
+      LoadSetSystemFromFile("/nonexistent/really/not.txt", &error)
+          .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamcover

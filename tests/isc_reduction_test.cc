@@ -1,0 +1,133 @@
+// Tests for the §5 ISC -> SetCover reduction: the paper's size
+// identities, Lemma 5.5's lower bound, Lemma 5.6's explicit cover, and
+// the full optimum dichotomy (Corollary 5.8) verified with the exact
+// solver on small instances.
+
+#include <gtest/gtest.h>
+
+#include "commlb/chasing.h"
+#include "commlb/isc_to_setcover.h"
+#include "offline/exact.h"
+#include "setsystem/cover.h"
+
+namespace streamcover {
+namespace {
+
+class IscReductionTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 uint64_t>> {};
+
+TEST_P(IscReductionTest, SizeIdentitiesHold) {
+  auto [n, p, seed] = GetParam();
+  Rng rng(seed);
+  IscInstance isc = GenerateRandomIsc(n, p, 2, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  // |U| = (2p+1) * 2n + 2p and |F| = (4p+1) n (§5 accounting).
+  EXPECT_EQ(red.system.num_elements(), (2 * p + 1) * 2 * n + 2 * p);
+  EXPECT_EQ(red.system.num_sets(), (4 * p + 1) * n);
+  EXPECT_EQ(red.isc_value, EvaluateIsc(isc));
+}
+
+TEST_P(IscReductionTest, WitnessCoverFeasibleWithExpectedSize) {
+  auto [n, p, seed] = GetParam();
+  Rng rng(seed);
+  IscInstance isc = GenerateRandomIsc(n, p, 2, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  EXPECT_TRUE(IsFullCover(red.system, red.witness_cover));
+  EXPECT_EQ(red.witness_cover.size(), red.expected_opt);
+  EXPECT_EQ(red.expected_opt,
+            static_cast<uint64_t>(2 * p + 1) * n + (red.isc_value ? 1 : 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, IscReductionTest,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 6u),
+                       ::testing::Values(2u, 3u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// The heart of Theorem 5.4: OPT = (2p+1)n+1 iff ISC = 1 (Corollary 5.8),
+// verified mechanically by branch-and-bound on small instances.
+class IscDichotomyTest
+    : public ::testing::TestWithParam<std::tuple<bool, uint64_t>> {};
+
+TEST_P(IscDichotomyTest, ExactOptimumMatchesFormula) {
+  auto [desired, seed] = GetParam();
+  const uint32_t n = 3, p = 2;
+  Rng rng(seed);
+  IscInstance isc = GenerateIscWithOutcome(n, p, 2, desired, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  ASSERT_EQ(red.isc_value, desired);
+
+  ExactSolver solver(/*max_nodes=*/20'000'000);
+  OfflineResult result = solver.Solve(red.system);
+  ASSERT_TRUE(result.proven_optimal) << "raise the node budget";
+  EXPECT_TRUE(IsFullCover(red.system, result.cover));
+  EXPECT_EQ(result.cover.size(), red.expected_opt)
+      << "ISC=" << desired << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Outcomes, IscDichotomyTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(IscReductionTest, Lemma55LowerBoundViaExactSolver) {
+  // Any feasible solution has >= (2p+1)n+1 sets: check that the exact
+  // optimum never dips below the bound.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    IscInstance isc = GenerateRandomIsc(2, 2, 2, rng);
+    IscReduction red = ReduceIscToSetCover(isc);
+    ExactSolver solver(10'000'000);
+    OfflineResult result = solver.Solve(red.system);
+    ASSERT_TRUE(result.proven_optimal);
+    EXPECT_GE(result.cover.size(),
+              static_cast<uint64_t>(2 * 2 + 1) * 2 + 1);
+  }
+}
+
+TEST(IscReductionTest, SetDescriptorsRoundTrip) {
+  Rng rng(5);
+  IscInstance isc = GenerateRandomIsc(3, 2, 2, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  ASSERT_EQ(red.set_descriptors.size(), red.system.num_sets());
+  for (uint32_t id = 0; id < red.system.num_sets(); ++id) {
+    const auto& d = red.set_descriptors[id];
+    EXPECT_EQ(red.SetId(d.kind, d.layer, d.vertex), id);
+  }
+}
+
+TEST(IscReductionTest, StartEncodingOnlyInStartSet) {
+  // e_p must appear in S^1_p (vertex 0) and in no other S^j_p.
+  const uint32_t n = 4, p = 2;
+  Rng rng(6);
+  IscInstance isc = GenerateRandomIsc(n, p, 2, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  const uint32_t e_p = (4 * p + 2) * n + (p - 1);  // E(p) in the layout
+  uint32_t containing = 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t id = red.SetId(IscSetKind::kSFirst, p, j);
+    if (red.system.Contains(id, e_p)) {
+      ++containing;
+      EXPECT_EQ(j, 0u);
+    }
+  }
+  EXPECT_EQ(containing, 1u);
+}
+
+TEST(IscReductionTest, SecondHalfLastLayerContainsSourceOut) {
+  // Every S^j_{2p} contains out(u^1_{p+1}) (the paper's construction
+  // guarantee used in Lemma 5.7).
+  const uint32_t n = 3, p = 2;
+  Rng rng(7);
+  IscInstance isc = GenerateRandomIsc(n, p, 2, rng);
+  IscReduction red = ReduceIscToSetCover(isc);
+  const uint32_t out_u_source = (3 * p + 2) * n + (p + 1 - 2) * n + 0;
+  for (uint32_t j = 0; j < n; ++j) {
+    uint32_t id = red.SetId(IscSetKind::kSSecond, p, j);
+    EXPECT_TRUE(red.system.Contains(id, out_u_source)) << "j=" << j;
+  }
+}
+
+}  // namespace
+}  // namespace streamcover

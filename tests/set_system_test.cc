@@ -1,0 +1,136 @@
+// Unit tests for SetSystem, InvertedIndex, Cover utilities.
+
+#include <gtest/gtest.h>
+
+#include "setsystem/cover.h"
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+namespace {
+
+SetSystem MakeSmall() {
+  // U = {0..5}; sets: {0,1,2}, {2,3}, {3,4,5}, {5}, {}.
+  SetSystem::Builder b(6);
+  b.AddSet({0, 1, 2});
+  b.AddSet({2, 3});
+  b.AddSet({3, 4, 5});
+  b.AddSet({5});
+  b.AddSet({});
+  return std::move(b).Build();
+}
+
+TEST(SetSystemTest, BasicAccessors) {
+  SetSystem s = MakeSmall();
+  EXPECT_EQ(s.num_elements(), 6u);
+  EXPECT_EQ(s.num_sets(), 5u);
+  EXPECT_EQ(s.total_size(), 9u);
+  EXPECT_EQ(s.SetSize(0), 3u);
+  EXPECT_EQ(s.SetSize(4), 0u);
+  auto set1 = s.GetSet(1);
+  EXPECT_EQ(std::vector<uint32_t>(set1.begin(), set1.end()),
+            (std::vector<uint32_t>{2, 3}));
+}
+
+TEST(SetSystemTest, BuilderSortsAndDeduplicates) {
+  SetSystem::Builder b(10);
+  b.AddSet({5, 1, 5, 3, 1});
+  SetSystem s = std::move(b).Build();
+  auto set = s.GetSet(0);
+  EXPECT_EQ(std::vector<uint32_t>(set.begin(), set.end()),
+            (std::vector<uint32_t>{1, 3, 5}));
+}
+
+TEST(SetSystemTest, BuilderReturnsSequentialIds) {
+  SetSystem::Builder b(4);
+  EXPECT_EQ(b.AddSet({0}), 0u);
+  EXPECT_EQ(b.AddSet({1}), 1u);
+  EXPECT_EQ(b.num_sets(), 2u);
+}
+
+TEST(SetSystemTest, Contains) {
+  SetSystem s = MakeSmall();
+  EXPECT_TRUE(s.Contains(0, 1));
+  EXPECT_FALSE(s.Contains(0, 3));
+  EXPECT_FALSE(s.Contains(4, 0));
+}
+
+TEST(InvertedIndexTest, DegreesAndMembership) {
+  SetSystem s = MakeSmall();
+  InvertedIndex index(s);
+  EXPECT_EQ(index.Degree(2), 2u);  // sets 0 and 1
+  EXPECT_EQ(index.Degree(5), 2u);  // sets 2 and 3
+  EXPECT_EQ(index.Degree(0), 1u);
+  auto sets = index.SetsContaining(3);
+  EXPECT_EQ(std::vector<uint32_t>(sets.begin(), sets.end()),
+            (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(CoverTest, CoverageMaskAndCount) {
+  SetSystem s = MakeSmall();
+  Cover c{{0, 2}};
+  EXPECT_EQ(CoveredCount(s, c), 6u);
+  EXPECT_TRUE(IsFullCover(s, c));
+  Cover partial{{1}};
+  EXPECT_EQ(CoveredCount(s, partial), 2u);
+  EXPECT_FALSE(IsFullCover(s, partial));
+}
+
+TEST(CoverTest, CoversTargets) {
+  SetSystem s = MakeSmall();
+  DynamicBitset targets(6);
+  targets.Set(3);
+  targets.Set(5);
+  EXPECT_TRUE(CoversTargets(s, Cover{{2}}, targets));
+  EXPECT_FALSE(CoversTargets(s, Cover{{1}}, targets));
+}
+
+TEST(CoverTest, IsCoverable) {
+  EXPECT_TRUE(IsCoverable(MakeSmall()));
+  SetSystem::Builder b(3);
+  b.AddSet({0, 1});  // element 2 uncovered by any set
+  EXPECT_FALSE(IsCoverable(std::move(b).Build()));
+}
+
+TEST(CoverTest, DeduplicateRemovesRepeats) {
+  Cover c{{3, 1, 3, 2, 1}};
+  c.Deduplicate();
+  EXPECT_EQ(c.set_ids, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(CoverTest, PruneRedundantDropsSubsumedSets) {
+  SetSystem s = MakeSmall();
+  // {0,1,2} + {2,3} + {3,4,5}: set 1 is redundant (2 and 3 covered
+  // elsewhere); sets 0 and 2 are essential.
+  Cover c{{0, 1, 2}};
+  size_t removed = PruneRedundant(s, c);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_TRUE(IsFullCover(s, c));
+  EXPECT_EQ(c.set_ids, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(CoverTest, PruneKeepsEssentialCoverIntact) {
+  SetSystem s = MakeSmall();
+  Cover c{{0, 2}};
+  EXPECT_EQ(PruneRedundant(s, c), 0u);
+  EXPECT_EQ(c.set_ids.size(), 2u);
+}
+
+TEST(CoverTest, PruneHandlesDuplicatePicks) {
+  SetSystem s = MakeSmall();
+  Cover c{{0, 0, 2, 2}};
+  PruneRedundant(s, c);
+  EXPECT_TRUE(IsFullCover(s, c));
+  EXPECT_EQ(c.set_ids.size(), 2u);
+}
+
+TEST(SetSystemTest, EmptySystem) {
+  SetSystem::Builder b(0);
+  SetSystem s = std::move(b).Build();
+  EXPECT_EQ(s.num_elements(), 0u);
+  EXPECT_EQ(s.num_sets(), 0u);
+  EXPECT_TRUE(IsCoverable(s));
+  EXPECT_TRUE(IsFullCover(s, Cover{}));
+}
+
+}  // namespace
+}  // namespace streamcover

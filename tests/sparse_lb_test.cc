@@ -1,0 +1,107 @@
+// Tests for the §6 sparse lower-bound construction: the ORt(Equal
+// Pointer Chasing) overlay and the sparsity of its reduced SetCover
+// instance (Theorem 6.6's s = O~(t)).
+
+#include <gtest/gtest.h>
+
+#include "commlb/isc_to_setcover.h"
+#include "commlb/sparse_lb.h"
+#include "offline/exact.h"
+
+namespace streamcover {
+namespace {
+
+class OrtOverlayTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(OrtOverlayTest, OverlayShapeAndSparsity) {
+  auto [t, seed] = GetParam();
+  const uint32_t n = 16, p = 2;
+  Rng rng(seed);
+  OrtOverlayInstance overlay = GenerateOrtOverlay(n, p, t, rng);
+  EXPECT_EQ(overlay.epc_equal.size(), t);
+  // Every overlaid image set has between 1 and t values.
+  for (const auto* chase : {&overlay.isc.first, &overlay.isc.second}) {
+    for (const auto& fn : chase->functions) {
+      for (const auto& images : fn) {
+        EXPECT_GE(images.size(), 1u);
+        EXPECT_LE(images.size(), t);
+      }
+    }
+  }
+  // Reduced instance sparsity: S-sets of the first half have <= t + 2
+  // elements; second half <= r*t + 2 (+1 for the source marker).
+  IscReduction red = ReduceIscToSetCover(overlay.isc);
+  uint32_t s = MaxSetSize(red.system);
+  EXPECT_LE(s, overlay.r * t + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TSeeds, OrtOverlayTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(OrtOverlayTest, SingleInstanceOverlayPreservesEquality) {
+  // With t = 1 the ISC output must equal the EPC equality bit: the
+  // scrambling permutations share sigma at the equality layer and fix
+  // the start vertex, so no cross-instance collisions exist.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    OrtOverlayInstance overlay = GenerateOrtOverlay(12, 3, 1, rng);
+    EXPECT_EQ(EvaluateIsc(overlay.isc), overlay.epc_equal[0])
+        << "seed " << seed;
+    EXPECT_EQ(overlay.ort_value, overlay.epc_equal[0]);
+  }
+}
+
+TEST(OrtOverlayTest, OrtImpliesIsc) {
+  // If some instance has equal endpoints, the overlaid ISC must
+  // intersect (the converse can fail via rare cross-collisions, which
+  // Lemma 6.5's parameter regime controls; we only assert the sound
+  // direction).
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    OrtOverlayInstance overlay = GenerateOrtOverlay(16, 2, 3, rng);
+    if (overlay.ort_value) {
+      EXPECT_TRUE(EvaluateIsc(overlay.isc)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(OrtOverlayTest, ReductionDichotomyUnderOverlay) {
+  // End-to-end: overlay -> ISC -> SetCover keeps the §5 dichotomy.
+  uint32_t checked = 0;
+  for (uint64_t seed = 1; seed <= 6 && checked < 2; ++seed) {
+    Rng rng(seed);
+    OrtOverlayInstance overlay = GenerateOrtOverlay(3, 2, 2, rng);
+    IscReduction red = ReduceIscToSetCover(overlay.isc);
+    ExactSolver solver(20'000'000);
+    OfflineResult result = solver.Solve(red.system);
+    if (!result.proven_optimal) continue;
+    EXPECT_EQ(result.cover.size(), red.expected_opt) << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(OrtOverlayTest, RNonInjectivityRareForLogR) {
+  // r ~ log n: random pointer functions are r-non-injective only rarely.
+  uint32_t flagged = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    OrtOverlayInstance overlay = GenerateOrtOverlay(64, 2, 2, rng);
+    if (overlay.r_non_injective) ++flagged;
+  }
+  EXPECT_LT(flagged, 10u);
+}
+
+TEST(MaxSetSizeTest, Computes) {
+  SetSystem::Builder b(5);
+  b.AddSet({0});
+  b.AddSet({1, 2, 3});
+  b.AddSet({});
+  EXPECT_EQ(MaxSetSize(std::move(b).Build()), 3u);
+}
+
+}  // namespace
+}  // namespace streamcover

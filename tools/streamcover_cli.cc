@@ -1,0 +1,383 @@
+// streamcover_cli — command-line front end for the library.
+//
+// Subcommands:
+//   generate --type planted|sparse|zipf --n N --m M --k K [--s S]
+//            [--seed SEED] --out FILE
+//       Writes an instance in the text format of setsystem/io.h.
+//   stats    --in FILE
+//       Prints n, m, nnz, set-size distribution.
+//   solve    --in FILE --algo ALGO [--delta D] [--p P] [--seed SEED]
+//            [--coverage F] [--from-disk]
+//       ALGO: iter | store-all | iterative | progressive | threshold |
+//             dimv14. --from-disk streams the file per pass instead of
+//             loading it (FileSetSource).
+//   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
+//            [--seed SEED] --out FILE
+//       Writes a geometric instance (geometry/geom_io.h format).
+//   solve-geom --in FILE [--delta D] [--seed SEED]
+//       Runs algGeomSC (Theorem 4.6) on a geometric instance file.
+//   selftest
+//       Exercises generate -> stats -> solve (abstract and geometric)
+//       in a temp dir (used by ctest).
+//
+// Exit code 0 on success; 1 on usage or runtime errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "streamcover.h"
+
+namespace streamcover {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";  // boolean flag
+      }
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  streamcover_cli generate --type planted|sparse|zipf --n N --m M "
+      "--k K [--s S] [--seed SEED] --out FILE\n"
+      "  streamcover_cli stats --in FILE\n"
+      "  streamcover_cli solve --in FILE --algo "
+      "iter|store-all|iterative|progressive|threshold|dimv14 "
+      "[--delta D] [--p P] [--seed SEED] [--coverage F] [--from-disk]\n"
+      "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
+      "--n N --m M --k K [--seed SEED] --out FILE\n"
+      "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
+      "  streamcover_cli selftest\n");
+  return 1;
+}
+
+int CmdGenerateGeom(const Args& args) {
+  const std::string type = args.Get("type", "disk");
+  const uint32_t n = static_cast<uint32_t>(args.GetInt("n", 500));
+  const uint32_t m = static_cast<uint32_t>(args.GetInt("m", 2000));
+  const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 8));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+
+  GeomInstance instance;
+  if (type == "figure12") {
+    instance = GenerateFigure12(n % 2 == 0 ? n : n + 1);
+  } else {
+    ShapeClass cls;
+    if (type == "disk") {
+      cls = ShapeClass::kDisk;
+    } else if (type == "rect") {
+      cls = ShapeClass::kRect;
+    } else if (type == "tri") {
+      cls = ShapeClass::kFatTriangle;
+    } else {
+      std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+      return 1;
+    }
+    Rng rng(seed);
+    GeomPlantedOptions options;
+    options.num_points = n;
+    options.num_shapes = m;
+    options.cover_size = k;
+    options.shape_class = cls;
+    instance = GeneratePlantedGeom(options, rng);
+  }
+  GeomDataset dataset{instance.points, instance.shapes};
+  if (!SaveGeomDatasetToFile(dataset, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: points=%zu shapes=%zu planted_cover=%zu\n",
+              out.c_str(), dataset.points.size(), dataset.shapes.size(),
+              instance.planted_cover.size());
+  return 0;
+}
+
+int CmdSolveGeom(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Usage();
+  std::string error;
+  auto dataset = LoadGeomDatasetFromFile(in, &error);
+  if (!dataset) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  ShapeStream stream(&dataset->shapes);
+  GeomSetCoverOptions options;
+  options.delta = args.GetDouble("delta", 0.25);
+  options.sample_constant = args.GetDouble("c", 0.05);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  GeomStreamingResult r = AlgGeomSC(stream, dataset->points, options);
+  SetSystem ranges = BuildRangeSpace(dataset->points, dataset->shapes);
+  const bool feasible = IsFullCover(ranges, r.cover);
+  std::printf("algGeomSC success=%s cover=%zu feasible=%s passes=%llu "
+              "space_words=%llu\n",
+              r.success ? "yes" : "no", r.cover.size(),
+              feasible ? "yes" : "no",
+              static_cast<unsigned long long>(r.passes),
+              static_cast<unsigned long long>(r.space_words_max_guess));
+  return (r.success && feasible) ? 0 : 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string type = args.Get("type", "planted");
+  const uint32_t n = static_cast<uint32_t>(args.GetInt("n", 1000));
+  const uint32_t m = static_cast<uint32_t>(args.GetInt("m", 2000));
+  const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 10));
+  const uint32_t s = static_cast<uint32_t>(args.GetInt("s", 32));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+
+  Rng rng(seed);
+  PlantedInstance instance;
+  if (type == "planted") {
+    PlantedOptions options;
+    options.num_elements = n;
+    options.num_sets = m;
+    options.cover_size = k;
+    options.noise_max_size = std::max(1u, n / 20);
+    instance = GeneratePlanted(options, rng);
+  } else if (type == "sparse") {
+    instance = GenerateSparse(n, m, s, rng);
+  } else if (type == "zipf") {
+    instance = GenerateZipf(n, m, /*alpha=*/1.1, s, rng);
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 1;
+  }
+  if (!SaveSetSystemToFile(instance.system, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%u nnz=%zu planted_cover=%zu\n",
+              out.c_str(), instance.system.num_elements(),
+              instance.system.num_sets(), instance.system.total_size(),
+              instance.planted_cover.size());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Usage();
+  std::string error;
+  auto system = LoadSetSystemFromFile(in, &error);
+  if (!system) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (uint32_t s = 0; s < system->num_sets(); ++s) {
+    min_size = std::min(min_size, system->SetSize(s));
+    max_size = std::max(max_size, system->SetSize(s));
+  }
+  if (system->num_sets() == 0) min_size = 0;
+  std::printf("instance %s\n", in.c_str());
+  std::printf("  elements (n) : %u\n", system->num_elements());
+  std::printf("  sets (m)     : %u\n", system->num_sets());
+  std::printf("  nnz          : %zu\n", system->total_size());
+  std::printf("  set sizes    : min %zu, mean %.1f, max %zu\n", min_size,
+              system->num_sets() > 0
+                  ? static_cast<double>(system->total_size()) /
+                        system->num_sets()
+                  : 0.0,
+              max_size);
+  std::printf("  coverable    : %s\n",
+              IsCoverable(*system) ? "yes" : "NO (some element in no set)");
+  return 0;
+}
+
+int SolveOnStream(SetStream& stream, const SetSystem& system,
+                  const Args& args) {
+  const std::string algo = args.Get("algo", "iter");
+  const double delta = args.GetDouble("delta", 0.5);
+  const double coverage = args.GetDouble("coverage", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const uint32_t p = static_cast<uint32_t>(args.GetInt("p", 2));
+
+  Cover cover;
+  bool success = false;
+  uint64_t passes = 0, space = 0;
+  if (algo == "iter") {
+    IterSetCoverOptions options;
+    options.delta = delta;
+    options.sample_constant = args.GetDouble("c", 0.05);
+    options.seed = seed;
+    options.coverage_fraction = coverage;
+    StreamingResult r = IterSetCover(stream, options);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words_max_guess;
+  } else if (algo == "store-all") {
+    BaselineResult r = StoreAllGreedy(stream);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words;
+  } else if (algo == "iterative") {
+    BaselineResult r = IterativeGreedy(stream);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words;
+  } else if (algo == "progressive") {
+    BaselineResult r = ProgressiveGreedy(stream, coverage);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words;
+  } else if (algo == "threshold") {
+    BaselineResult r = PolynomialThresholdCover(stream, p, coverage);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words;
+  } else if (algo == "dimv14") {
+    Dimv14Options options;
+    options.delta = delta;
+    options.seed = seed;
+    options.sample_constant = args.GetDouble("c", 0.05);
+    BaselineResult r = Dimv14Cover(stream, options);
+    cover = std::move(r.cover);
+    success = r.success;
+    passes = r.passes;
+    space = r.space_words;
+  } else {
+    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+    return 1;
+  }
+
+  const size_t covered = CoveredCount(system, cover);
+  std::printf("algo=%s success=%s cover=%zu covered=%zu/%u passes=%llu "
+              "space_words=%llu\n",
+              algo.c_str(), success ? "yes" : "no", cover.size(), covered,
+              system.num_elements(),
+              static_cast<unsigned long long>(passes),
+              static_cast<unsigned long long>(space));
+  return success ? 0 : 1;
+}
+
+int CmdSolve(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Usage();
+  std::string error;
+  auto system = LoadSetSystemFromFile(in, &error);
+  if (!system) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (args.Has("from-disk")) {
+    // Stream the repository from disk on every pass — the model's
+    // "read-only repository", literally.
+    auto source = FileSetSource::Open(in, &error);
+    if (!source) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    SetStream stream(&*source);
+    return SolveOnStream(stream, *system, args);
+  }
+  SetStream stream(&*system);
+  return SolveOnStream(stream, *system, args);
+}
+
+int CmdSelfTest() {
+  const std::string dir =
+      std::getenv("TMPDIR") != nullptr ? std::getenv("TMPDIR") : "/tmp";
+  const std::string path = dir + "/streamcover_cli_selftest.txt";
+
+  {
+    Args gen;
+    gen.flags = {{"type", "planted"}, {"n", "400"},    {"m", "900"},
+                 {"k", "8"},          {"seed", "3"},   {"out", path}};
+    if (CmdGenerate(gen) != 0) return 1;
+  }
+  {
+    Args stats;
+    stats.flags = {{"in", path}};
+    if (CmdStats(stats) != 0) return 1;
+  }
+  for (const char* algo :
+       {"iter", "store-all", "iterative", "progressive", "threshold"}) {
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", algo}, {"delta", "0.5"}};
+    if (CmdSolve(solve) != 0) {
+      std::fprintf(stderr, "selftest: algo %s failed\n", algo);
+      return 1;
+    }
+  }
+  {
+    // Disk-streamed solve must agree with the in-memory one.
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"from-disk", "1"}};
+    if (CmdSolve(solve) != 0) return 1;
+  }
+  // Geometric pipeline.
+  const std::string geom_path = dir + "/streamcover_cli_selftest_geom.txt";
+  {
+    Args gen;
+    gen.flags = {{"type", "disk"}, {"n", "200"},  {"m", "600"},
+                 {"k", "5"},       {"seed", "2"}, {"out", geom_path}};
+    if (CmdGenerateGeom(gen) != 0) return 1;
+  }
+  {
+    Args solve;
+    solve.flags = {{"in", geom_path}, {"delta", "0.25"}};
+    if (CmdSolveGeom(solve) != 0) return 1;
+  }
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main(int argc, char** argv) {
+  using namespace streamcover;
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "generate-geom") return CmdGenerateGeom(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "solve") return CmdSolve(args);
+  if (cmd == "solve-geom") return CmdSolveGeom(args);
+  if (cmd == "selftest") return CmdSelfTest();
+  return Usage();
+}
