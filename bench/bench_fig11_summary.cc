@@ -16,12 +16,9 @@
 #include <string>
 #include <vector>
 
-#include "baselines/dimv14.h"
-#include "baselines/iterative_greedy.h"
-#include "baselines/store_all_greedy.h"
-#include "baselines/threshold_greedy.h"
 #include "bench_util.h"
 #include "core/iter_set_cover.h"
+#include "core/solver_registry.h"
 #include "setsystem/generators.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -55,76 +52,66 @@ void Run() {
       "Figure 1.1 — summary table with measured columns "
       "(n=2000, m=4000, planted OPT=25, mean over 3 seeds)");
 
+  // Every row dispatches through SolverRegistry::RunSolver; only the
+  // registry name and RunOptions differ per row.
   struct RowSpec {
     std::string name;
     std::string paper_bound;  // approx | passes | space from Figure 1.1
+    std::string solver;       // SolverRegistry name
+    double delta = 0.5;
+    uint32_t threshold_passes = 2;
+    /// iterSetCover rows re-measure space with the k ~ OPT guess: at
+    /// laptop scale the wrong-k guesses clamp their samples to the whole
+    /// residual and degenerate to store-all behaviour; the k ~ OPT guess
+    /// is where the O~(m n^delta) bound has content (the bench_tradeoff
+    /// n-sweep quantifies it).
+    bool single_guess_space = false;
   };
   std::vector<RowSpec> specs = {
-      {"greedy, store-all", "ln n | 1 | O(mn)"},
-      {"greedy, pass-per-pick", "ln n | n | O(n)"},
-      {"[SG09] progressive", "O(log n) | O(log n) | O~(n)"},
-      {"[ER14] threshold p=1", "O(sqrt n) | 1 | O~(n)"},
-      {"[CW16] threshold p=2", "O(n^{1/3}) | 2 | O~(n)"},
-      {"[CW16] threshold p=3", "O(n^{1/4}) | 3 | O~(n)"},
-      {"[DIMV14] delta=1/3", "O(4^{1/d} rho) | O(4^{1/d}) | O~(mn^d)"},
-      {"iterSetCover delta=1/3", "O(rho/d) | 2/d | O~(mn^d)"},
-      {"iterSetCover delta=1/2", "O(rho/d) | 2/d | O~(mn^d)"},
+      {"greedy, store-all", "ln n | 1 | O(mn)", "store_all_greedy"},
+      {"greedy, pass-per-pick", "ln n | n | O(n)", "iterative_greedy"},
+      {"[SG09] progressive", "O(log n) | O(log n) | O~(n)",
+       "progressive_greedy"},
+      {"[ER14] threshold p=1", "O(sqrt n) | 1 | O~(n)", "threshold_greedy",
+       0.5, 1},
+      {"[CW16] threshold p=2", "O(n^{1/3}) | 2 | O~(n)", "threshold_greedy",
+       0.5, 2},
+      {"[CW16] threshold p=3", "O(n^{1/4}) | 3 | O~(n)", "threshold_greedy",
+       0.5, 3},
+      {"[DIMV14] delta=1/3", "O(4^{1/d} rho) | O(4^{1/d}) | O~(mn^d)",
+       "dimv14", 1.0 / 3.0},
+      {"iterSetCover delta=1/3", "O(rho/d) | 2/d | O~(mn^d)", "iter",
+       1.0 / 3.0, 2, true},
+      {"iterSetCover delta=1/2", "O(rho/d) | 2/d | O~(mn^d)", "iter", 0.5,
+       2, true},
   };
   std::vector<Measured> measured(specs.size());
 
   for (int seed = 1; seed <= kSeeds; ++seed) {
     PlantedInstance inst = MakeInstance(seed);
     const double opt = static_cast<double>(inst.planted_cover.size());
-    auto record = [&](size_t row, size_t cover, uint64_t passes,
-                      uint64_t space) {
-      measured[row].ratio.Add(static_cast<double>(cover) / opt);
-      measured[row].passes.Add(static_cast<double>(passes));
-      measured[row].space.Add(static_cast<double>(space));
-    };
-    {
-      SetStream s(&inst.system);
-      BaselineResult r = StoreAllGreedy(s);
-      record(0, r.cover.size(), r.passes, r.space_words);
-    }
-    {
-      SetStream s(&inst.system);
-      BaselineResult r = IterativeGreedy(s);
-      record(1, r.cover.size(), r.passes, r.space_words);
-    }
-    {
-      SetStream s(&inst.system);
-      BaselineResult r = ProgressiveGreedy(s);
-      record(2, r.cover.size(), r.passes, r.space_words);
-    }
-    for (uint32_t p : {1u, 2u, 3u}) {
-      SetStream s(&inst.system);
-      BaselineResult r = PolynomialThresholdCover(s, p);
-      record(2 + p, r.cover.size(), r.passes, r.space_words);
-    }
-    {
-      SetStream s(&inst.system);
-      Dimv14Options options;
-      options.delta = 1.0 / 3.0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const RowSpec& spec = specs[i];
+      RunOptions options;
+      options.delta = spec.delta;
       options.sample_constant = 0.05;
       options.seed = seed;
-      BaselineResult r = Dimv14Cover(s, options);
-      record(6, r.cover.size(), r.passes, r.space_words);
-    }
-    for (size_t i : {size_t{7}, size_t{8}}) {
+      options.threshold_passes = spec.threshold_passes;
       SetStream s(&inst.system);
-      IterSetCoverOptions options;
-      options.delta = (i == 7) ? 1.0 / 3.0 : 0.5;
-      options.sample_constant = 0.05;
-      options.seed = seed;
-      StreamingResult r = IterSetCover(s, options);
-      // Space reported for the guess k ~ OPT: at laptop scale the
-      // wrong-k guesses clamp their samples to the whole residual and
-      // degenerate to store-all behaviour; the k ~ OPT guess is where
-      // the O~(m n^delta) bound has content (the bench_tradeoff n-sweep
-      // quantifies it).
-      SetStream s2(&inst.system);
-      StreamingResult rk = IterSetCoverSingleGuess(s2, 32, options);
-      record(i, r.cover.size(), r.passes, rk.space_words_max_guess);
+      RunResult r = RunSolver(spec.solver, s, options);
+      uint64_t space = r.space_words;
+      if (spec.single_guess_space) {
+        IterSetCoverOptions iter_options;
+        iter_options.delta = spec.delta;
+        iter_options.sample_constant = 0.05;
+        iter_options.seed = seed;
+        SetStream s2(&inst.system);
+        StreamingResult rk = IterSetCoverSingleGuess(s2, 32, iter_options);
+        space = rk.space_words_max_guess;
+      }
+      measured[i].ratio.Add(static_cast<double>(r.cover.size()) / opt);
+      measured[i].passes.Add(static_cast<double>(r.passes));
+      measured[i].space.Add(static_cast<double>(space));
     }
   }
 

@@ -17,9 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "baselines/dimv14.h"
 #include "bench_util.h"
 #include "core/iter_set_cover.h"
+#include "core/solver_registry.h"
 #include "setsystem/generators.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -60,34 +60,33 @@ void DeltaSweep() {
     RunningStats passes_iter, passes_dimv, ratio, proj, space;
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       PlantedInstance inst = MakeInstance(n, seed);
+      // Full runs of both contenders dispatch through the registry; the
+      // projection-space probe needs per-iteration diagnostics, which
+      // only the single-guess entry point exposes.
+      RunOptions options;
+      options.delta = delta;
+      options.sample_constant = kSampleConstant;
+      options.seed = seed;
       {
         SetStream s(&inst.system);
-        IterSetCoverOptions options;
-        options.delta = delta;
-        options.sample_constant = kSampleConstant;
-        options.seed = seed;
-        StreamingResult r = IterSetCover(s, options);
+        RunResult r = RunSolver("iter", s, options);
         passes_iter.Add(static_cast<double>(r.passes));
         ratio.Add(static_cast<double>(r.cover.size()) /
                   static_cast<double>(inst.planted_cover.size()));
-        space.Add(static_cast<double>(r.space_words_max_guess));
+        space.Add(static_cast<double>(r.space_words));
       }
       {
         SetStream s(&inst.system);
-        IterSetCoverOptions options;
-        options.delta = delta;
-        options.sample_constant = kSampleConstant;
-        options.seed = seed;
-        StreamingResult r = IterSetCoverSingleGuess(s, 8, options);
+        IterSetCoverOptions iter_options;
+        iter_options.delta = delta;
+        iter_options.sample_constant = kSampleConstant;
+        iter_options.seed = seed;
+        StreamingResult r = IterSetCoverSingleGuess(s, 8, iter_options);
         proj.Add(static_cast<double>(PeakProjectionWords(r)));
       }
       {
         SetStream s(&inst.system);
-        Dimv14Options options;
-        options.delta = delta;
-        options.sample_constant = kSampleConstant;
-        options.seed = seed;
-        BaselineResult r = Dimv14Cover(s, options);
+        RunResult r = RunSolver("dimv14", s, options);
         passes_dimv.Add(static_cast<double>(r.passes));
       }
     }

@@ -1,0 +1,226 @@
+#include "core/solver_registry.h"
+
+#include <utility>
+
+#include "baselines/dimv14.h"
+#include "baselines/iterative_greedy.h"
+#include "baselines/store_all_greedy.h"
+#include "baselines/streaming_max_cover.h"
+#include "baselines/threshold_greedy.h"
+#include "core/iter_set_cover.h"
+#include "geometry/geom_set_cover.h"
+#include "geometry/range_space.h"
+#include "offline/exact.h"
+#include "offline/greedy.h"
+#include "stream/space_tracker.h"
+
+namespace streamcover {
+namespace {
+
+RunResult FromBaseline(BaselineResult r) {
+  RunResult result;
+  result.cover = std::move(r.cover);
+  result.success = r.success;
+  result.passes = r.passes;
+  result.space_words = r.space_words;
+  return result;
+}
+
+RunResult RunIterSetCover(SetStream& stream, const RunOptions& options) {
+  IterSetCoverOptions opts;
+  opts.delta = options.delta;
+  opts.sample_constant = options.sample_constant;
+  opts.offline = options.offline;
+  opts.seed = options.seed;
+  opts.coverage_fraction = options.coverage_fraction;
+  StreamingResult r = IterSetCover(stream, opts);
+  RunResult result;
+  result.cover = std::move(r.cover);
+  result.success = r.success;
+  result.passes = r.passes;
+  result.space_words = r.space_words_max_guess;
+  return result;
+}
+
+RunResult RunDimv14(SetStream& stream, const RunOptions& options) {
+  Dimv14Options opts;
+  opts.delta = options.delta;
+  opts.sample_constant = options.sample_constant;
+  opts.offline = options.offline;
+  opts.seed = options.seed;
+  return FromBaseline(Dimv14Cover(stream, opts));
+}
+
+RunResult RunStreamingMaxCover(SetStream& stream,
+                               const RunOptions& options) {
+  const uint32_t budget = options.max_cover_budget > 0
+                              ? options.max_cover_budget
+                              : stream.num_elements();
+  StreamingMaxCoverResult r = StreamingMaxCover(stream, budget);
+  RunResult result;
+  result.cover = std::move(r.cover);
+  result.success = r.covered >= stream.num_elements();
+  result.passes = r.passes;
+  result.space_words = r.space_words;
+  return result;
+}
+
+/// Store-all wrapper turning any OfflineSolver into a one-pass
+/// streaming run: buffer F (Θ(total_size) words), solve in memory.
+template <typename Solver>
+RunResult RunOffline(SetStream& stream, const RunOptions& /*options*/) {
+  SpaceTracker tracker;
+  const uint64_t passes_before = stream.passes();
+  SetSystem::Builder builder(stream.num_elements());
+  stream.ForEachSet([&](uint32_t /*id*/, std::span<const uint32_t> elems) {
+    tracker.Charge(elems.size() + 1);
+    builder.AddSet({elems.begin(), elems.end()});
+  });
+  SetSystem buffered = std::move(builder).Build();
+  OfflineResult offline = Solver().Solve(buffered);
+  tracker.Charge(offline.cover.size());
+
+  RunResult result;
+  result.cover = std::move(offline.cover);
+  result.success = IsFullCover(buffered, result.cover);
+  result.passes = stream.passes() - passes_before;
+  result.space_words = tracker.peak_words();
+  return result;
+}
+
+RunResult RunGeometric(SetStream& /*stream*/, const RunOptions& options) {
+  RunResult result;
+  if (options.geometry == nullptr) {
+    result.error =
+        "solver 'geom' needs RunOptions::geometry (points + shapes); "
+        "the abstract SetStream carries no coordinates";
+    return result;
+  }
+  ShapeStream shapes(&options.geometry->shapes);
+  GeomSetCoverOptions opts;
+  opts.delta = options.delta;
+  opts.sample_constant = options.sample_constant;
+  opts.offline = options.offline;
+  opts.seed = options.seed;
+  GeomStreamingResult r = AlgGeomSC(shapes, options.geometry->points, opts);
+  result.cover = std::move(r.cover);
+  result.success = r.success;
+  result.passes = r.passes;
+  result.space_words = r.space_words_max_guess;
+  return result;
+}
+
+void RegisterBuiltins(SolverRegistry& registry) {
+  using Kind = SolverRegistry::Kind;
+  auto add = [&](const char* name, const char* description, Kind kind,
+                 SolverRegistry::Runner run) {
+    registry.Register({name, description, kind, std::move(run)});
+  };
+
+  add("iter",
+      "iterSetCover (Thm 2.8): 2/delta passes, O~(m n^delta) space, "
+      "O(rho/delta) approx",
+      Kind::kStreaming, RunIterSetCover);
+  add("store_all_greedy",
+      "greedy, store-all: 1 pass, O(mn) space, ln n approx",
+      Kind::kStreaming,
+      [](SetStream& s, const RunOptions&) {
+        return FromBaseline(StoreAllGreedy(s));
+      });
+  add("iterative_greedy",
+      "greedy, pass-per-pick: n passes, O(n) space, ln n approx",
+      Kind::kStreaming,
+      [](SetStream& s, const RunOptions&) {
+        return FromBaseline(IterativeGreedy(s));
+      });
+  add("progressive_greedy",
+      "[SG09] halving thresholds: O(log n) passes, O~(n) space",
+      Kind::kStreaming,
+      [](SetStream& s, const RunOptions& o) {
+        return FromBaseline(ProgressiveGreedy(s, o.coverage_fraction));
+      });
+  add("threshold_greedy",
+      "[ER14]/[CW16] p-pass thresholds: (p+1) n^{1/(p+1)} approx, "
+      "O~(n) space",
+      Kind::kStreaming,
+      [](SetStream& s, const RunOptions& o) {
+        return FromBaseline(PolynomialThresholdCover(s, o.threshold_passes,
+                                                     o.coverage_fraction));
+      });
+  add("dimv14",
+      "[DIMV14] recursive sampling: O(4^{1/delta}) passes, "
+      "O~(m n^delta) space",
+      Kind::kStreaming, RunDimv14);
+  add("streaming_max_cover",
+      "[SG09]-style Max k-Cover: thresholded picks under a set budget",
+      Kind::kStreaming, RunStreamingMaxCover);
+  add("offline_greedy",
+      "offline greedy via store-all buffering: rho = ln n",
+      Kind::kOffline, RunOffline<GreedySolver>);
+  add("offline_exact",
+      "offline branch-and-bound via store-all buffering: rho = 1 "
+      "within node budget",
+      Kind::kOffline, RunOffline<ExactSolver>);
+  add("geom",
+      "algGeomSC (Thm 4.6): O(1) passes, O~(n) space for "
+      "disks/rects/fat triangles; needs RunOptions::geometry",
+      Kind::kGeometric, RunGeometric);
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool SolverRegistry::Register(Entry entry) {
+  if (entry.name.empty() || !entry.run) return false;
+  return entries_.emplace(entry.name, std::move(entry)).second;
+}
+
+const SolverRegistry::Entry* SolverRegistry::Find(
+    std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::vector<const SolverRegistry::Entry*> SolverRegistry::Entries() const {
+  std::vector<const Entry*> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) entries.push_back(&entry);
+  return entries;
+}
+
+RunResult RunSolver(std::string_view name, SetStream& stream,
+                    const RunOptions& options) {
+  const SolverRegistry::Entry* entry = SolverRegistry::Global().Find(name);
+  if (entry == nullptr) {
+    RunResult result;
+    result.error = "unknown solver '" + std::string(name) +
+                   "'; available: ";
+    bool first = true;
+    for (const std::string& known : SolverRegistry::Global().Names()) {
+      if (!first) result.error += ", ";
+      result.error += known;
+      first = false;
+    }
+    return result;
+  }
+  RunResult result = entry->run(stream, options);
+  if (result.ok()) result.solver = entry->name;
+  return result;
+}
+
+}  // namespace streamcover

@@ -1,0 +1,130 @@
+// SolverRegistry — the single uniform entry point to every set cover
+// algorithm in the library.
+//
+// Each algorithm (iterSetCover, the Figure 1.1 baselines, the offline
+// solvers run in store-all mode, and algGeomSC) registers under a stable
+// name; RunSolver(name, stream, options) dispatches to it and reports
+// cover size, pass count, and peak space in one uniform RunResult.
+// Tools, benches, and tests drive algorithms exclusively through this
+// seam, so new workloads and benchmarks never touch individual solver
+// call signatures.
+//
+// Unknown names fail cleanly: RunSolver returns a RunResult with ok()
+// false and a diagnostic in `error` (no aborts, no exceptions).
+
+#ifndef STREAMCOVER_CORE_SOLVER_REGISTRY_H_
+#define STREAMCOVER_CORE_SOLVER_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/geom_io.h"
+#include "offline/solver.h"
+#include "setsystem/cover.h"
+#include "stream/set_stream.h"
+
+namespace streamcover {
+
+/// Uniform tuning knobs. Each solver reads the subset it understands and
+/// ignores the rest, so one options struct can drive a whole sweep.
+struct RunOptions {
+  /// Trade-off parameter for iterSetCover / DIMV14 / algGeomSC.
+  double delta = 0.5;
+  /// Sample-size constant c (honest-at-laptop-scale default).
+  double sample_constant = 0.05;
+  /// Seed for every randomized solver.
+  uint64_t seed = 1;
+  /// epsilon-Partial Set Cover target; 1.0 = classic full cover.
+  double coverage_fraction = 1.0;
+  /// p for PolynomialThresholdCover ([ER14] p=1, [CW16] p>=1).
+  uint32_t threshold_passes = 2;
+  /// Pick budget for streaming_max_cover; 0 means |U| (always enough
+  /// for a full cover when one exists).
+  uint32_t max_cover_budget = 0;
+  /// Offline solver (algOfflineSC) for the sampling algorithms;
+  /// null => greedy.
+  const OfflineSolver* offline = nullptr;
+  /// Geometric payload, required by kind kGeometric solvers (the
+  /// abstract SetStream carries no coordinates). Not owned.
+  const GeomDataset* geometry = nullptr;
+};
+
+/// Uniform outcome: the cover plus the accounting columns of Figure 1.1.
+struct RunResult {
+  /// Resolved solver name (empty if dispatch failed).
+  std::string solver;
+  Cover cover;
+  /// True iff the solver reports a complete cover (or the requested
+  /// coverage fraction) was achieved.
+  bool success = false;
+  /// Sequential scans of the stream (per-guess max for parallel-guess
+  /// algorithms, matching the paper's accounting).
+  uint64_t passes = 0;
+  /// Peak retained 64-bit words.
+  uint64_t space_words = 0;
+  /// Non-empty iff the run could not be dispatched (unknown solver,
+  /// missing geometry payload, ...). When set, all other fields are
+  /// default-initialized.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Name-keyed solver directory. Thread-compatible: registration happens
+/// at startup (or test setup); concurrent lookups afterwards are safe.
+class SolverRegistry {
+ public:
+  /// Coarse classification, used by drivers to select sweep subsets.
+  enum class Kind {
+    kStreaming,  ///< reads F only through SetStream passes
+    kOffline,    ///< buffers the stream, then solves in memory
+    kGeometric,  ///< needs RunOptions::geometry; ignores the SetStream
+  };
+
+  using Runner = std::function<RunResult(SetStream&, const RunOptions&)>;
+
+  struct Entry {
+    std::string name;
+    std::string description;  ///< one line: bounds / Figure 1.1 row
+    Kind kind = Kind::kStreaming;
+    Runner run;
+  };
+
+  /// The process-wide registry, with every built-in solver
+  /// pre-registered on first use.
+  static SolverRegistry& Global();
+
+  /// Registers a solver. Returns false (and leaves the registry
+  /// unchanged) if the name is already taken or the entry has no runner.
+  bool Register(Entry entry);
+
+  /// Entry for `name`, or nullptr.
+  const Entry* Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// All registered names, sorted ascending.
+  std::vector<std::string> Names() const;
+
+  /// All entries, sorted by name.
+  std::vector<const Entry*> Entries() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Dispatches to `name` in the global registry. Unknown names (and
+/// geometric solvers invoked without RunOptions::geometry) come back
+/// with ok() == false and a diagnostic in `error`.
+RunResult RunSolver(std::string_view name, SetStream& stream,
+                    const RunOptions& options = {});
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_CORE_SOLVER_REGISTRY_H_

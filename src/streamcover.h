@@ -21,6 +21,7 @@
 #include "commlb/set_disjointness.h"          // IWYU pragma: export
 #include "commlb/sparse_lb.h"                 // IWYU pragma: export
 #include "core/iter_set_cover.h"              // IWYU pragma: export
+#include "core/solver_registry.h"             // IWYU pragma: export
 #include "geometry/canonical.h"               // IWYU pragma: export
 #include "geometry/geom_generators.h"         // IWYU pragma: export
 #include "geometry/geom_io.h"                 // IWYU pragma: export

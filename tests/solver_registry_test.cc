@@ -1,0 +1,131 @@
+// SolverRegistry: every registered solver must produce a feasible cover
+// on a shared planted instance through the uniform RunSolver entry
+// point, and unknown names must fail cleanly.
+
+#include "core/solver_registry.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "geometry/range_space.h"
+#include "gtest/gtest.h"
+#include "setsystem/cover.h"
+#include "setsystem/generators.h"
+#include "stream/set_stream.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+PlantedInstance SharedInstance() {
+  PlantedOptions options;
+  options.num_elements = 300;
+  options.num_sets = 600;
+  options.cover_size = 6;
+  options.noise_max_size = 20;
+  Rng rng(7);
+  return GeneratePlanted(options, rng);
+}
+
+TEST(SolverRegistryTest, EnumeratesAtLeastEightSolvers) {
+  const std::vector<std::string> names = SolverRegistry::Global().Names();
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"iter", "store_all_greedy", "iterative_greedy",
+        "progressive_greedy", "threshold_greedy", "dimv14",
+        "streaming_max_cover", "geom"}) {
+    EXPECT_TRUE(SolverRegistry::Global().Contains(expected))
+        << "missing solver: " << expected;
+  }
+}
+
+TEST(SolverRegistryTest, EveryAbstractSolverProducesFeasibleCover) {
+  PlantedInstance inst = SharedInstance();
+  for (const SolverRegistry::Entry* entry :
+       SolverRegistry::Global().Entries()) {
+    if (entry->kind == SolverRegistry::Kind::kGeometric) continue;
+    SetStream stream(&inst.system);
+    RunOptions options;
+    options.sample_constant = 0.05;
+    options.seed = 11;
+    RunResult r = RunSolver(entry->name, stream, options);
+    ASSERT_TRUE(r.ok()) << entry->name << ": " << r.error;
+    EXPECT_EQ(r.solver, entry->name);
+    EXPECT_TRUE(r.success) << entry->name << " reported failure";
+    EXPECT_TRUE(IsFullCover(inst.system, r.cover))
+        << entry->name << " returned an infeasible cover of size "
+        << r.cover.size();
+    EXPECT_GT(r.passes, 0u) << entry->name;
+    EXPECT_GT(r.space_words, 0u) << entry->name;
+  }
+}
+
+TEST(SolverRegistryTest, UnknownNameFailsCleanly) {
+  PlantedInstance inst = SharedInstance();
+  SetStream stream(&inst.system);
+  RunResult r = RunSolver("definitely-not-a-solver", stream);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.cover.set_ids.empty());
+  // The diagnostic names the unknown solver and lists the alternatives.
+  EXPECT_NE(r.error.find("definitely-not-a-solver"), std::string::npos);
+  EXPECT_NE(r.error.find("iter"), std::string::npos);
+  // The failed dispatch must not have consumed a pass.
+  EXPECT_EQ(stream.passes(), 0u);
+}
+
+TEST(SolverRegistryTest, GeometricSolverWithoutGeometryFailsCleanly) {
+  PlantedInstance inst = SharedInstance();
+  SetStream stream(&inst.system);
+  RunResult r = RunSolver("geom", stream);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("geometry"), std::string::npos);
+  EXPECT_EQ(stream.passes(), 0u);
+}
+
+TEST(SolverRegistryTest, GeometricSolverCoversPlantedGeomInstance) {
+  Rng rng(5);
+  GeomPlantedOptions geom_options;
+  geom_options.num_points = 150;
+  geom_options.num_shapes = 400;
+  geom_options.cover_size = 4;
+  geom_options.shape_class = ShapeClass::kDisk;
+  GeomInstance instance = GeneratePlantedGeom(geom_options, rng);
+  GeomDataset dataset{instance.points, instance.shapes};
+
+  // The abstract stream is ignored by geometric solvers; pass an empty
+  // system to prove it.
+  SetSystem empty;
+  SetStream stream(&empty);
+  RunOptions options;
+  options.delta = 0.25;
+  options.sample_constant = 0.05;
+  options.seed = 3;
+  options.geometry = &dataset;
+  RunResult r = RunSolver("geom", stream, options);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.success);
+  SetSystem ranges = BuildRangeSpace(dataset.points, dataset.shapes);
+  EXPECT_TRUE(IsFullCover(ranges, r.cover));
+}
+
+TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndEmptyEntries) {
+  SolverRegistry registry;
+  SolverRegistry::Entry entry;
+  entry.name = "custom";
+  entry.run = [](SetStream&, const RunOptions&) { return RunResult{}; };
+  EXPECT_TRUE(registry.Register(entry));
+  EXPECT_FALSE(registry.Register(entry)) << "duplicate name accepted";
+  SolverRegistry::Entry no_runner;
+  no_runner.name = "no-runner";
+  EXPECT_FALSE(registry.Register(no_runner));
+  SolverRegistry::Entry no_name;
+  no_name.run = entry.run;
+  EXPECT_FALSE(registry.Register(no_name));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace streamcover

@@ -79,6 +79,85 @@ TEST(DynamicBitsetTest, BitwiseOps) {
   EXPECT_EQ(a_not.ToVector(), std::vector<uint32_t>{1});
 }
 
+TEST(DynamicBitsetTest, FindNextCrossesWordBoundary) {
+  // A set bit at 63 (last of word 0) and 64 (first of word 1) must chain
+  // through FindNext without skipping or double-visiting.
+  DynamicBitset b(130);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_EQ(b.FindFirst(), 63u);
+  EXPECT_EQ(b.FindNext(0), 63u);
+  EXPECT_EQ(b.FindNext(62), 63u);
+  EXPECT_EQ(b.FindNext(63), 64u);
+  EXPECT_EQ(b.FindNext(64), 129u);
+  EXPECT_EQ(b.FindNext(129), b.size());
+  // FindNext from positions inside an all-clear word still lands on the
+  // next word's bit.
+  b.Reset(64);
+  EXPECT_EQ(b.FindNext(63), 129u);
+}
+
+TEST(DynamicBitsetTest, FindNextOnBoundarySizes) {
+  for (size_t size : {size_t{1}, size_t{64}, size_t{65}, size_t{128}}) {
+    DynamicBitset b(size);
+    b.Set(size - 1);
+    EXPECT_EQ(b.FindFirst(), size - 1) << "size=" << size;
+    EXPECT_EQ(b.FindNext(size - 1), size) << "size=" << size;
+    // Past-the-end probes must not read out of bounds or wrap.
+    EXPECT_EQ(b.FindNext(size), size) << "size=" << size;
+  }
+}
+
+TEST(DynamicBitsetTest, CountOnBoundarySizes) {
+  for (size_t size :
+       {size_t{0}, size_t{1}, size_t{64}, size_t{65}, size_t{1000}}) {
+    DynamicBitset all(size, true);
+    EXPECT_EQ(all.Count(), size) << "size=" << size;
+    DynamicBitset none(size, false);
+    EXPECT_EQ(none.Count(), 0u) << "size=" << size;
+    if (size > 0) {
+      none.Set(size - 1);
+      EXPECT_EQ(none.Count(), 1u) << "size=" << size;
+      none.SetAll();
+      EXPECT_EQ(none.Count(), size) << "size=" << size;
+    }
+  }
+}
+
+TEST(DynamicBitsetTest, AndNotAcrossWordBoundary) {
+  DynamicBitset a(65, true);
+  DynamicBitset mask(65);
+  mask.Set(0);
+  mask.Set(63);
+  mask.Set(64);
+  a.AndNot(mask);
+  EXPECT_EQ(a.Count(), 62u);
+  EXPECT_FALSE(a.Test(0));
+  EXPECT_FALSE(a.Test(63));
+  EXPECT_FALSE(a.Test(64));
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(62));
+  // AndNot with an empty mask is the identity; with itself, clears.
+  DynamicBitset empty(65);
+  a.AndNot(empty);
+  EXPECT_EQ(a.Count(), 62u);
+  a.AndNot(a);
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ForEachMatchesToVectorAcrossBoundaries) {
+  DynamicBitset b(1000);
+  for (size_t i : {size_t{0}, size_t{63}, size_t{64}, size_t{65},
+                   size_t{127}, size_t{128}, size_t{999}}) {
+    b.Set(i);
+  }
+  std::vector<uint32_t> visited;
+  b.ForEach([&](uint32_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, b.ToVector());
+  EXPECT_EQ(visited.size(), b.Count());
+}
+
 TEST(DynamicBitsetTest, ForEachVisitsAscending) {
   DynamicBitset b(300);
   std::vector<uint32_t> expect = {0, 63, 64, 128, 299};

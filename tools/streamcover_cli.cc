@@ -7,10 +7,13 @@
 //   stats    --in FILE
 //       Prints n, m, nnz, set-size distribution.
 //   solve    --in FILE --algo ALGO [--delta D] [--p P] [--seed SEED]
-//            [--coverage F] [--from-disk]
-//       ALGO: iter | store-all | iterative | progressive | threshold |
-//             dimv14. --from-disk streams the file per pass instead of
-//             loading it (FileSetSource).
+//            [--coverage F] [--budget B] [--from-disk]
+//       ALGO: any name from `list-solvers` (plus the legacy aliases
+//       store-all / iterative / progressive / threshold). Dispatch goes
+//       through SolverRegistry::RunSolver. --from-disk streams the file
+//       per pass instead of loading it (FileSetSource).
+//   list-solvers  (also: --list_solvers)
+//       Prints every registered solver with its kind and bounds.
 //   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
 //            [--seed SEED] --out FILE
 //       Writes a geometric instance (geometry/geom_io.h format).
@@ -75,9 +78,10 @@ int Usage() {
       "  streamcover_cli generate --type planted|sparse|zipf --n N --m M "
       "--k K [--s S] [--seed SEED] --out FILE\n"
       "  streamcover_cli stats --in FILE\n"
-      "  streamcover_cli solve --in FILE --algo "
-      "iter|store-all|iterative|progressive|threshold|dimv14 "
-      "[--delta D] [--p P] [--seed SEED] [--coverage F] [--from-disk]\n"
+      "  streamcover_cli solve --in FILE --algo NAME (see list-solvers) "
+      "[--delta D] [--p P] [--seed SEED] [--coverage F] [--budget B] "
+      "[--from-disk]\n"
+      "  streamcover_cli list-solvers\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
       "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
@@ -222,75 +226,56 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+/// Maps the pre-registry CLI spellings onto registry names.
+std::string CanonicalAlgoName(const std::string& algo) {
+  static const std::map<std::string, std::string> kAliases = {
+      {"store-all", "store_all_greedy"},
+      {"iterative", "iterative_greedy"},
+      {"progressive", "progressive_greedy"},
+      {"threshold", "threshold_greedy"},
+  };
+  auto it = kAliases.find(algo);
+  return it == kAliases.end() ? algo : it->second;
+}
+
 int SolveOnStream(SetStream& stream, const SetSystem& system,
                   const Args& args) {
-  const std::string algo = args.Get("algo", "iter");
-  const double delta = args.GetDouble("delta", 0.5);
-  const double coverage = args.GetDouble("coverage", 1.0);
-  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  const uint32_t p = static_cast<uint32_t>(args.GetInt("p", 2));
+  const std::string algo = CanonicalAlgoName(args.Get("algo", "iter"));
 
-  Cover cover;
-  bool success = false;
-  uint64_t passes = 0, space = 0;
-  if (algo == "iter") {
-    IterSetCoverOptions options;
-    options.delta = delta;
-    options.sample_constant = args.GetDouble("c", 0.05);
-    options.seed = seed;
-    options.coverage_fraction = coverage;
-    StreamingResult r = IterSetCover(stream, options);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words_max_guess;
-  } else if (algo == "store-all") {
-    BaselineResult r = StoreAllGreedy(stream);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words;
-  } else if (algo == "iterative") {
-    BaselineResult r = IterativeGreedy(stream);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words;
-  } else if (algo == "progressive") {
-    BaselineResult r = ProgressiveGreedy(stream, coverage);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words;
-  } else if (algo == "threshold") {
-    BaselineResult r = PolynomialThresholdCover(stream, p, coverage);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words;
-  } else if (algo == "dimv14") {
-    Dimv14Options options;
-    options.delta = delta;
-    options.seed = seed;
-    options.sample_constant = args.GetDouble("c", 0.05);
-    BaselineResult r = Dimv14Cover(stream, options);
-    cover = std::move(r.cover);
-    success = r.success;
-    passes = r.passes;
-    space = r.space_words;
-  } else {
-    std::fprintf(stderr, "unknown --algo %s\n", algo.c_str());
+  RunOptions options;
+  options.delta = args.GetDouble("delta", 0.5);
+  options.sample_constant = args.GetDouble("c", 0.05);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.coverage_fraction = args.GetDouble("coverage", 1.0);
+  options.threshold_passes = static_cast<uint32_t>(args.GetInt("p", 2));
+  options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
+
+  RunResult r = RunSolver(algo, stream, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.error.c_str());
     return 1;
   }
 
-  const size_t covered = CoveredCount(system, cover);
+  const size_t covered = CoveredCount(system, r.cover);
   std::printf("algo=%s success=%s cover=%zu covered=%zu/%u passes=%llu "
               "space_words=%llu\n",
-              algo.c_str(), success ? "yes" : "no", cover.size(), covered,
-              system.num_elements(),
-              static_cast<unsigned long long>(passes),
-              static_cast<unsigned long long>(space));
-  return success ? 0 : 1;
+              r.solver.c_str(), r.success ? "yes" : "no", r.cover.size(),
+              covered, system.num_elements(),
+              static_cast<unsigned long long>(r.passes),
+              static_cast<unsigned long long>(r.space_words));
+  return r.success ? 0 : 1;
+}
+
+int CmdListSolvers() {
+  const char* kind_names[] = {"streaming", "offline", "geometric"};
+  for (const SolverRegistry::Entry* entry :
+       SolverRegistry::Global().Entries()) {
+    std::printf("%-20s [%s] %s\n", entry->name.c_str(),
+                kind_names[static_cast<int>(entry->kind)],
+                entry->description.c_str());
+  }
+  std::printf("%zu solvers registered\n", SolverRegistry::Global().size());
+  return 0;
 }
 
 int CmdSolve(const Args& args) {
@@ -334,13 +319,24 @@ int CmdSelfTest() {
     if (CmdStats(stats) != 0) return 1;
   }
   for (const char* algo :
-       {"iter", "store-all", "iterative", "progressive", "threshold"}) {
+       {"iter", "store_all_greedy", "iterative_greedy",
+        "progressive_greedy", "threshold_greedy", "streaming_max_cover",
+        "offline_greedy"}) {
     Args solve;
     solve.flags = {{"in", path}, {"algo", algo}, {"delta", "0.5"}};
     if (CmdSolve(solve) != 0) {
       std::fprintf(stderr, "selftest: algo %s failed\n", algo);
       return 1;
     }
+  }
+  {
+    // Legacy aliases must still dispatch, and unknown names must fail
+    // cleanly with exit code 1 (not abort).
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", "store-all"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "no-such-solver"}};
+    if (CmdSolve(solve) != 1) return 1;
   }
   {
     // Disk-streamed solve must agree with the in-memory one.
@@ -373,6 +369,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "list-solvers" || cmd == "--list_solvers" ||
+      cmd == "--list-solvers") {
+    return CmdListSolvers();
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "generate-geom") return CmdGenerateGeom(args);
   if (cmd == "stats") return CmdStats(args);
