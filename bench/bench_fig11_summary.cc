@@ -1,8 +1,9 @@
 // Figure 1.1 — the paper's summary table, regenerated with MEASURED
 // columns. Every algorithm row of the table runs on identical planted
-// streams (n=2000, m=4000, OPT<=25, 3 seeds); we report the measured
-// cover-size ratio against the planted optimum, the measured pass
-// count, and the measured peak working memory in 64-bit words.
+// workloads (n=2000, m=4000, OPT<=25, 3 seeds) through one RunPlan grid;
+// we report the measured cover-size ratio against the planted optimum,
+// the measured pass count, and the measured peak working memory in
+// 64-bit words.
 //
 // What should hold (the paper's shape, not its constants):
 //  * greedy rows: best covers; either 1 pass + input-sized space, or
@@ -11,62 +12,55 @@
 //  * [DIMV14] vs iterSetCover at equal delta: comparable space, but
 //    exponentially more passes for DIMV14;
 //  * iterSetCover: 2/delta passes, intermediate space, log-factor cover.
+//
+// `--json out.json` additionally writes the raw RunReport (schema
+// streamcover.run_report.v1) for the perf trajectory.
+//
+// Instances come from the registered `planted` workload
+// (noise_max_size = n/20); pre-registry revisions of this bench
+// generated noise up to n/25, so absolute numbers shifted slightly when
+// the bench migrated. The JSON perf baseline starts at this revision.
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/iter_set_cover.h"
-#include "core/solver_registry.h"
-#include "setsystem/generators.h"
-#include "util/stats.h"
+#include "core/instance.h"
+#include "core/run_plan.h"
 #include "util/table.h"
 
 namespace streamcover {
 namespace {
 
-struct Measured {
-  RunningStats ratio;   // cover size / planted OPT
-  RunningStats passes;
-  RunningStats space;
-};
-
 constexpr uint32_t kN = 2000;
 constexpr uint32_t kM = 4000;
 constexpr uint32_t kOpt = 25;
 constexpr int kSeeds = 3;
+/// iterSetCover rows re-measure space with the k ~ OPT guess: at laptop
+/// scale the wrong-k guesses clamp their samples to the whole residual
+/// and degenerate to store-all behaviour; the k ~ OPT guess is where the
+/// O~(m n^delta) bound has content (the bench_tradeoff n-sweep
+/// quantifies it).
+constexpr uint64_t kOptGuess = 32;
 
-PlantedInstance MakeInstance(uint64_t seed) {
-  Rng rng(seed);
-  PlantedOptions options;
-  options.num_elements = kN;
-  options.num_sets = kM;
-  options.cover_size = kOpt;
-  options.noise_max_size = kN / 25;
-  return GeneratePlanted(options, rng);
-}
+struct RowSpec {
+  std::string name;
+  std::string paper_bound;  // approx | passes | space from Figure 1.1
+  std::string solver;       // SolverRegistry name
+  double delta = 0.5;
+  uint32_t threshold_passes = 2;
+  bool single_guess_space = false;
+};
 
-void Run() {
+int Run(const std::string& json_path) {
   benchutil::Banner(
       "Figure 1.1 — summary table with measured columns "
       "(n=2000, m=4000, planted OPT=25, mean over 3 seeds)");
 
-  // Every row dispatches through SolverRegistry::RunSolver; only the
-  // registry name and RunOptions differ per row.
-  struct RowSpec {
-    std::string name;
-    std::string paper_bound;  // approx | passes | space from Figure 1.1
-    std::string solver;       // SolverRegistry name
-    double delta = 0.5;
-    uint32_t threshold_passes = 2;
-    /// iterSetCover rows re-measure space with the k ~ OPT guess: at
-    /// laptop scale the wrong-k guesses clamp their samples to the whole
-    /// residual and degenerate to store-all behaviour; the k ~ OPT guess
-    /// is where the O~(m n^delta) bound has content (the bench_tradeoff
-    /// n-sweep quantifies it).
-    bool single_guess_space = false;
-  };
+  // Every row is a SolverSpec of one RunPlan grid over the shared
+  // planted workload; only registry name and RunOptions differ per row.
   std::vector<RowSpec> specs = {
       {"greedy, store-all", "ln n | 1 | O(mn)", "store_all_greedy"},
       {"greedy, pass-per-pick", "ln n | n | O(n)", "iterative_greedy"},
@@ -85,57 +79,102 @@ void Run() {
       {"iterSetCover delta=1/2", "O(rho/d) | 2/d | O~(mn^d)", "iter", 0.5,
        2, true},
   };
-  std::vector<Measured> measured(specs.size());
 
-  for (int seed = 1; seed <= kSeeds; ++seed) {
-    PlantedInstance inst = MakeInstance(seed);
-    const double opt = static_cast<double>(inst.planted_cover.size());
-    for (size_t i = 0; i < specs.size(); ++i) {
-      const RowSpec& spec = specs[i];
-      RunOptions options;
-      options.delta = spec.delta;
-      options.sample_constant = 0.05;
-      options.seed = seed;
-      options.threshold_passes = spec.threshold_passes;
-      SetStream s(&inst.system);
-      RunResult r = RunSolver(spec.solver, s, options);
-      uint64_t space = r.space_words;
-      if (spec.single_guess_space) {
-        IterSetCoverOptions iter_options;
-        iter_options.delta = spec.delta;
-        iter_options.sample_constant = 0.05;
-        iter_options.seed = seed;
-        SetStream s2(&inst.system);
-        StreamingResult rk = IterSetCoverSingleGuess(s2, 32, iter_options);
-        space = rk.space_words_max_guess;
-      }
-      measured[i].ratio.Add(static_cast<double>(r.cover.size()) / opt);
-      measured[i].passes.Add(static_cast<double>(r.passes));
-      measured[i].space.Add(static_cast<double>(space));
+  RunPlan plan;
+  for (const RowSpec& spec : specs) {
+    SolverSpec solver;
+    solver.solver = spec.solver;
+    solver.label = spec.name;
+    solver.options.delta = spec.delta;
+    solver.options.sample_constant = 0.05;
+    solver.options.threshold_passes = spec.threshold_passes;
+    plan.solvers.push_back(std::move(solver));
+    if (spec.single_guess_space) {
+      // Space-probe twin of the row: same options, single k~OPT guess.
+      SolverSpec probe;
+      probe.solver = spec.solver;
+      probe.label = "probe:" + spec.name;
+      probe.options = plan.solvers.back().options;
+      probe.options.iter_guess = kOptGuess;
+      plan.solvers.push_back(std::move(probe));
     }
   }
+  {
+    WorkloadSpec workload;
+    workload.workload = "planted";
+    workload.label = "planted";
+    workload.params.n = kN;
+    workload.params.m = kM;
+    workload.params.k = kOpt;
+    plan.workloads.push_back(std::move(workload));
+  }
+  plan.seeds = {1, 2, 3};
+  static_assert(kSeeds == 3, "seeds list above must match kSeeds");
+
+  RunReport report = ExecutePlan(plan);
 
   Table table({"algorithm", "paper: approx | passes | space",
                "cover/OPT", "passes", "space (words)"});
-  for (size_t i = 0; i < specs.size(); ++i) {
-    table.AddRow({specs[i].name, specs[i].paper_bound,
-                  Table::Fmt(measured[i].ratio.mean(), 2),
-                  Table::Fmt(measured[i].passes.mean(), 1),
-                  Table::Fmt(static_cast<uint64_t>(
-                      measured[i].space.mean()))});
+  for (const RowSpec& spec : specs) {
+    const RunCell* cell = report.FindCell(spec.name, "planted");
+    if (cell == nullptr || cell->runs == 0) {
+      table.AddRow({spec.name, spec.paper_bound, "-", "-", "-"});
+      continue;
+    }
+    double space = cell->space_words.mean();
+    if (spec.single_guess_space) {
+      const RunCell* probe = report.FindCell("probe:" + spec.name,
+                                             "planted");
+      if (probe != nullptr && probe->runs > 0) {
+        space = probe->space_words.mean();
+      }
+    }
+    table.AddRow({spec.name, spec.paper_bound,
+                  Table::Fmt(cell->ratio.mean(), 2),
+                  Table::Fmt(cell->passes.mean(), 1),
+                  Table::Fmt(static_cast<uint64_t>(space))});
   }
   table.Print(std::cout);
+
+  WorkloadParams probe_params;
+  probe_params.n = kN;
+  probe_params.m = kM;
+  probe_params.k = kOpt;
+  probe_params.seed = 1;
+  std::optional<Instance> probe = MakeWorkload("planted", probe_params);
   benchutil::Note(
       "\nspace for iterSetCover is the k~OPT guess (wrong-k guesses "
       "degenerate to\nstore-all at this scale; parallel guesses add a "
       "log n factor); input size is " +
-      std::to_string(MakeInstance(1).system.total_size()) + " words.");
+      std::to_string(probe.has_value() && probe->materialized() != nullptr
+                         ? probe->materialized()->total_size()
+                         : 0) +
+      " words.");
+
+  if (!json_path.empty()) {
+    std::string error;
+    if (!report.WriteJsonFile(json_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    benchutil::Note("wrote " + json_path);
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace streamcover
 
-int main() {
-  streamcover::Run();
-  return 0;
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: bench_fig11_summary [--json FILE]\n");
+        return 1;
+      }
+      json_path = argv[++i];
+    }
+  }
+  return streamcover::Run(json_path);
 }

@@ -1,7 +1,7 @@
 // Theorem 2.8 — the headline pass/space trade-off of iterSetCover:
 // 2/delta passes, O~(m n^delta) space, O(rho/delta) approximation.
 //
-// Two sweeps:
+// Two sweeps, both expressed as RunPlan grids over the planted workload:
 //  (A) delta sweep at fixed n: passes must equal 2/delta (Lemma 2.1),
 //      stored projection words must grow with delta, the cover must stay
 //      within the O(rho/delta) envelope, and DIMV14's pass count at the
@@ -11,16 +11,16 @@
 //      stored-projection footprint (log-log slope against n) should sit
 //      near delta (plus polylog drift), far below the exponent 1 of the
 //      store-all baseline.
+//
+// The projection-space probe runs iterSetCover's k=OPT single guess
+// through the registry (RunOptions::iter_guess) — no bespoke call sites.
 
-#include <cmath>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/iter_set_cover.h"
-#include "core/solver_registry.h"
-#include "setsystem/generators.h"
+#include "core/run_plan.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -28,74 +28,70 @@ namespace streamcover {
 namespace {
 
 constexpr double kSampleConstant = 0.005;
+constexpr uint32_t kPlantedOpt = 8;
 
-PlantedInstance MakeInstance(uint32_t n, uint64_t seed) {
-  Rng rng(seed);
-  PlantedOptions options;
-  options.num_elements = n;
-  options.num_sets = 2 * n;
-  options.cover_size = 8;
-  options.noise_max_size = n / 25;
-  return GeneratePlanted(options, rng);
+WorkloadSpec PlantedWorkload(uint32_t n, std::string label) {
+  WorkloadSpec workload;
+  workload.workload = "planted";
+  workload.label = std::move(label);
+  workload.params.n = n;
+  workload.params.m = 2 * n;
+  workload.params.k = kPlantedOpt;
+  return workload;
 }
 
-// Peak stored-projection words across iterations of the winning guess —
-// the O~(m n^delta) object of Lemma 2.2.
-uint64_t PeakProjectionWords(const StreamingResult& result) {
-  uint64_t peak = 0;
-  for (const auto& diag : result.diagnostics) {
-    peak = std::max(peak, diag.projection_words);
-  }
-  return peak;
+SolverSpec IterSpec(double delta, std::string label, uint64_t guess = 0) {
+  SolverSpec spec;
+  spec.solver = "iter";
+  spec.label = std::move(label);
+  spec.options.delta = delta;
+  spec.options.sample_constant = kSampleConstant;
+  spec.options.iter_guess = guess;
+  return spec;
 }
 
 void DeltaSweep() {
   benchutil::Banner(
       "Theorem 2.8 (A) — delta sweep, n=4096, m=8192, planted OPT=8");
-  const uint32_t n = 4096;
+  const std::vector<double> inv_deltas = {1.0, 2.0, 3.0, 4.0, 5.0};
+
+  RunPlan plan;
+  for (double inv_delta : inv_deltas) {
+    const double delta = 1.0 / inv_delta;
+    const std::string suffix = "1/" + Table::Fmt(static_cast<int>(inv_delta));
+    plan.solvers.push_back(IterSpec(delta, "iter d=" + suffix));
+    // Projection-space probe: the k=OPT single guess exposes the
+    // O~(m n^delta) object of Lemma 2.2.
+    plan.solvers.push_back(
+        IterSpec(delta, "probe d=" + suffix, kPlantedOpt));
+    SolverSpec dimv;
+    dimv.solver = "dimv14";
+    dimv.label = "dimv14 d=" + suffix;
+    dimv.options.delta = delta;
+    dimv.options.sample_constant = kSampleConstant;
+    plan.solvers.push_back(std::move(dimv));
+  }
+  plan.workloads.push_back(PlantedWorkload(4096, "planted-4096"));
+  plan.seeds = {1, 2, 3};
+
+  RunReport report = ExecutePlan(plan);
+
   Table table({"delta", "passes iter (=2/d)", "passes DIMV14", "cover/OPT",
                "proj words (k=OPT guess)", "space max-guess"});
-  for (double inv_delta : {1.0, 2.0, 3.0, 4.0, 5.0}) {
-    const double delta = 1.0 / inv_delta;
-    RunningStats passes_iter, passes_dimv, ratio, proj, space;
-    for (uint64_t seed = 1; seed <= 3; ++seed) {
-      PlantedInstance inst = MakeInstance(n, seed);
-      // Full runs of both contenders dispatch through the registry; the
-      // projection-space probe needs per-iteration diagnostics, which
-      // only the single-guess entry point exposes.
-      RunOptions options;
-      options.delta = delta;
-      options.sample_constant = kSampleConstant;
-      options.seed = seed;
-      {
-        SetStream s(&inst.system);
-        RunResult r = RunSolver("iter", s, options);
-        passes_iter.Add(static_cast<double>(r.passes));
-        ratio.Add(static_cast<double>(r.cover.size()) /
-                  static_cast<double>(inst.planted_cover.size()));
-        space.Add(static_cast<double>(r.space_words));
-      }
-      {
-        SetStream s(&inst.system);
-        IterSetCoverOptions iter_options;
-        iter_options.delta = delta;
-        iter_options.sample_constant = kSampleConstant;
-        iter_options.seed = seed;
-        StreamingResult r = IterSetCoverSingleGuess(s, 8, iter_options);
-        proj.Add(static_cast<double>(PeakProjectionWords(r)));
-      }
-      {
-        SetStream s(&inst.system);
-        RunResult r = RunSolver("dimv14", s, options);
-        passes_dimv.Add(static_cast<double>(r.passes));
-      }
-    }
-    table.AddRow({"1/" + Table::Fmt(static_cast<int>(inv_delta)),
-                  Table::Fmt(passes_iter.mean(), 1),
-                  Table::Fmt(passes_dimv.mean(), 1),
-                  Table::Fmt(ratio.mean(), 2),
-                  Table::Fmt(static_cast<uint64_t>(proj.mean())),
-                  Table::Fmt(static_cast<uint64_t>(space.mean()))});
+  for (double inv_delta : inv_deltas) {
+    const std::string suffix = "1/" + Table::Fmt(static_cast<int>(inv_delta));
+    const RunCell* iter = report.FindCell("iter d=" + suffix,
+                                          "planted-4096");
+    const RunCell* probe = report.FindCell("probe d=" + suffix,
+                                           "planted-4096");
+    const RunCell* dimv = report.FindCell("dimv14 d=" + suffix,
+                                          "planted-4096");
+    table.AddRow(
+        {suffix, Table::Fmt(iter->passes.mean(), 1),
+         Table::Fmt(dimv->passes.mean(), 1),
+         Table::Fmt(iter->ratio.mean(), 2),
+         Table::Fmt(static_cast<uint64_t>(probe->projection_words.mean())),
+         Table::Fmt(static_cast<uint64_t>(iter->space_words.mean()))});
   }
   table.Print(std::cout);
   benchutil::Note(
@@ -107,33 +103,32 @@ void DeltaSweep() {
 void NSweep() {
   benchutil::Banner(
       "Theorem 2.8 (B) — n sweep at fixed delta, m=2n, OPT guess k=8");
+  const std::vector<uint32_t> ns = {2048u, 4096u, 8192u, 16384u};
   for (double delta : {0.25, 0.5}) {
+    RunPlan plan;
+    plan.solvers.push_back(IterSpec(delta, "probe", kPlantedOpt));
+    for (uint32_t n : ns) {
+      plan.workloads.push_back(
+          PlantedWorkload(n, "planted-" + Table::Fmt(n)));
+    }
+    plan.seeds = {1, 2, 3};
+    RunReport report = ExecutePlan(plan);
+
     Table table({"n", "proj words", "proj words / m", "cover/OPT"});
     std::vector<double> xs, ys;
-    for (uint32_t n : {2048u, 4096u, 8192u, 16384u}) {
-      RunningStats proj, ratio;
-      for (uint64_t seed = 1; seed <= 3; ++seed) {
-        PlantedInstance inst = MakeInstance(n, seed);
-        SetStream s(&inst.system);
-        IterSetCoverOptions options;
-        options.delta = delta;
-        options.sample_constant = kSampleConstant;
-        options.seed = seed;
-        StreamingResult r = IterSetCoverSingleGuess(s, 8, options);
-        proj.Add(static_cast<double>(PeakProjectionWords(r)));
-        if (r.success) {
-          ratio.Add(static_cast<double>(r.cover.size()) /
-                    static_cast<double>(inst.planted_cover.size()));
-        }
-      }
+    for (uint32_t n : ns) {
+      const RunCell* cell =
+          report.FindCell("probe", "planted-" + Table::Fmt(n));
+      const double proj = cell->projection_words.mean();
       xs.push_back(static_cast<double>(n));
       // Normalize by m = 2n to isolate the n^delta factor of
       // O~(m n^delta) from the trivial m factor.
-      ys.push_back(proj.mean() / (2.0 * static_cast<double>(n)));
-      table.AddRow({Table::Fmt(n),
-                    Table::Fmt(static_cast<uint64_t>(proj.mean())),
-                    Table::Fmt(proj.mean() / (2.0 * n), 3),
-                    Table::Fmt(ratio.count() > 0 ? ratio.mean() : 0.0, 2)});
+      ys.push_back(proj / (2.0 * static_cast<double>(n)));
+      table.AddRow({Table::Fmt(n), Table::Fmt(static_cast<uint64_t>(proj)),
+                    Table::Fmt(proj / (2.0 * n), 3),
+                    Table::Fmt(cell->ratio.count() > 0 ? cell->ratio.mean()
+                                                       : 0.0,
+                               2)});
     }
     table.Print(std::cout);
     benchutil::Note(

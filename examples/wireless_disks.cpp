@@ -4,69 +4,84 @@
 // client positions fit in memory — exactly the Points-Shapes Set Cover
 // model of Theorem 4.6.
 //
+// The instance comes from the WorkloadRegistry (`geom_disks`) as one
+// Instance carrying both the geometric payload and its materialized
+// range space, so the SAME instance drives the geometric streaming
+// solver, a streaming abstract solver, and the offline yardstick —
+// no RunOptions::geometry plumbing anywhere.
+//
 //   ./build/examples/wireless_disks
 
 #include <cstdio>
+#include <string>
 
 #include "streamcover.h"
 
 int main() {
   using namespace streamcover;
 
-  Rng rng(7);
-  GeomPlantedOptions gen;
-  gen.num_points = 4000;    // clients
-  gen.num_shapes = 20000;   // candidate disk sites
-  gen.cover_size = 18;      // a good plan uses ~18 towers
-  gen.shape_class = ShapeClass::kDisk;
-  GeomInstance city = GeneratePlantedGeom(gen, rng);
-  std::printf("wireless instance: %zu clients, %zu candidate sites, "
+  WorkloadParams params;
+  params.n = 4000;    // clients
+  params.m = 20000;   // candidate disk sites
+  params.k = 18;      // a good plan uses ~18 towers
+  params.seed = 7;
+  std::string error;
+  std::optional<Instance> city = MakeWorkload("geom_disks", params, &error);
+  if (!city.has_value()) {
+    std::fprintf(stderr, "workload failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wireless instance: %u clients, %u candidate sites, "
               "planted plan of %zu towers\n",
-              city.points.size(), city.shapes.size(),
-              city.planted_cover.size());
+              city->num_elements(), city->num_sets(), city->opt_bound());
 
   // Stream the sites through algGeomSC (delta = 1/4: constant passes).
-  ShapeStream stream(&city.shapes);
-  GeomSetCoverOptions options;
+  // The registry pulls the points/shapes payload from the Instance.
+  RunOptions options;
   options.delta = 0.25;
   options.sample_constant = 0.1;
-  GeomStreamingResult plan = AlgGeomSC(stream, city.points, options);
+  RunResult plan = RunSolver("geom", *city, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.error.c_str());
+    return 1;
+  }
 
   std::printf("\nalgGeomSC:\n");
   std::printf("  success        : %s\n", plan.success ? "yes" : "no");
   std::printf("  towers chosen  : %zu (planted plan: %zu)\n",
-              plan.cover.size(), city.planted_cover.size());
+              plan.cover.size(), city->opt_bound());
   std::printf("  passes         : %llu\n",
               static_cast<unsigned long long>(plan.passes));
-  std::printf("  space          : %llu words for %zu clients "
+  std::printf("  space          : %llu words for %u clients "
               "(near-linear in clients, NOT in sites)\n",
-              static_cast<unsigned long long>(plan.space_words_max_guess),
-              city.points.size());
+              static_cast<unsigned long long>(plan.space_words),
+              city->num_elements());
 
-  // Independent verification through the abstract range space.
-  SetSystem ranges = BuildRangeSpace(city.points, city.shapes);
-  if (!plan.success || !IsFullCover(ranges, plan.cover)) {
+  // Independent verification through the instance's materialized range
+  // space.
+  if (!plan.success || !city->VerifyCover(plan.cover)) {
     std::printf("plan leaves clients uncovered!\n");
     return 1;
   }
 
-  // Canonical-representation diagnostics: why O~(n) space is possible.
-  std::printf("\nper-iteration canonical family (Lemma 4.4):\n");
-  for (const auto& diag : plan.diagnostics) {
-    std::printf("  iter %u: uncovered %llu -> %llu, sample %llu, "
-                "canonical sets %llu (%llu words), oversize %llu\n",
-                diag.iteration,
-                static_cast<unsigned long long>(diag.uncovered_before),
-                static_cast<unsigned long long>(diag.uncovered_after),
-                static_cast<unsigned long long>(diag.sample_size),
-                static_cast<unsigned long long>(diag.canonical_sets),
-                static_cast<unsigned long long>(diag.canonical_words),
-                static_cast<unsigned long long>(diag.oversize_ranges));
+  // The same Instance also drives abstract solvers (they stream the
+  // materialized range space): a store-all streaming run and the
+  // offline greedy yardstick.
+  RunOptions abstract_options;
+  abstract_options.sample_constant = 0.1;
+  RunResult streamed = RunSolver("store_all_greedy", *city,
+                                 abstract_options);
+  RunResult greedy = RunSolver("offline_greedy", *city, abstract_options);
+  if (!streamed.ok() || !greedy.ok()) {
+    std::fprintf(stderr, "comparison run failed\n");
+    return 1;
   }
-
-  // Offline comparison: greedy over the materialized range space.
-  OfflineResult greedy = GreedySolver().Solve(ranges);
-  std::printf("\noffline greedy plan: %zu towers; streaming/offline "
+  std::printf("\nstore-all greedy on the range space: %zu towers, "
+              "%llu words (space linear in SITES — the cost the "
+              "geometric algorithm avoids)\n",
+              streamed.cover.size(),
+              static_cast<unsigned long long>(streamed.space_words));
+  std::printf("offline greedy plan: %zu towers; streaming/offline "
               "ratio %.2f\n",
               greedy.cover.size(),
               static_cast<double>(plan.cover.size()) /

@@ -1,0 +1,148 @@
+#include "core/instance.h"
+
+#include <utility>
+
+#include "core/solver_registry.h"
+#include "geometry/range_space.h"
+#include "util/check.h"
+
+namespace streamcover {
+
+Instance Instance::FromSystem(SetSystem system, InstanceInfo info) {
+  Instance instance;
+  instance.info_ = std::move(info);
+  instance.owned_system_ = std::make_unique<SetSystem>(std::move(system));
+  instance.system_ = instance.owned_system_.get();
+  return instance;
+}
+
+Instance Instance::FromPlanted(PlantedInstance planted, InstanceInfo info) {
+  Instance instance = FromSystem(std::move(planted.system), std::move(info));
+  instance.planted_cover_ = std::move(planted.planted_cover);
+  return instance;
+}
+
+Instance Instance::FromGeometry(GeomInstance geom, InstanceInfo info) {
+  Instance instance;
+  instance.info_ = std::move(info);
+  instance.geometry_ =
+      GeomDataset{std::move(geom.points), std::move(geom.shapes)};
+  instance.planted_cover_ = std::move(geom.planted_cover);
+  return instance;
+}
+
+void Instance::EnsureMaterialized() {
+  if (system_ != nullptr || !geometry_.has_value()) return;
+  // Abstract solvers stream the range space — set i = trace of shape
+  // i — the same ground truth the geometric solver sees through the
+  // payload. Built on first demand: it can be quadratically larger
+  // than the payload (Figure 1.2), and geometric-only runs never
+  // touch it.
+  owned_system_ = std::make_unique<SetSystem>(
+      BuildRangeSpace(geometry_->points, geometry_->shapes));
+  system_ = owned_system_.get();
+}
+
+std::optional<Instance> Instance::FromFile(const std::string& path,
+                                           std::string* error) {
+  std::optional<FileSetSource> source = FileSetSource::Open(path, error);
+  if (!source.has_value()) return std::nullopt;
+  Instance instance;
+  instance.info_.name = path;
+  instance.info_.provenance = "file:" + path;
+  instance.file_source_ =
+      std::make_unique<FileSetSource>(std::move(*source));
+  return instance;
+}
+
+Instance Instance::WrapSystem(const SetSystem* system, InstanceInfo info) {
+  SC_CHECK(system != nullptr);
+  Instance instance;
+  instance.info_ = std::move(info);
+  instance.system_ = system;
+  return instance;
+}
+
+uint32_t Instance::num_elements() const {
+  if (file_source_ != nullptr) return file_source_->num_elements();
+  if (system_ != nullptr) return system_->num_elements();
+  if (geometry_.has_value()) {
+    return static_cast<uint32_t>(geometry_->points.size());
+  }
+  return 0;
+}
+
+uint32_t Instance::num_sets() const {
+  if (file_source_ != nullptr) return file_source_->num_sets();
+  if (system_ != nullptr) return system_->num_sets();
+  if (geometry_.has_value()) {
+    return static_cast<uint32_t>(geometry_->shapes.size());
+  }
+  return 0;
+}
+
+SetStream Instance::NewStream() {
+  if (file_source_ != nullptr) return SetStream(file_source_.get());
+  EnsureMaterialized();
+  SC_CHECK(system_ != nullptr);
+  return SetStream(system_);
+}
+
+size_t Instance::CountCovered(const Cover& cover) {
+  if (file_source_ == nullptr) {
+    EnsureMaterialized();
+    SC_CHECK(system_ != nullptr);
+    return CoveredCount(*system_, cover);
+  }
+  // One counting scan over the file source. It deliberately bypasses
+  // SetStream: verification is the experimenter's step, not a pass the
+  // algorithm is charged for.
+  std::vector<char> in_cover(file_source_->num_sets(), 0);
+  for (uint32_t id : cover.set_ids) {
+    if (id < in_cover.size()) in_cover[id] = 1;
+  }
+  std::vector<char> covered(file_source_->num_elements(), 0);
+  file_source_->Scan([&](uint32_t set_id, std::span<const uint32_t> elems) {
+    if (set_id >= in_cover.size() || in_cover[set_id] == 0) return;
+    for (uint32_t e : elems) covered[e] = 1;
+  });
+  size_t count = 0;
+  for (char c : covered) count += static_cast<size_t>(c);
+  return count;
+}
+
+RunResult RunSolver(std::string_view name, Instance& instance,
+                    const RunOptions& options) {
+  // Shared by the paths that must not touch the instance's repository:
+  // unknown names (diagnose without side effects) and geometric runs
+  // (they read only the payload — never materialize the possibly
+  // quadratic range space for them).
+  static const SetSystem* const kEmptySystem = new SetSystem();
+
+  const SolverRegistry::Entry* entry = SolverRegistry::Global().Find(name);
+  if (entry == nullptr) {
+    SetStream stream(kEmptySystem);
+    return RunSolver(name, stream, options);  // unknown-name diagnostic
+  }
+  if (entry->kind == SolverRegistry::Kind::kGeometric) {
+    if (!instance.has_geometry()) {
+      RunResult result;
+      result.error = "solver '" + entry->name +
+                     "' is geometric but instance '" + instance.name() +
+                     "' carries no points/shapes payload";
+      return result;
+    }
+    RunOptions effective = options;
+    effective.geometry = instance.geometry();
+    SetStream stream(kEmptySystem);
+    RunResult result = RunSolver(name, stream, effective);
+    if (result.ok()) result.instance = instance.name();
+    return result;
+  }
+  SetStream stream = instance.NewStream();
+  RunResult result = RunSolver(name, stream, options);
+  if (result.ok()) result.instance = instance.name();
+  return result;
+}
+
+}  // namespace streamcover

@@ -1,5 +1,6 @@
 #include "core/solver_registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "baselines/dimv14.h"
@@ -22,8 +23,19 @@ RunResult FromBaseline(BaselineResult r) {
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
+  // The baselines run one logical instruction stream: every pass is a
+  // sequential scan.
+  result.sequential_scans = r.passes;
   result.space_words = r.space_words;
   return result;
+}
+
+uint64_t PeakProjectionWords(const StreamingResult& r) {
+  uint64_t peak = 0;
+  for (const auto& diag : r.diagnostics) {
+    peak = std::max(peak, diag.projection_words);
+  }
+  return peak;
 }
 
 RunResult RunIterSetCover(SetStream& stream, const RunOptions& options) {
@@ -33,12 +45,17 @@ RunResult RunIterSetCover(SetStream& stream, const RunOptions& options) {
   opts.offline = options.offline;
   opts.seed = options.seed;
   opts.coverage_fraction = options.coverage_fraction;
-  StreamingResult r = IterSetCover(stream, opts);
+  StreamingResult r =
+      options.iter_guess > 0
+          ? IterSetCoverSingleGuess(stream, options.iter_guess, opts)
+          : IterSetCover(stream, opts);
   RunResult result;
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
+  result.sequential_scans = r.sequential_scans;
   result.space_words = r.space_words_max_guess;
+  result.projection_words_peak = PeakProjectionWords(r);
   return result;
 }
 
@@ -61,6 +78,7 @@ RunResult RunStreamingMaxCover(SetStream& stream,
   result.cover = std::move(r.cover);
   result.success = r.covered >= stream.num_elements();
   result.passes = r.passes;
+  result.sequential_scans = r.passes;
   result.space_words = r.space_words;
   return result;
 }
@@ -84,6 +102,7 @@ RunResult RunOffline(SetStream& stream, const RunOptions& /*options*/) {
   result.cover = std::move(offline.cover);
   result.success = IsFullCover(buffered, result.cover);
   result.passes = stream.passes() - passes_before;
+  result.sequential_scans = result.passes;
   result.space_words = tracker.peak_words();
   return result;
 }
@@ -102,10 +121,15 @@ RunResult RunGeometric(SetStream& /*stream*/, const RunOptions& options) {
   opts.sample_constant = options.sample_constant;
   opts.offline = options.offline;
   opts.seed = options.seed;
-  GeomStreamingResult r = AlgGeomSC(shapes, options.geometry->points, opts);
+  GeomStreamingResult r =
+      options.iter_guess > 0
+          ? AlgGeomSCSingleGuess(shapes, options.geometry->points,
+                                 options.iter_guess, opts)
+          : AlgGeomSC(shapes, options.geometry->points, opts);
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
+  result.sequential_scans = r.sequential_scans;
   result.space_words = r.space_words_max_guess;
   return result;
 }

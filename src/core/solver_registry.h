@@ -29,13 +29,18 @@
 
 namespace streamcover {
 
+class Instance;
+
 /// Uniform tuning knobs. Each solver reads the subset it understands and
 /// ignores the rest, so one options struct can drive a whole sweep.
 struct RunOptions {
   /// Trade-off parameter for iterSetCover / DIMV14 / algGeomSC.
   double delta = 0.5;
-  /// Sample-size constant c (honest-at-laptop-scale default).
-  double sample_constant = 0.05;
+  /// Sample-size constant c in c*rho*k*n^delta*log m*log n. The library
+  /// default is the Figure 1.3 constant 0.5 (asserted equal to
+  /// IterSetCoverOptions / GeomSetCoverOptions in solver_registry_test);
+  /// benches pass a smaller c explicitly to stay honest at laptop scale.
+  double sample_constant = 0.5;
   /// Seed for every randomized solver.
   uint64_t seed = 1;
   /// epsilon-Partial Set Cover target; 1.0 = classic full cover.
@@ -45,11 +50,18 @@ struct RunOptions {
   /// Pick budget for streaming_max_cover; 0 means |U| (always enough
   /// for a full cover when one exists).
   uint32_t max_cover_budget = 0;
+  /// If nonzero, iterSetCover / algGeomSC run only this single optimum
+  /// guess k instead of all parallel guesses — the space-probe mode of
+  /// the trade-off benches (IterSetCoverSingleGuess through the
+  /// registry). 0 = normal parallel-guess run.
+  uint64_t iter_guess = 0;
   /// Offline solver (algOfflineSC) for the sampling algorithms;
   /// null => greedy.
   const OfflineSolver* offline = nullptr;
-  /// Geometric payload, required by kind kGeometric solvers (the
-  /// abstract SetStream carries no coordinates). Not owned.
+  /// DEPRECATED — internal. Filled by RunSolver(name, Instance&, ...)
+  /// from the instance's geometric payload; external callers must route
+  /// geometry through core/instance.h instead of setting this field.
+  /// Will be removed once the SetStream overload goes away.
   const GeomDataset* geometry = nullptr;
 };
 
@@ -57,15 +69,27 @@ struct RunOptions {
 struct RunResult {
   /// Resolved solver name (empty if dispatch failed).
   std::string solver;
+  /// Name of the Instance the run executed on (empty for the bare
+  /// SetStream overload).
+  std::string instance;
   Cover cover;
   /// True iff the solver reports a complete cover (or the requested
   /// coverage fraction) was achieved.
   bool success = false;
-  /// Sequential scans of the stream (per-guess max for parallel-guess
-  /// algorithms, matching the paper's accounting).
+  /// Passes in the paper's accounting: per-guess max for parallel-guess
+  /// algorithms.
   uint64_t passes = 0;
+  /// Stream scans this (sequential) implementation actually performed,
+  /// summed over all guesses. Equals `passes` for single-guess
+  /// algorithms; quantifies the sharding/batching gap for iterSetCover
+  /// and algGeomSC.
+  uint64_t sequential_scans = 0;
   /// Peak retained 64-bit words.
   uint64_t space_words = 0;
+  /// Peak stored-projection words across iterations (Lemma 2.2's
+  /// O~(m n^delta) object). Only iterSetCover-family solvers report it;
+  /// 0 elsewhere.
+  uint64_t projection_words_peak = 0;
   /// Non-empty iff the run could not be dispatched (unknown solver,
   /// missing geometry payload, ...). When set, all other fields are
   /// default-initialized.
@@ -119,9 +143,18 @@ class SolverRegistry {
   std::map<std::string, Entry, std::less<>> entries_;
 };
 
-/// Dispatches to `name` in the global registry. Unknown names (and
-/// geometric solvers invoked without RunOptions::geometry) come back
-/// with ok() == false and a diagnostic in `error`.
+/// Canonical entry point: dispatches to `name` on `instance` (which
+/// supplies the stream, a fresh per-run pass counter, and — for
+/// geometric solvers — the points/shapes payload). Unknown names and
+/// geometric solvers on instances without geometry come back with
+/// ok() == false and a diagnostic in `error`. Defined in
+/// core/instance.cc.
+RunResult RunSolver(std::string_view name, Instance& instance,
+                    const RunOptions& options = {});
+
+/// DEPRECATED thin overload kept for one PR: dispatches on a bare
+/// stream. Geometric solvers only work here if the caller smuggles a
+/// payload through RunOptions::geometry; prefer the Instance overload.
 RunResult RunSolver(std::string_view name, SetStream& stream,
                     const RunOptions& options = {});
 

@@ -48,7 +48,11 @@ class SetStream {
   /// Number of passes performed so far.
   uint64_t passes() const { return passes_; }
 
-  /// Resets the pass counter (e.g., between benchmark repetitions).
+  /// Resets the pass counter. AVOID in multi-trial drivers: sharing one
+  /// stream across trials and resetting it by hand is how pass counts
+  /// get silently misattributed. Draw a fresh stream per trial from
+  /// Instance::NewStream() (core/instance.h) instead — RunPlan does
+  /// this automatically.
   void ResetPassCount() { passes_ = 0; }
 
  private:

@@ -20,8 +20,11 @@
 #include "commlb/recover_bit.h"               // IWYU pragma: export
 #include "commlb/set_disjointness.h"          // IWYU pragma: export
 #include "commlb/sparse_lb.h"                 // IWYU pragma: export
+#include "core/instance.h"                    // IWYU pragma: export
 #include "core/iter_set_cover.h"              // IWYU pragma: export
+#include "core/run_plan.h"                    // IWYU pragma: export
 #include "core/solver_registry.h"             // IWYU pragma: export
+#include "core/workload_registry.h"           // IWYU pragma: export
 #include "geometry/canonical.h"               // IWYU pragma: export
 #include "geometry/geom_generators.h"         // IWYU pragma: export
 #include "geometry/geom_io.h"                 // IWYU pragma: export

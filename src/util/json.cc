@@ -1,0 +1,387 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace streamcover {
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue* null = new JsonValue();
+  return *null;
+}
+
+void EscapeString(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void FormatNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Integers (the common case for counts) print without an exponent or
+  // trailing zeros; everything else gets round-trippable %.17g.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    SkipWhitespace();
+    std::optional<JsonValue> value = ParseValue(0);
+    if (!value) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void Fail(const std::string& reason) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "json parse error at offset " + std::to_string(pos_) + ": " +
+                reason;
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return std::nullopt;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        break;
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        break;
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+    Fail("invalid literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      Fail("malformed number '" + token + "'");
+      return std::nullopt;
+    }
+    return JsonValue(d);
+  }
+
+  std::optional<JsonValue> ParseString() {
+    std::optional<std::string> s = ParseRawString();
+    if (!s) return std::nullopt;
+    return JsonValue(std::move(*s));
+  }
+
+  std::optional<std::string> ParseRawString() {
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              Fail("bad hex digit in \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are out
+          // of scope for the reports we read back; emit the replacement
+          // pattern byte-for-byte instead of failing).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      SkipWhitespace();
+      std::optional<JsonValue> item = ParseValue(depth + 1);
+      if (!item) return std::nullopt;
+      out.Append(std::move(*item));
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) {
+        Fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseRawString();
+      if (!key) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      SkipWhitespace();
+      std::optional<JsonValue> value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      out.Set(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) {
+        Fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  type_ = Type::kObject;
+  for (auto& [existing, value] : object_) {
+    if (existing == key) {
+      value = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [existing, value] : object_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const JsonValue* found = Find(key);
+  return found != nullptr ? *found : NullValue();
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+                 : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent) * depth, ' ')
+                 : std::string();
+  const char* newline = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      FormatNumber(number_, out);
+      break;
+    case Type::kString:
+      EscapeString(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += newline;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += newline;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += newline;
+      for (size_t i = 0; i < object_.size(); ++i) {
+        out += pad;
+        EscapeString(object_[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < object_.size()) out += ',';
+        out += newline;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  std::string scratch;
+  if (error != nullptr) error->clear();  // Fail() keeps the first message
+  Parser parser(text, error != nullptr ? error : &scratch);
+  return parser.Run();
+}
+
+}  // namespace streamcover

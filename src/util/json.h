@@ -1,0 +1,111 @@
+// Minimal JSON document model for machine-readable reports.
+//
+// RunReport (core/run_plan.h) and the bench --json flags serialize
+// through this value type; tests parse the emitted text back to verify
+// round-trips. Deliberately small: UTF-8 pass-through, doubles for all
+// numbers, no comments, no trailing commas — exactly RFC 8259 minus
+// \uXXXX escapes outside the BMP surrogate rules (non-BMP input is
+// passed through as raw UTF-8 bytes, which every JSON consumer accepts).
+
+#ifndef STREAMCOVER_UTIL_JSON_H_
+#define STREAMCOVER_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace streamcover {
+
+/// A JSON value: null, bool, number, string, array, or object. Object
+/// keys keep insertion order so emitted reports are stable and diffable.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}          // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}            // NOLINT
+  JsonValue(int64_t v) : JsonValue(static_cast<double>(v)) {}        // NOLINT
+  JsonValue(uint64_t v) : JsonValue(static_cast<double>(v)) {}       // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}            // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; defaults returned on type mismatch (reports are
+  /// best-effort readers, not validators).
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  size_t size() const {
+    return is_array() ? array_.size() : (is_object() ? object_.size() : 0);
+  }
+  void Append(JsonValue v) {
+    type_ = Type::kArray;
+    array_.push_back(std::move(v));
+  }
+  const JsonValue& operator[](size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  /// Object access. Set() keeps first-insertion key order.
+  void Set(std::string key, JsonValue v);
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Member lookup with a shared null fallback (never dangles).
+  const JsonValue& At(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Serializes the value. indent > 0 pretty-prints with that many
+  /// spaces per level; indent == 0 emits compact single-line JSON.
+  std::string Dump(int indent = 2) const;
+
+  /// Parses `text`; std::nullopt + *error (position + reason) on
+  /// malformed input. Trailing non-whitespace after the value is an
+  /// error.
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_JSON_H_

@@ -1,0 +1,125 @@
+// util/json.h: the minimal JSON document model behind RunReport
+// serialization — construction, ordered dumping, parsing, escapes, and
+// clean failures on malformed input.
+
+#include "util/json.h"
+
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace streamcover {
+namespace {
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue(uint64_t{42}).AsDouble(), 42.0);
+  EXPECT_EQ(JsonValue("hello").AsString(), "hello");
+  // Mismatched accessors fall back instead of aborting.
+  EXPECT_DOUBLE_EQ(JsonValue("text").AsDouble(1.5), 1.5);
+  EXPECT_FALSE(JsonValue(3.0).AsBool(false));
+}
+
+TEST(JsonTest, ObjectKeepsInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zulu", 1);
+  obj.Set("alpha", 2);
+  obj.Set("zulu", 3);  // overwrite in place, order preserved
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.Dump(0), "{\"zulu\":3,\"alpha\":2}");
+  EXPECT_DOUBLE_EQ(obj.At("zulu").AsDouble(), 3.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_TRUE(obj.At("missing").is_null());
+}
+
+TEST(JsonTest, DumpCompactAndPretty) {
+  JsonValue root = JsonValue::Object();
+  root.Set("name", "grid");
+  JsonValue numbers = JsonValue::Array();
+  numbers.Append(1);
+  numbers.Append(2.5);
+  root.Set("numbers", std::move(numbers));
+  root.Set("ok", true);
+  root.Set("none", JsonValue());
+  EXPECT_EQ(root.Dump(0),
+            "{\"name\":\"grid\",\"numbers\":[1,2.5],\"ok\":true,"
+            "\"none\":null}");
+  const std::string pretty = root.Dump(2);
+  EXPECT_NE(pretty.find("  \"name\": \"grid\""), std::string::npos);
+  // Pretty output parses back to the same document.
+  auto reparsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Dump(0), root.Dump(0));
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  JsonValue value(std::string("line\n\ttab \"quote\" back\\slash \x01"));
+  const std::string dumped = value.Dump(0);
+  EXPECT_EQ(dumped, "\"line\\n\\ttab \\\"quote\\\" back\\\\slash \\u0001\"");
+  auto parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), value.AsString());
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  const std::string text = R"({
+    "cells": [
+      {"solver": "iter", "cover": {"mean": 8.5, "count": 4}},
+      {"solver": "greedy", "cover": null}
+    ],
+    "seeds": [1, 2, 3],
+    "ok": true
+  })";
+  std::string error;
+  auto parsed = JsonValue::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->At("cells").size(), 2u);
+  EXPECT_EQ(parsed->At("cells")[0].At("solver").AsString(), "iter");
+  EXPECT_DOUBLE_EQ(parsed->At("cells")[0].At("cover").At("mean").AsDouble(),
+                   8.5);
+  EXPECT_TRUE(parsed->At("cells")[1].At("cover").is_null());
+  EXPECT_EQ(parsed->At("seeds").size(), 3u);
+}
+
+TEST(JsonTest, ParseNumbersIncludingExponents) {
+  auto parsed = JsonValue::Parse("[-1.5e3, 0.25, 1e-2, 123456789]");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ((*parsed)[0].AsDouble(), -1500.0);
+  EXPECT_DOUBLE_EQ((*parsed)[1].AsDouble(), 0.25);
+  EXPECT_DOUBLE_EQ((*parsed)[2].AsDouble(), 0.01);
+  EXPECT_DOUBLE_EQ((*parsed)[3].AsDouble(), 123456789.0);
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesToUtf8) {
+  auto parsed = JsonValue::Parse("\"\\u00e9\\u2713\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), "\xC3\xA9\xE2\x9C\x93");
+}
+
+TEST(JsonTest, MalformedInputFailsWithDiagnostic) {
+  // One reused error string across calls: Parse must clear stale
+  // content so each diagnostic reflects the current input.
+  std::string error;
+  for (const char* bad :
+       {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\" 1}", "[1 2]", "nul", ""}) {
+    auto parsed = JsonValue::Parse(bad, &error);
+    EXPECT_FALSE(parsed.has_value()) << "accepted: " << bad;
+    EXPECT_NE(error.find("json parse error"), std::string::npos) << bad;
+  }
+  // Success after failure leaves the error empty, not stale.
+  auto ok = JsonValue::Parse("[1]", &error);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  JsonValue value(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(value.Dump(0), "null");
+}
+
+}  // namespace
+}  // namespace streamcover

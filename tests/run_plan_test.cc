@@ -1,0 +1,188 @@
+// RunPlan / RunReport: grid shape (solvers × workloads × seeds ×
+// trials), bit-for-bit seed determinism, per-cell failure recording, and
+// the JSON round-trip that the perf trajectory and CI smoke step rely
+// on.
+
+#include "core/run_plan.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/json.h"
+
+namespace streamcover {
+namespace {
+
+RunPlan SmallPlan() {
+  RunPlan plan;
+  for (const char* solver : {"iter", "store_all_greedy"}) {
+    SolverSpec spec;
+    spec.solver = solver;
+    spec.options.sample_constant = 0.05;
+    plan.solvers.push_back(std::move(spec));
+  }
+  for (const char* workload : {"planted", "sparse", "zipf"}) {
+    WorkloadSpec spec;
+    spec.workload = workload;
+    spec.params.n = 150;
+    spec.params.m = 300;
+    spec.params.k = 5;
+    plan.workloads.push_back(std::move(spec));
+  }
+  plan.seeds = {1, 2};
+  plan.trials = 2;
+  return plan;
+}
+
+TEST(RunPlanTest, GridShapeAndRunCounts) {
+  RunPlan plan = SmallPlan();
+  RunReport report = ExecutePlan(plan);
+  // One cell per (workload, solver) pair, workload-major.
+  ASSERT_EQ(report.cells.size(), 6u);
+  EXPECT_EQ(report.cells[0].workload, "planted");
+  EXPECT_EQ(report.cells[0].solver, "iter");
+  EXPECT_EQ(report.cells[1].solver, "store_all_greedy");
+  EXPECT_EQ(report.cells[2].workload, "sparse");
+  for (const RunCell& cell : report.cells) {
+    // 2 seeds x 2 trials per cell, all succeeding on these tiny planted
+    // families.
+    EXPECT_EQ(cell.runs, 4u) << cell.solver << " x " << cell.workload;
+    EXPECT_EQ(cell.failures, 0u);
+    EXPECT_EQ(cell.successes, 4u);
+    EXPECT_EQ(cell.cover.count(), 4u);
+    EXPECT_GT(cell.cover.mean(), 0.0);
+    EXPECT_GE(cell.ratio.mean(), 1.0)
+        << "cover can never beat the planted bound's role as OPT proxy "
+           "by being zero";
+    EXPECT_GT(cell.passes.mean(), 0.0);
+    EXPECT_GE(cell.sequential_scans.mean(), cell.passes.mean());
+    EXPECT_GT(cell.space_words.mean(), 0.0);
+  }
+}
+
+TEST(RunPlanTest, CellLookupByLabels) {
+  RunReport report = ExecutePlan(SmallPlan());
+  const RunCell* cell = report.FindCell("iter", "zipf");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->solver, "iter");
+  EXPECT_EQ(cell->workload, "zipf");
+  EXPECT_EQ(report.FindCell("iter", "no-such-workload"), nullptr);
+}
+
+TEST(RunPlanTest, SeedDeterminism) {
+  RunPlan plan = SmallPlan();
+  RunReport first = ExecutePlan(plan);
+  RunReport second = ExecutePlan(plan);
+  // Same plan => byte-identical reports (instances regenerate from the
+  // plan seeds; solver seeds derive as seed * trials + trial).
+  EXPECT_EQ(first.ToJsonString(), second.ToJsonString());
+
+  // A different seed axis changes at least the randomized solver cells.
+  plan.seeds = {3, 4};
+  RunReport shifted = ExecutePlan(plan);
+  EXPECT_NE(first.ToJsonString(), shifted.ToJsonString());
+}
+
+TEST(RunPlanTest, GeometricMismatchRecordedPerCell) {
+  RunPlan plan;
+  SolverSpec solver;
+  solver.solver = "geom";
+  plan.solvers.push_back(std::move(solver));
+  WorkloadSpec workload;
+  workload.workload = "planted";
+  workload.params.n = 100;
+  workload.params.m = 200;
+  workload.params.k = 4;
+  plan.workloads.push_back(std::move(workload));
+  plan.seeds = {1};
+  plan.trials = 2;
+
+  RunReport report = ExecutePlan(plan);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const RunCell& cell = report.cells[0];
+  EXPECT_EQ(cell.runs, 0u);
+  EXPECT_EQ(cell.failures, 2u);
+  ASSERT_FALSE(cell.errors.empty());
+  EXPECT_NE(cell.errors[0].find("geometric"), std::string::npos);
+  // The identical per-trial error is deduplicated.
+  EXPECT_EQ(cell.errors.size(), 1u);
+}
+
+TEST(RunPlanTest, UnknownWorkloadRecordedPerCell) {
+  RunPlan plan;
+  SolverSpec solver;
+  solver.solver = "store_all_greedy";
+  plan.solvers.push_back(std::move(solver));
+  WorkloadSpec workload;
+  workload.workload = "no-such-family";
+  plan.workloads.push_back(std::move(workload));
+
+  RunReport report = ExecutePlan(plan);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].runs, 0u);
+  EXPECT_EQ(report.cells[0].failures, 1u);
+  ASSERT_FALSE(report.cells[0].errors.empty());
+  EXPECT_NE(report.cells[0].errors[0].find("no-such-family"),
+            std::string::npos);
+}
+
+TEST(RunPlanTest, JsonRoundTrip) {
+  RunReport report = ExecutePlan(SmallPlan());
+  const std::string text = report.ToJsonString();
+
+  std::string error;
+  std::optional<JsonValue> parsed = JsonValue::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->At("schema").AsString(), "streamcover.run_report.v1");
+  EXPECT_EQ(parsed->At("solvers").size(), 2u);
+  EXPECT_EQ(parsed->At("workloads").size(), 3u);
+  EXPECT_EQ(parsed->At("seeds").size(), 2u);
+  EXPECT_EQ(parsed->At("trials").AsDouble(), 2.0);
+  ASSERT_EQ(parsed->At("cells").size(), report.cells.size());
+
+  // Spot-check a cell: the serialized aggregates match the in-memory
+  // report exactly.
+  const JsonValue& cell0 = parsed->At("cells")[0];
+  EXPECT_EQ(cell0.At("solver").AsString(), report.cells[0].solver);
+  EXPECT_EQ(cell0.At("workload").AsString(), report.cells[0].workload);
+  EXPECT_DOUBLE_EQ(cell0.At("cover").At("mean").AsDouble(),
+                   report.cells[0].cover.mean());
+  EXPECT_DOUBLE_EQ(cell0.At("space_words").At("max").AsDouble(),
+                   report.cells[0].space_words.max());
+  EXPECT_EQ(cell0.At("runs").AsDouble(), 4.0);
+
+  // Dump -> Parse -> Dump is a fixed point.
+  EXPECT_EQ(parsed->Dump(2), text);
+}
+
+TEST(RunPlanTest, SummaryTableHasOneRowPerCell) {
+  RunReport report = ExecutePlan(SmallPlan());
+  EXPECT_EQ(report.SummaryTable().num_rows(), report.cells.size());
+}
+
+TEST(RunPlanTest, ProjectionProbeThroughRegistry) {
+  // The iter_guess option runs iterSetCover's single guess through the
+  // registry and surfaces stored-projection words — the bench_tradeoff
+  // probe path.
+  RunPlan plan;
+  SolverSpec probe;
+  probe.solver = "iter";
+  probe.label = "probe";
+  probe.options.sample_constant = 0.05;
+  probe.options.iter_guess = 8;
+  plan.solvers.push_back(std::move(probe));
+  WorkloadSpec workload;
+  workload.workload = "planted";
+  workload.params.n = 256;
+  workload.params.m = 512;
+  workload.params.k = 8;
+  plan.workloads.push_back(std::move(workload));
+
+  RunReport report = ExecutePlan(plan);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].failures, 0u);
+  EXPECT_GT(report.cells[0].projection_words.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace streamcover

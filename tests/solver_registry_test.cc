@@ -8,6 +8,10 @@
 #include <string>
 #include <vector>
 
+#include "baselines/dimv14.h"
+#include "core/instance.h"
+#include "core/iter_set_cover.h"
+#include "geometry/geom_set_cover.h"
 #include "geometry/range_space.h"
 #include "gtest/gtest.h"
 #include "setsystem/cover.h"
@@ -92,23 +96,72 @@ TEST(SolverRegistryTest, GeometricSolverCoversPlantedGeomInstance) {
   geom_options.num_shapes = 400;
   geom_options.cover_size = 4;
   geom_options.shape_class = ShapeClass::kDisk;
-  GeomInstance instance = GeneratePlantedGeom(geom_options, rng);
-  GeomDataset dataset{instance.points, instance.shapes};
+  GeomInstance geom = GeneratePlantedGeom(geom_options, rng);
+  SetSystem ranges = BuildRangeSpace(geom.points, geom.shapes);
 
-  // The abstract stream is ignored by geometric solvers; pass an empty
-  // system to prove it.
-  SetSystem empty;
-  SetStream stream(&empty);
+  // The points/shapes payload travels inside the Instance; nobody
+  // constructs RunOptions::geometry.
+  Instance instance =
+      Instance::FromGeometry(std::move(geom), {"planted-disks", "test"});
   RunOptions options;
   options.delta = 0.25;
   options.sample_constant = 0.05;
   options.seed = 3;
-  options.geometry = &dataset;
-  RunResult r = RunSolver("geom", stream, options);
+  RunResult r = RunSolver("geom", instance, options);
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_TRUE(r.success);
-  SetSystem ranges = BuildRangeSpace(dataset.points, dataset.shapes);
   EXPECT_TRUE(IsFullCover(ranges, r.cover));
+}
+
+TEST(SolverRegistryTest, SampleConstantDefaultsAgreeEverywhere) {
+  // One documented default for the sample-size constant c: the
+  // Figure 1.3 value 0.5. RunOptions used to say 0.05 while the
+  // per-algorithm option structs said 0.5; a sweep that switched
+  // between entry points silently changed sample sizes.
+  EXPECT_DOUBLE_EQ(RunOptions{}.sample_constant,
+                   IterSetCoverOptions{}.sample_constant);
+  EXPECT_DOUBLE_EQ(RunOptions{}.sample_constant,
+                   GeomSetCoverOptions{}.sample_constant);
+  EXPECT_DOUBLE_EQ(RunOptions{}.sample_constant,
+                   Dimv14Options{}.sample_constant);
+  EXPECT_DOUBLE_EQ(RunOptions{}.sample_constant, 0.5);
+}
+
+TEST(SolverRegistryTest, InstanceOverloadMatchesDeprecatedStreamOverload) {
+  PlantedInstance inst = SharedInstance();
+  RunOptions options;
+  options.sample_constant = 0.05;
+  options.seed = 11;
+
+  SetStream stream(&inst.system);
+  RunResult via_stream = RunSolver("iter", stream, options);
+
+  Instance wrapped =
+      Instance::WrapSystem(&inst.system, {"shared", "test"});
+  RunResult via_instance = RunSolver("iter", wrapped, options);
+
+  ASSERT_TRUE(via_stream.ok());
+  ASSERT_TRUE(via_instance.ok());
+  EXPECT_EQ(via_stream.cover.set_ids, via_instance.cover.set_ids);
+  EXPECT_EQ(via_stream.passes, via_instance.passes);
+  EXPECT_EQ(via_stream.space_words, via_instance.space_words);
+  EXPECT_EQ(via_instance.instance, "shared");
+  EXPECT_TRUE(via_stream.instance.empty());
+}
+
+TEST(SolverRegistryTest, SingleGuessProbeRunsThroughRegistry) {
+  PlantedInstance inst = SharedInstance();
+  Instance instance = Instance::WrapSystem(&inst.system, {"shared", ""});
+  RunOptions options;
+  options.sample_constant = 0.05;
+  options.seed = 11;
+  options.iter_guess = 8;
+  RunResult r = RunSolver("iter", instance, options);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_GT(r.projection_words_peak, 0u);
+  // Single guess: the sequential implementation performs exactly the
+  // per-guess passes, no parallel-guess multiplication.
+  EXPECT_EQ(r.sequential_scans, r.passes);
 }
 
 TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndEmptyEntries) {

@@ -9,30 +9,43 @@
 //   solve    --in FILE --algo ALGO [--delta D] [--p P] [--seed SEED]
 //            [--coverage F] [--budget B] [--from-disk]
 //       ALGO: any name from `list-solvers` (plus the legacy aliases
-//       store-all / iterative / progressive / threshold). Dispatch goes
-//       through SolverRegistry::RunSolver. --from-disk streams the file
-//       per pass instead of loading it (FileSetSource).
+//       store-all / iterative / progressive / threshold). The file
+//       becomes an Instance and dispatch goes through
+//       RunSolver(name, Instance&, options). --from-disk keeps the
+//       repository on disk, re-parsed per pass (FileSetSource).
 //   list-solvers  (also: --list_solvers)
 //       Prints every registered solver with its kind and bounds.
+//   list-workloads
+//       Prints every registered workload family with its kind.
+//   sweep    [--solvers a,b,c] [--workloads x,y,z] [--seeds S]
+//            [--trials T] [--n N --m M --k K] [--delta D] [--c C]
+//            [--json FILE]
+//       Executes the (solvers × workloads × seeds × trials) grid
+//       through WorkloadRegistry/RunPlan, prints the summary table,
+//       and optionally writes the RunReport JSON.
 //   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
 //            [--seed SEED] --out FILE
 //       Writes a geometric instance (geometry/geom_io.h format).
 //   solve-geom --in FILE [--delta D] [--seed SEED]
 //       Runs algGeomSC (Theorem 4.6) on a geometric instance file.
 //   selftest
-//       Exercises generate -> stats -> solve (abstract and geometric)
-//       in a temp dir (used by ctest).
+//       Exercises generate -> stats -> solve -> sweep (abstract and
+//       geometric) in a temp dir (used by ctest).
 //
 // Exit code 0 on success; 1 on usage or runtime errors.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "streamcover.h"
+#include "util/json.h"
 
 namespace streamcover {
 namespace {
@@ -82,11 +95,25 @@ int Usage() {
       "[--delta D] [--p P] [--seed SEED] [--coverage F] [--budget B] "
       "[--from-disk]\n"
       "  streamcover_cli list-solvers\n"
+      "  streamcover_cli list-workloads\n"
+      "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
+      "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
+      "[--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
       "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
       "  streamcover_cli selftest\n");
   return 1;
+}
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::stringstream ss(list);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
 }
 
 int CmdGenerateGeom(const Args& args) {
@@ -141,20 +168,28 @@ int CmdSolveGeom(const Args& args) {
     std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
   }
-  ShapeStream stream(&dataset->shapes);
-  GeomSetCoverOptions options;
+  GeomInstance geom;
+  geom.points = std::move(dataset->points);
+  geom.shapes = std::move(dataset->shapes);
+  Instance instance =
+      Instance::FromGeometry(std::move(geom), {in, "file:" + in});
+
+  RunOptions options;
   options.delta = args.GetDouble("delta", 0.25);
   options.sample_constant = args.GetDouble("c", 0.05);
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  GeomStreamingResult r = AlgGeomSC(stream, dataset->points, options);
-  SetSystem ranges = BuildRangeSpace(dataset->points, dataset->shapes);
-  const bool feasible = IsFullCover(ranges, r.cover);
+  RunResult r = RunSolver("geom", instance, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.error.c_str());
+    return 1;
+  }
+  const bool feasible = instance.VerifyCover(r.cover);
   std::printf("algGeomSC success=%s cover=%zu feasible=%s passes=%llu "
               "space_words=%llu\n",
               r.success ? "yes" : "no", r.cover.size(),
               feasible ? "yes" : "no",
               static_cast<unsigned long long>(r.passes),
-              static_cast<unsigned long long>(r.space_words_max_guess));
+              static_cast<unsigned long long>(r.space_words));
   return (r.success && feasible) ? 0 : 1;
 }
 
@@ -238,8 +273,7 @@ std::string CanonicalAlgoName(const std::string& algo) {
   return it == kAliases.end() ? algo : it->second;
 }
 
-int SolveOnStream(SetStream& stream, const SetSystem& system,
-                  const Args& args) {
+int SolveOnInstance(Instance& instance, const Args& args) {
   const std::string algo = CanonicalAlgoName(args.Get("algo", "iter"));
 
   RunOptions options;
@@ -250,17 +284,17 @@ int SolveOnStream(SetStream& stream, const SetSystem& system,
   options.threshold_passes = static_cast<uint32_t>(args.GetInt("p", 2));
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
 
-  RunResult r = RunSolver(algo, stream, options);
+  RunResult r = RunSolver(algo, instance, options);
   if (!r.ok()) {
     std::fprintf(stderr, "%s\n", r.error.c_str());
     return 1;
   }
 
-  const size_t covered = CoveredCount(system, r.cover);
+  const size_t covered = instance.CountCovered(r.cover);
   std::printf("algo=%s success=%s cover=%zu covered=%zu/%u passes=%llu "
               "space_words=%llu\n",
               r.solver.c_str(), r.success ? "yes" : "no", r.cover.size(),
-              covered, system.num_elements(),
+              covered, instance.num_elements(),
               static_cast<unsigned long long>(r.passes),
               static_cast<unsigned long long>(r.space_words));
   return r.success ? 0 : 1;
@@ -278,28 +312,109 @@ int CmdListSolvers() {
   return 0;
 }
 
+int CmdListWorkloads() {
+  const char* kind_names[] = {"abstract", "geometric", "file"};
+  for (const WorkloadRegistry::Entry* entry :
+       WorkloadRegistry::Global().Entries()) {
+    std::printf("%-18s [%s] %s\n", entry->name.c_str(),
+                kind_names[static_cast<int>(entry->kind)],
+                entry->description.c_str());
+  }
+  std::printf("%zu workloads registered\n",
+              WorkloadRegistry::Global().size());
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  const std::vector<std::string> solvers = SplitCommaList(
+      args.Get("solvers", "iter,progressive_greedy,threshold_greedy"));
+  const std::vector<std::string> workloads =
+      SplitCommaList(args.Get("workloads", "planted,sparse,zipf"));
+  const int64_t num_seeds = args.GetInt("seeds", 2);
+  const int64_t num_trials = args.GetInt("trials", 1);
+  if (solvers.empty() || workloads.empty() || num_seeds <= 0 ||
+      num_trials <= 0) {
+    return Usage();
+  }
+
+  RunPlan plan;
+  for (const std::string& solver : solvers) {
+    SolverSpec spec;
+    spec.solver = CanonicalAlgoName(solver);
+    spec.options.delta = args.GetDouble("delta", 0.5);
+    spec.options.sample_constant = args.GetDouble("c", 0.05);
+    spec.options.threshold_passes =
+        static_cast<uint32_t>(args.GetInt("p", 2));
+    spec.options.coverage_fraction = args.GetDouble("coverage", 1.0);
+    plan.solvers.push_back(std::move(spec));
+  }
+  for (const std::string& workload : workloads) {
+    WorkloadSpec spec;
+    spec.workload = workload;
+    spec.params.n = static_cast<uint32_t>(args.GetInt("n", 500));
+    spec.params.m = static_cast<uint32_t>(args.GetInt("m", 1000));
+    spec.params.k = static_cast<uint32_t>(args.GetInt("k", 8));
+    spec.params.max_set_size =
+        static_cast<uint32_t>(args.GetInt("s", 32));
+    spec.params.path = args.Get("path");
+    plan.workloads.push_back(std::move(spec));
+  }
+  plan.seeds.clear();
+  for (int64_t seed = 1; seed <= num_seeds; ++seed) {
+    plan.seeds.push_back(static_cast<uint64_t>(seed));
+  }
+  plan.trials = static_cast<uint32_t>(num_trials);
+
+  RunReport report = ExecutePlan(plan);
+  std::printf("sweep: %zu solvers x %zu workloads x %zu seeds x %u "
+              "trials\n\n",
+              plan.solvers.size(), plan.workloads.size(),
+              plan.seeds.size(), plan.trials);
+  report.SummaryTable().Print(std::cout);
+
+  bool any_failure = false;
+  for (const RunCell& cell : report.cells) {
+    for (const std::string& error : cell.errors) {
+      std::fprintf(stderr, "[%s x %s] %s\n", cell.solver.c_str(),
+                   cell.workload.c_str(), error.c_str());
+      any_failure = true;
+    }
+  }
+
+  const std::string json_path = args.Get("json");
+  if (!json_path.empty()) {
+    std::string error;
+    if (!report.WriteJsonFile(json_path, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return any_failure ? 1 : 0;
+}
+
 int CmdSolve(const Args& args) {
   const std::string in = args.Get("in");
   if (in.empty()) return Usage();
   std::string error;
+  if (args.Has("from-disk")) {
+    // Keep the repository on disk, re-parsed on every pass — the
+    // model's "read-only repository", literally.
+    std::optional<Instance> instance = Instance::FromFile(in, &error);
+    if (!instance.has_value()) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    return SolveOnInstance(*instance, args);
+  }
   auto system = LoadSetSystemFromFile(in, &error);
   if (!system) {
     std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
   }
-  if (args.Has("from-disk")) {
-    // Stream the repository from disk on every pass — the model's
-    // "read-only repository", literally.
-    auto source = FileSetSource::Open(in, &error);
-    if (!source) {
-      std::fprintf(stderr, "open failed: %s\n", error.c_str());
-      return 1;
-    }
-    SetStream stream(&*source);
-    return SolveOnStream(stream, *system, args);
-  }
-  SetStream stream(&*system);
-  return SolveOnStream(stream, *system, args);
+  Instance instance = Instance::FromSystem(std::move(*system),
+                                           {in, "file:" + in});
+  return SolveOnInstance(instance, args);
 }
 
 int CmdSelfTest() {
@@ -344,6 +459,32 @@ int CmdSelfTest() {
     solve.flags = {{"in", path}, {"algo", "iter"}, {"from-disk", "1"}};
     if (CmdSolve(solve) != 0) return 1;
   }
+  if (CmdListWorkloads() != 0) return 1;
+  {
+    // A tiny sweep through WorkloadRegistry/RunPlan; its JSON must
+    // parse back.
+    const std::string json_path = dir + "/streamcover_cli_selftest.json";
+    Args sweep;
+    sweep.flags = {{"solvers", "iter,store_all_greedy,progressive_greedy"},
+                   {"workloads", "planted,sparse,adversarial"},
+                   {"seeds", "2"},
+                   {"n", "200"},
+                   {"m", "400"},
+                   {"k", "5"},
+                   {"json", json_path}};
+    if (CmdSweep(sweep) != 0) return 1;
+    std::ifstream is(json_path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    std::string error;
+    auto parsed = JsonValue::Parse(buffer.str(), &error);
+    if (!parsed.has_value() || !parsed->is_object() ||
+        parsed->At("cells").size() != 9) {
+      std::fprintf(stderr, "selftest: sweep JSON invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
   // Geometric pipeline.
   const std::string geom_path = dir + "/streamcover_cli_selftest_geom.txt";
   {
@@ -373,6 +514,10 @@ int main(int argc, char** argv) {
       cmd == "--list-solvers") {
     return CmdListSolvers();
   }
+  if (cmd == "list-workloads" || cmd == "--list-workloads") {
+    return CmdListWorkloads();
+  }
+  if (cmd == "sweep") return CmdSweep(args);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "generate-geom") return CmdGenerateGeom(args);
   if (cmd == "stats") return CmdStats(args);
