@@ -14,7 +14,10 @@
 //  * iterSetCover: 2/delta passes, intermediate space, log-factor cover.
 //
 // `--json out.json` additionally writes the raw RunReport (schema
-// streamcover.run_report.v1) for the perf trajectory.
+// streamcover.run_report.v2) for the perf trajectory. The "seq scans"
+// vs "phys scans" columns show the shared-scan scheduler collapsing
+// iterSetCover's guesses × passes sequential blow-up to one physical
+// scan per round.
 //
 // Instances come from the registered `planted` workload
 // (noise_max_size = n/20); pre-registry revisions of this bench
@@ -114,11 +117,12 @@ int Run(const std::string& json_path) {
   RunReport report = ExecutePlan(plan);
 
   Table table({"algorithm", "paper: approx | passes | space",
-               "cover/OPT", "passes", "space (words)"});
+               "cover/OPT", "passes", "seq scans", "phys scans",
+               "space (words)"});
   for (const RowSpec& spec : specs) {
     const RunCell* cell = report.FindCell(spec.name, "planted");
     if (cell == nullptr || cell->runs == 0) {
-      table.AddRow({spec.name, spec.paper_bound, "-", "-", "-"});
+      table.AddRow({spec.name, spec.paper_bound, "-", "-", "-", "-", "-"});
       continue;
     }
     double space = cell->space_words.mean();
@@ -132,6 +136,8 @@ int Run(const std::string& json_path) {
     table.AddRow({spec.name, spec.paper_bound,
                   Table::Fmt(cell->ratio.mean(), 2),
                   Table::Fmt(cell->passes.mean(), 1),
+                  Table::Fmt(cell->sequential_scans.mean(), 1),
+                  Table::Fmt(cell->physical_scans.mean(), 1),
                   Table::Fmt(static_cast<uint64_t>(space))});
   }
   table.Print(std::cout);

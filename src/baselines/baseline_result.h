@@ -14,7 +14,11 @@ namespace streamcover {
 struct BaselineResult {
   Cover cover;
   bool success = false;        ///< full cover achieved
-  uint64_t passes = 0;         ///< sequential scans of F
+  uint64_t passes = 0;         ///< logical passes over F
+  /// Physical scans of the repository. Scheduler-driven baselines fill
+  /// it (a shared scan can serve several consumers); 0 means "same as
+  /// passes" for the classic one-logical-instruction-stream baselines.
+  uint64_t physical_scans = 0;
   uint64_t space_words = 0;    ///< peak retained 64-bit words
 };
 

@@ -2,164 +2,197 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
 
 #include "offline/greedy.h"
 #include "stream/sampling.h"
-#include "stream/space_tracker.h"
-#include "util/bitset.h"
 #include "util/check.h"
 #include "util/mathutil.h"
-#include "util/rng.h"
 
 namespace streamcover {
-namespace {
 
-struct Dimv14Context {
-  SetStream* stream;
-  const OfflineSolver* offline;
-  const Dimv14Options* options;
-  SpaceTracker* tracker;
-  Rng* rng;
-  uint64_t k;
-  uint64_t base_size;  // direct-solve threshold (~ c n^delta polylog)
-  Cover sol;
-  bool failed = false;
-};
-
-// Covers the elements flagged in `targets` (recursively); picked set ids
-// are appended to ctx.sol. `targets` is consumed (cleared as covered).
-void Cover(Dimv14Context& ctx, DynamicBitset& targets, uint32_t depth) {
-  if (ctx.failed) return;
-  if (depth > ctx.options->max_depth) {
-    ctx.failed = true;
-    return;
-  }
-  uint64_t remaining = targets.Count();
-  if (remaining == 0) return;
-
-  if (remaining <= ctx.base_size) {
-    // Base case: one pass storing the projections of ALL sets onto the
-    // target (no Size Test — this is the space-relevant difference from
-    // iterSetCover), then one offline solve.
-    std::vector<uint32_t> target_elems = targets.ToVector();
-    std::unordered_map<uint32_t, uint32_t> reindex;
-    reindex.reserve(target_elems.size() * 2);
-    for (uint32_t i = 0; i < target_elems.size(); ++i) {
-      reindex[target_elems[i]] = i;
-    }
-    ctx.tracker->Charge(2 * target_elems.size());  // ids + reindex
-
-    SetSystem::Builder sub_builder(
-        static_cast<uint32_t>(target_elems.size()));
-    std::vector<uint32_t> original_ids;
-    uint64_t stored_words = 0;
-    ctx.stream->ForEachSet(
-        [&](uint32_t id, std::span<const uint32_t> elems) {
-          std::vector<uint32_t> proj;
-          for (uint32_t e : elems) {
-            auto it = reindex.find(e);
-            if (it != reindex.end()) proj.push_back(it->second);
-          }
-          if (proj.empty()) return;
-          stored_words += proj.size() + 1;
-          ctx.tracker->Charge(proj.size() + 1);
-          sub_builder.AddSet(std::move(proj));
-          original_ids.push_back(id);
-        });
-    SetSystem sub = std::move(sub_builder).Build();
-    OfflineResult offline_result = ctx.offline->Solve(sub);
-    for (uint32_t sub_id : offline_result.cover.set_ids) {
-      ctx.sol.set_ids.push_back(original_ids[sub_id]);
-      ctx.tracker->Charge(1);
-    }
-    ctx.tracker->Release(stored_words);
-    ctx.tracker->Release(2 * target_elems.size());
-    // Mark everything coverable in the sub-instance as covered.
-    DynamicBitset covered_sub = CoverageMask(sub, offline_result.cover);
-    for (uint32_t i = 0; i < target_elems.size(); ++i) {
-      if (covered_sub.Test(i)) targets.Reset(target_elems[i]);
-    }
-    // Whatever remains is uncoverable; drop it so recursion terminates.
-    targets.ResetAll();
-    return;
-  }
-
-  // Recursive case: sample |V| / n^delta elements (at least base_size).
-  const double shrink = PowDouble(
-      static_cast<double>(ctx.stream->num_elements()), ctx.options->delta);
-  uint64_t sample_size = std::max<uint64_t>(
-      ctx.base_size,
-      static_cast<uint64_t>(static_cast<double>(remaining) / shrink));
-  sample_size = std::min(sample_size, remaining - 1);
-
-  std::vector<uint32_t> sample_elems =
-      SampleFromBitset(targets, sample_size, *ctx.rng);
-  DynamicBitset sample_mask(targets.size());
-  for (uint32_t e : sample_elems) sample_mask.Set(e);
-  ctx.tracker->Charge(sample_mask.WordCount());
-
-  size_t sol_before = ctx.sol.set_ids.size();
-  Cover(ctx, sample_mask, depth + 1);  // child 1: cover the sample
-  ctx.tracker->Release(sample_mask.WordCount());
-  if (ctx.failed) return;
-
-  // One pass: remove from `targets` everything covered by the sets
-  // picked by child 1 (they typically cover most of V, not just S).
-  DynamicBitset picked(ctx.stream->num_sets());
-  for (size_t i = sol_before; i < ctx.sol.set_ids.size(); ++i) {
-    picked.Set(ctx.sol.set_ids[i]);
-  }
-  ctx.tracker->Charge(picked.WordCount());
-  ctx.stream->ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-    if (!picked.Test(id)) return;
-    for (uint32_t e : elems) targets.Reset(e);
-  });
-  ctx.tracker->Release(picked.WordCount());
-
-  Cover(ctx, targets, depth + 1);  // child 2: the residual
-}
-
-BaselineResult RunGuess(SetStream& stream, uint64_t k,
-                        const Dimv14Options& options,
-                        const OfflineSolver& offline, SpaceTracker& tracker,
-                        Rng& rng) {
-  const uint32_t n = stream.num_elements();
-  const uint32_t m = stream.num_sets();
-  const uint64_t passes_before = stream.passes();
-
-  Dimv14Context ctx;
-  ctx.stream = &stream;
-  ctx.offline = &offline;
-  ctx.options = &options;
-  ctx.tracker = &tracker;
-  ctx.rng = &rng;
-  ctx.k = k;
+Dimv14Consumer::Dimv14Consumer(uint32_t n, uint32_t m,
+                               const Dimv14Options& options,
+                               const OfflineSolver& offline)
+    : n_(n), m_(m), options_(&options), offline_(&offline),
+      rng_(options.seed) {
   // Base case: |V| such that m * |V| = O~(m n^delta) — i.e.
   // |V| <= c * n^delta * log m * log n (no k factor; see header).
-  ctx.base_size = static_cast<uint64_t>(std::ceil(
-      options.sample_constant * PowDouble(static_cast<double>(n),
-                                          options.delta) *
-      Log2Clamped(m) * Log2Clamped(n)));
-  ctx.base_size = std::max<uint64_t>(ctx.base_size, 1);
+  base_size_ = static_cast<uint64_t>(std::ceil(
+      options.sample_constant *
+      PowDouble(static_cast<double>(n), options.delta) * Log2Clamped(m) *
+      Log2Clamped(n)));
+  base_size_ = std::max<uint64_t>(base_size_, 1);
 
-  DynamicBitset targets(n, true);
-  tracker.Charge(targets.WordCount());
-  Cover(ctx, targets, 0);
-  tracker.Release(targets.WordCount());
+  Frame root;
+  root.targets = DynamicBitset(n, true);
+  tracker_.Charge(root.targets.WordCount());
+  stack_.push_back(std::move(root));
+  Advance();
+}
 
+void Dimv14Consumer::PrepareBasePass(Frame& frame) {
+  base_target_elems_ = frame.targets.ToVector();
+  reindex_.clear();
+  reindex_.reserve(base_target_elems_.size() * 2);
+  for (uint32_t i = 0; i < base_target_elems_.size(); ++i) {
+    reindex_[base_target_elems_[i]] = i;
+  }
+  tracker_.Charge(2 * base_target_elems_.size());  // ids + reindex
+  sub_builder_.emplace(static_cast<uint32_t>(base_target_elems_.size()));
+  original_ids_.clear();
+  stored_words_ = 0;
+}
+
+void Dimv14Consumer::Advance() {
+  while (true) {
+    if (failed_ || stack_.empty()) {
+      stack_.clear();
+      phase_ = Phase::kDone;
+      return;
+    }
+    Frame& frame = stack_.back();
+    switch (frame.stage) {
+      case Stage::kEnter: {
+        if (frame.depth > options_->max_depth) {
+          failed_ = true;
+          break;
+        }
+        const uint64_t remaining = frame.targets.Count();
+        if (remaining == 0) {
+          stack_.pop_back();
+          break;
+        }
+        if (remaining <= base_size_) {
+          // Base case: one pass storing the projections of ALL sets
+          // onto the target (no Size Test — this is the space-relevant
+          // difference from iterSetCover), then one offline solve.
+          PrepareBasePass(frame);
+          phase_ = Phase::kBasePass;
+          return;
+        }
+        // Recursive case: sample |V| / n^delta elements (at least
+        // base_size). Child 1 covers the sample; the update pass then
+        // removes everything child 1's picks cover; child 2 (a tail
+        // call on this frame) handles the residual.
+        const double shrink =
+            PowDouble(static_cast<double>(n_), options_->delta);
+        uint64_t sample_size = std::max<uint64_t>(
+            base_size_,
+            static_cast<uint64_t>(static_cast<double>(remaining) / shrink));
+        sample_size = std::min(sample_size, remaining - 1);
+
+        std::vector<uint32_t> sample_elems =
+            SampleFromBitset(frame.targets, sample_size, rng_);
+        DynamicBitset sample_mask(frame.targets.size());
+        for (uint32_t e : sample_elems) sample_mask.Set(e);
+        tracker_.Charge(sample_mask.WordCount());
+
+        frame.sol_before = sol_.set_ids.size();
+        frame.child_mask_words = sample_mask.WordCount();
+        frame.stage = Stage::kAfterChild1;
+        Frame child;
+        child.targets = std::move(sample_mask);
+        child.depth = frame.depth + 1;
+        stack_.push_back(std::move(child));  // invalidates `frame`
+        break;
+      }
+      case Stage::kAfterChild1: {
+        tracker_.Release(frame.child_mask_words);
+        // One pass: remove from `targets` everything covered by the
+        // sets picked by child 1 (they typically cover most of V, not
+        // just S).
+        picked_ = DynamicBitset(m_);
+        for (size_t i = frame.sol_before; i < sol_.set_ids.size(); ++i) {
+          picked_.Set(sol_.set_ids[i]);
+        }
+        tracker_.Charge(picked_.WordCount());
+        update_targets_ = &frame.targets;
+        frame.stage = Stage::kAfterUpdate;
+        phase_ = Phase::kUpdatePass;
+        return;
+      }
+      case Stage::kAfterUpdate: {
+        // Child 2 is Cover(targets, depth + 1) on the same residual —
+        // a tail call realized by re-entering this frame one deeper.
+        frame.depth += 1;
+        frame.stage = Stage::kEnter;
+        break;
+      }
+    }
+  }
+}
+
+void Dimv14Consumer::OnSet(uint32_t id, std::span<const uint32_t> elems) {
+  switch (phase_) {
+    case Phase::kBasePass: {
+      std::vector<uint32_t> proj;
+      for (uint32_t e : elems) {
+        auto it = reindex_.find(e);
+        if (it != reindex_.end()) proj.push_back(it->second);
+      }
+      if (proj.empty()) return;
+      stored_words_ += proj.size() + 1;
+      tracker_.Charge(proj.size() + 1);
+      sub_builder_->AddSet(std::move(proj));
+      original_ids_.push_back(id);
+      return;
+    }
+    case Phase::kUpdatePass: {
+      if (!picked_.Test(id)) return;
+      for (uint32_t e : elems) update_targets_->Reset(e);
+      return;
+    }
+    case Phase::kDone:
+      return;
+  }
+}
+
+void Dimv14Consumer::OnPassEnd() {
+  switch (phase_) {
+    case Phase::kBasePass: {
+      SetSystem sub = std::move(*sub_builder_).Build();
+      sub_builder_.reset();
+      OfflineResult offline_result = offline_->Solve(sub);
+      for (uint32_t sub_id : offline_result.cover.set_ids) {
+        sol_.set_ids.push_back(original_ids_[sub_id]);
+        tracker_.Charge(1);
+      }
+      tracker_.Release(stored_words_);
+      tracker_.Release(2 * base_target_elems_.size());
+      // The base case always finishes its frame: covered elements are
+      // covered, uncoverable leftovers are dropped — both die with the
+      // popped frame's residual bitset.
+      stack_.pop_back();
+      Advance();
+      return;
+    }
+    case Phase::kUpdatePass: {
+      tracker_.Release(picked_.WordCount());
+      update_targets_ = nullptr;
+      Advance();
+      return;
+    }
+    case Phase::kDone:
+      return;
+  }
+}
+
+BaselineResult Dimv14Consumer::TakeResult(uint64_t logical_passes) {
   BaselineResult result;
-  ctx.sol.Deduplicate();
-  result.cover = std::move(ctx.sol);
-  result.success = !ctx.failed;
-  result.passes = stream.passes() - passes_before;
-  result.space_words = tracker.peak_words();
+  sol_.Deduplicate();
+  result.cover = std::move(sol_);
+  // The base case clears uncoverable elements, so success means
+  // "covered all coverable elements".
+  result.success = !failed_;
+  result.passes = logical_passes;
+  result.physical_scans = logical_passes;
+  result.space_words = tracker_.peak_words();
   return result;
 }
 
-}  // namespace
-
-BaselineResult Dimv14Cover(SetStream& stream, const Dimv14Options& options) {
+BaselineResult Dimv14Cover(PassScheduler& scheduler,
+                           const Dimv14Options& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
   GreedySolver default_solver;
   const OfflineSolver& offline =
@@ -168,17 +201,19 @@ BaselineResult Dimv14Cover(SetStream& stream, const Dimv14Options& options) {
   // The DIMV14 scheme's k-guessing only affects sample sizing through
   // the offline solves; the pass structure is guess-independent here, so
   // a single run realizes the bound (k enters base_size only via rho in
-  // the offline solver, which is instance- not guess-dependent). We still
-  // report parallel-style accounting for comparability.
-  SpaceTracker tracker;
-  Rng rng(options.seed);
-  BaselineResult result = RunGuess(stream, /*k=*/1, options, offline,
-                                   tracker, rng);
-
-  // Verify coverage claim against the stream's own metadata: the base
-  // case clears uncoverable elements, so success means "covered all
-  // coverable elements".
+  // the offline solver, which is instance- not guess-dependent). We
+  // still report parallel-style accounting for comparability.
+  Dimv14Consumer consumer(scheduler.stream().num_elements(),
+                          scheduler.stream().num_sets(), options, offline);
+  PassScheduler::SoloRun run = scheduler.DriveToCompletion(consumer);
+  BaselineResult result = consumer.TakeResult(run.logical_passes);
+  result.physical_scans = run.physical_scans;
   return result;
+}
+
+BaselineResult Dimv14Cover(SetStream& stream, const Dimv14Options& options) {
+  PassScheduler scheduler(stream);
+  return Dimv14Cover(scheduler, options);
 }
 
 }  // namespace streamcover

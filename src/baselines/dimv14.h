@@ -15,13 +15,27 @@
 // realization measures exponent base ~2 versus the paper's analysis
 // constant 4 — the reproduced phenomenon is exponential-vs-linear pass
 // growth against iterSetCover (see DESIGN.md).
+//
+// The algorithm is expressed as a ScanConsumer (the recursion becomes an
+// explicit frame stack), so it can share physical scans with any other
+// consumers on a PassScheduler — the seam is not iterSetCover-shaped.
 
 #ifndef STREAMCOVER_BASELINES_DIMV14_H_
 #define STREAMCOVER_BASELINES_DIMV14_H_
 
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
 #include "baselines/baseline_result.h"
 #include "offline/solver.h"
+#include "setsystem/set_system.h"
+#include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
+#include "stream/space_tracker.h"
+#include "util/bitset.h"
+#include "util/rng.h"
 
 namespace streamcover {
 
@@ -34,9 +48,72 @@ struct Dimv14Options {
   uint32_t max_depth = 64;        ///< recursion safety valve
 };
 
-/// Runs the DIMV14 scheme with all power-of-two guesses of k, returning
-/// the best cover; pass accounting matches IterSetCover's (max over
-/// guesses), space is the parallel sum.
+/// The DIMV14 recursion as a pass-driven state machine: each frame of
+/// the published recursion becomes a stack frame, and the two pass
+/// kinds (base-case projection pass, covered-removal pass) are served
+/// by whatever physical scan the scheduler runs. `options` and
+/// `offline` must outlive the consumer.
+class Dimv14Consumer final : public ScanConsumer {
+ public:
+  Dimv14Consumer(uint32_t n, uint32_t m, const Dimv14Options& options,
+                 const OfflineSolver& offline);
+
+  void OnSet(uint32_t id, std::span<const uint32_t> elems) override;
+  void OnPassEnd() override;
+  bool done() const override { return phase_ == Phase::kDone; }
+
+  /// Finishes accounting; call once the consumer is done.
+  BaselineResult TakeResult(uint64_t logical_passes);
+
+ private:
+  enum class Phase { kBasePass, kUpdatePass, kDone };
+  enum class Stage { kEnter, kAfterChild1, kAfterUpdate };
+
+  struct Frame {
+    DynamicBitset targets;  ///< residual this frame must cover (owned)
+    uint32_t depth = 0;
+    Stage stage = Stage::kEnter;
+    size_t sol_before = 0;          ///< |sol| when child 1 started
+    uint64_t child_mask_words = 0;  ///< charge to release after child 1
+  };
+
+  /// Runs inter-pass logic (the recursion driver) until a pass is
+  /// needed or the stack is empty.
+  void Advance();
+  void PrepareBasePass(Frame& frame);
+
+  const uint32_t n_;
+  const uint32_t m_;
+  const Dimv14Options* options_;
+  const OfflineSolver* offline_;
+  uint64_t base_size_ = 1;
+
+  Rng rng_;
+  SpaceTracker tracker_;
+  std::vector<Frame> stack_;
+  Cover sol_;
+  bool failed_ = false;
+  Phase phase_ = Phase::kDone;
+
+  // Base-pass scratch (one base pass active at a time).
+  std::vector<uint32_t> base_target_elems_;
+  std::unordered_map<uint32_t, uint32_t> reindex_;
+  std::optional<SetSystem::Builder> sub_builder_;
+  std::vector<uint32_t> original_ids_;
+  uint64_t stored_words_ = 0;
+
+  // Update-pass scratch.
+  DynamicBitset picked_;
+  DynamicBitset* update_targets_ = nullptr;
+};
+
+/// Runs the DIMV14 scheme on `scheduler` (one consumer; pass accounting
+/// matches IterSetCover's parallel-guess convention — see the .cc note
+/// on why a single run realizes all guesses).
+BaselineResult Dimv14Cover(PassScheduler& scheduler,
+                           const Dimv14Options& options);
+
+/// Convenience: single-threaded scheduler over `stream`.
 BaselineResult Dimv14Cover(SetStream& stream, const Dimv14Options& options);
 
 }  // namespace streamcover

@@ -1,11 +1,10 @@
 #include "baselines/threshold_greedy.h"
 
+#include <algorithm>
 #include <cmath>
-#include <vector>
 
-#include "stream/space_tracker.h"
-#include "util/bitset.h"
 #include "util/check.h"
+#include "util/mathutil.h"
 
 namespace streamcover {
 namespace {
@@ -44,10 +43,7 @@ BaselineResult ProgressiveGreedy(SetStream& stream,
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
   const uint32_t n = stream.num_elements();
-  // n - ceil(fraction*n), epsilon-guarded (see iter_set_cover.cc).
-  const uint64_t allowed_uncovered =
-      n - static_cast<uint64_t>(std::ceil(
-              coverage_fraction * static_cast<double>(n) - 1e-9));
+  const uint64_t allowed_uncovered = AllowedUncovered(n, coverage_fraction);
 
   DynamicBitset uncovered(n, true);
   tracker.Charge(uncovered.WordCount());
@@ -67,75 +63,103 @@ BaselineResult ProgressiveGreedy(SetStream& stream,
 
   result.success = remaining <= allowed_uncovered;
   result.passes = stream.passes() - passes_before;
+  result.physical_scans = result.passes;
   result.space_words = tracker.peak_words();
+  return result;
+}
+
+ThresholdSieveConsumer::ThresholdSieveConsumer(uint32_t n, uint32_t p,
+                                               double coverage_fraction)
+    : p_(p),
+      dn_(static_cast<double>(std::max(n, 2u))),
+      uncovered_(n, true),
+      backup_(n, UINT32_MAX),
+      remaining_(n) {
+  SC_CHECK_GE(p, 1u);
+  SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
+  allowed_uncovered_ = AllowedUncovered(n, coverage_fraction);
+  tracker_.Charge(uncovered_.WordCount());
+  tracker_.Charge(n);  // backup[e]: some set containing e (O(n) words)
+  threshold_ = std::pow(
+      dn_, static_cast<double>(p_) / static_cast<double>(p_ + 1));
+}
+
+void ThresholdSieveConsumer::OnSet(uint32_t id,
+                                   std::span<const uint32_t> elems) {
+  if (done_) return;
+  size_t gain = 0;
+  for (uint32_t e : elems) {
+    if (uncovered_.Test(e)) {
+      ++gain;
+      if (backup_[e] == UINT32_MAX) backup_[e] = id;
+    }
+  }
+  if (remaining_ <= allowed_uncovered_) return;  // partial target met
+  if (gain > 0 && static_cast<double>(gain) >= threshold_) {
+    sol_.set_ids.push_back(id);
+    tracker_.Charge(1);
+    for (uint32_t e : elems) uncovered_.Reset(e);
+    remaining_ -= gain;
+  }
+}
+
+void ThresholdSieveConsumer::FinishFromBackups() {
+  // Finish from the per-element backups — no extra pass. For the
+  // epsilon-Partial variant, stop as soon as the allowance is met.
+  std::vector<uint32_t> stragglers = uncovered_.ToVector();
+  for (uint32_t e : stragglers) {
+    if (remaining_ <= allowed_uncovered_) break;
+    if (!uncovered_.Test(e)) continue;  // a previous backup also had e
+    if (backup_[e] == UINT32_MAX) continue;  // uncoverable
+    sol_.set_ids.push_back(backup_[e]);
+    tracker_.Charge(1);
+    uncovered_.Reset(e);
+    --remaining_;
+  }
+  sol_.Deduplicate();
+
+  // Backup sets can overlap; clearing only `e` above over-counts the
+  // residual but never misses coverage, so success uses the bitset.
+  success_ = uncovered_.Count() <= allowed_uncovered_;
+}
+
+void ThresholdSieveConsumer::OnPassEnd() {
+  if (done_) return;
+  ++pass_index_;
+  if (pass_index_ <= p_) {
+    const double exponent = static_cast<double>(p_ + 1 - pass_index_) /
+                            static_cast<double>(p_ + 1);
+    threshold_ = std::pow(dn_, exponent);
+    return;
+  }
+  FinishFromBackups();
+  done_ = true;
+}
+
+BaselineResult ThresholdSieveConsumer::TakeResult(uint64_t logical_passes) {
+  BaselineResult result;
+  result.cover = std::move(sol_);
+  result.success = success_;
+  result.passes = logical_passes;
+  result.physical_scans = logical_passes;
+  result.space_words = tracker_.peak_words();
+  return result;
+}
+
+BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
+                                        double coverage_fraction) {
+  ThresholdSieveConsumer consumer(scheduler.stream().num_elements(), p,
+                                  coverage_fraction);
+  PassScheduler::SoloRun run = scheduler.DriveToCompletion(consumer);
+  BaselineResult result = consumer.TakeResult(run.logical_passes);
+  result.physical_scans = run.physical_scans;
   return result;
 }
 
 BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
                                         double coverage_fraction) {
-  SC_CHECK_GE(p, 1u);
-  SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
-  SpaceTracker tracker;
-  const uint64_t passes_before = stream.passes();
-  const uint32_t n = stream.num_elements();
-  // n - ceil(fraction*n), epsilon-guarded (see iter_set_cover.cc).
-  const uint64_t allowed_uncovered =
-      n - static_cast<uint64_t>(std::ceil(
-              coverage_fraction * static_cast<double>(n) - 1e-9));
-  const double dn = static_cast<double>(std::max(n, 2u));
-
-  DynamicBitset uncovered(n, true);
-  tracker.Charge(uncovered.WordCount());
-
-  // backup[e]: some set containing e, learned during the passes (O(n)
-  // words). UINT32_MAX = never seen in any set (uncoverable).
-  std::vector<uint32_t> backup(n, UINT32_MAX);
-  tracker.Charge(n);
-  uint64_t remaining = n;
-
-  BaselineResult result;
-  for (uint32_t i = 1; i <= p; ++i) {
-    double exponent =
-        static_cast<double>(p + 1 - i) / static_cast<double>(p + 1);
-    double threshold = std::pow(dn, exponent);
-    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-      size_t gain = 0;
-      for (uint32_t e : elems) {
-        if (uncovered.Test(e)) {
-          ++gain;
-          if (backup[e] == UINT32_MAX) backup[e] = id;
-        }
-      }
-      if (remaining <= allowed_uncovered) return;  // partial target met
-      if (gain > 0 && static_cast<double>(gain) >= threshold) {
-        result.cover.set_ids.push_back(id);
-        tracker.Charge(1);
-        for (uint32_t e : elems) uncovered.Reset(e);
-        remaining -= gain;
-      }
-    });
-  }
-
-  // Finish from the per-element backups — no extra pass. For the
-  // epsilon-Partial variant, stop as soon as the allowance is met.
-  std::vector<uint32_t> stragglers = uncovered.ToVector();
-  for (uint32_t e : stragglers) {
-    if (remaining <= allowed_uncovered) break;
-    if (!uncovered.Test(e)) continue;  // a previous backup also had e
-    if (backup[e] == UINT32_MAX) continue;  // uncoverable
-    result.cover.set_ids.push_back(backup[e]);
-    tracker.Charge(1);
-    uncovered.Reset(e);
-    --remaining;
-  }
-  result.cover.Deduplicate();
-
-  // Backup sets can overlap; clearing only `e` above over-counts the
-  // residual but never misses coverage, so success uses the bitset.
-  result.success = uncovered.Count() <= allowed_uncovered;
-  result.passes = stream.passes() - passes_before;
-  result.space_words = tracker.peak_words();
-  return result;
+  PassScheduler scheduler(stream);
+  return PolynomialThresholdCover(scheduler, p, coverage_fraction);
 }
 
 }  // namespace streamcover

@@ -13,12 +13,24 @@
 //   O(sqrt(n)), general p is [CW16]. These are the published algorithms'
 //   threshold skeletons, which realize the stated bounds; paper-specific
 //   charging refinements do not change the exponent (see DESIGN.md).
+//
+// The polynomial sieve is expressed as a ScanConsumer
+// (ThresholdSieveConsumer): its p threshold levels are a per-pass state
+// machine drivable by PassScheduler, so it can share physical scans
+// with other consumers — the [ER14] sieving shape on the same seam
+// iterSetCover's guesses use.
 
 #ifndef STREAMCOVER_BASELINES_THRESHOLD_GREEDY_H_
 #define STREAMCOVER_BASELINES_THRESHOLD_GREEDY_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "baselines/baseline_result.h"
+#include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
+#include "stream/space_tracker.h"
+#include "util/bitset.h"
 
 namespace streamcover {
 
@@ -29,8 +41,46 @@ namespace streamcover {
 BaselineResult ProgressiveGreedy(SetStream& stream,
                                  double coverage_fraction = 1.0);
 
+/// The [ER14]/[CW16] polynomial threshold sieve as a pass-driven state
+/// machine: pass i applies threshold n^{(p+1-i)/(p+1)}; after pass p
+/// the per-element backup pointers finish the cover without another
+/// pass.
+class ThresholdSieveConsumer final : public ScanConsumer {
+ public:
+  ThresholdSieveConsumer(uint32_t n, uint32_t p,
+                         double coverage_fraction = 1.0);
+
+  void OnSet(uint32_t id, std::span<const uint32_t> elems) override;
+  void OnPassEnd() override;
+  bool done() const override { return done_; }
+
+  /// Finishes accounting; call once the consumer is done.
+  BaselineResult TakeResult(uint64_t logical_passes);
+
+ private:
+  void FinishFromBackups();
+
+  const uint32_t p_;
+  const double dn_;
+  uint64_t allowed_uncovered_ = 0;
+
+  SpaceTracker tracker_;
+  DynamicBitset uncovered_;
+  std::vector<uint32_t> backup_;  ///< some set containing e; UINT32_MAX = none
+  uint64_t remaining_ = 0;
+  uint32_t pass_index_ = 1;
+  double threshold_ = 0.0;
+  Cover sol_;
+  bool success_ = false;
+  bool done_ = false;
+};
+
 /// [ER14] (p=1) / [CW16] (p>=1): p threshold passes + pointer finish.
 /// `coverage_fraction` < 1 gives the epsilon-Partial variant.
+BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
+                                        double coverage_fraction = 1.0);
+
+/// Convenience: single-threaded scheduler over `stream`.
 BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
                                         double coverage_fraction = 1.0);
 

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "core/solver_registry.h"
 #include "geometry/range_space.h"
 #include "util/check.h"
 
@@ -109,40 +108,6 @@ size_t Instance::CountCovered(const Cover& cover) {
   size_t count = 0;
   for (char c : covered) count += static_cast<size_t>(c);
   return count;
-}
-
-RunResult RunSolver(std::string_view name, Instance& instance,
-                    const RunOptions& options) {
-  // Shared by the paths that must not touch the instance's repository:
-  // unknown names (diagnose without side effects) and geometric runs
-  // (they read only the payload — never materialize the possibly
-  // quadratic range space for them).
-  static const SetSystem* const kEmptySystem = new SetSystem();
-
-  const SolverRegistry::Entry* entry = SolverRegistry::Global().Find(name);
-  if (entry == nullptr) {
-    SetStream stream(kEmptySystem);
-    return RunSolver(name, stream, options);  // unknown-name diagnostic
-  }
-  if (entry->kind == SolverRegistry::Kind::kGeometric) {
-    if (!instance.has_geometry()) {
-      RunResult result;
-      result.error = "solver '" + entry->name +
-                     "' is geometric but instance '" + instance.name() +
-                     "' carries no points/shapes payload";
-      return result;
-    }
-    RunOptions effective = options;
-    effective.geometry = instance.geometry();
-    SetStream stream(kEmptySystem);
-    RunResult result = RunSolver(name, stream, effective);
-    if (result.ok()) result.instance = instance.name();
-    return result;
-  }
-  SetStream stream = instance.NewStream();
-  RunResult result = RunSolver(name, stream, options);
-  if (result.ok()) result.instance = instance.name();
-  return result;
 }
 
 }  // namespace streamcover

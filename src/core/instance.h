@@ -12,11 +12,11 @@
 //     generator knows one (the denominator of measured approximation
 //     ratios).
 //
-// RunSolver(name, Instance&, options) is the canonical way to execute a
-// solver: it draws a FRESH pass-counted stream per run (so multi-trial
-// sweeps never share or manually reset counters) and wires the geometric
-// payload internally — no caller constructs RunOptions::geometry
-// anymore. Instances come from the factories below or, by name, from
+// RunSolver(name, Instance&, options) — core/solver_registry.h — is the
+// only way to execute a solver: it draws a FRESH pass-counted stream and
+// PassScheduler per run (so multi-trial sweeps never share or manually
+// reset counters) and wires the geometric payload internally. Instances
+// come from the factories below or, by name, from
 // core/workload_registry.h.
 
 #ifndef STREAMCOVER_CORE_INSTANCE_H_
@@ -71,8 +71,9 @@ class Instance {
   static std::optional<Instance> FromFile(const std::string& path,
                                           std::string* error);
 
-  /// Wraps an externally owned system (must outlive the Instance).
-  /// Bridges old call sites during the SetStream-overload deprecation.
+  /// Wraps an externally owned system (must outlive the Instance) —
+  /// for callers that already hold a SetSystem and only need the
+  /// execution surface on top.
   static Instance WrapSystem(const SetSystem* system, InstanceInfo info);
 
   Instance(Instance&&) = default;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "offline/greedy.h"
 #include "stream/sampling.h"
@@ -14,123 +16,205 @@
 namespace streamcover {
 namespace {
 
-// One guess of the optimal cover size. Returns the result of running the
-// 1/delta iterations of Figure 1.3 with the given k, charging `tracker`.
-StreamingResult RunGuess(SetStream& stream, uint64_t k,
-                         const IterSetCoverOptions& options,
-                         const OfflineSolver& offline, SpaceTracker& tracker,
-                         Rng& rng) {
-  const uint32_t n = stream.num_elements();
-  const uint32_t m = stream.num_sets();
-  const double rho = offline.Rho(n);
-  const uint64_t iterations = static_cast<uint64_t>(
-      std::ceil(1.0 / options.delta) + 1e-9);
+// One guess of the optimal cover size, expressed as a ScanConsumer:
+// the 1/delta iterations of Figure 1.3 become a state machine whose
+// passes (Size-Test pass, recompute pass, optional final sweep) are fed
+// by whatever physical scan the PassScheduler is running. All mutable
+// state is owned by the consumer, so any number of guesses can share
+// one scan — serially or on worker threads — with bit-identical
+// results.
+class GuessConsumer final : public ScanConsumer {
+ public:
+  GuessConsumer(uint64_t k, uint32_t n, uint32_t m,
+                const IterSetCoverOptions& options,
+                const OfflineSolver& offline)
+      : k_(k),
+        n_(n),
+        m_(m),
+        options_(&options),
+        offline_(&offline),
+        rho_(offline.Rho(n)),
+        iterations_(static_cast<uint64_t>(
+            std::ceil(1.0 / options.delta) + 1e-9)),
+        rng_(options.seed ^ (k * 0x9e3779b97f4a7c15ULL)),
+        uncovered_(n, true) {
+    // epsilon-Partial Set Cover target: stop once the residual fits the
+    // allowance (0 for a classic full cover).
+    SC_CHECK(options.coverage_fraction > 0.0 &&
+             options.coverage_fraction <= 1.0);
+    allowed_uncovered_ = AllowedUncovered(n, options.coverage_fraction);
+    // Residual ground set, kept across all passes: n/64 words.
+    tracker_.Charge(uncovered_.WordCount());
+    if (options.early_exit) {
+      // Distinct-pick mask for the retire rule; only charged when the
+      // feature is on so default space accounting is unchanged.
+      picked_distinct_ = DynamicBitset(m);
+      tracker_.Charge(picked_distinct_.WordCount());
+    }
+    Advance();
+  }
 
-  StreamingResult result;
-  const uint64_t passes_before = stream.passes();
-  // epsilon-Partial Set Cover target: stop once the residual fits the
-  // allowance (0 for a classic full cover).
-  SC_CHECK(options.coverage_fraction > 0.0 &&
-           options.coverage_fraction <= 1.0);
-  // Computed as n - ceil(fraction*n) (with an epsilon guard) so that
-  // e.g. fraction 0.9 of n=100 allows exactly 10 uncovered elements
-  // despite 1.0 - 0.9 not being representable.
-  const uint64_t allowed_uncovered =
-      n - static_cast<uint64_t>(
-              std::ceil(options.coverage_fraction *
-                            static_cast<double>(n) -
-                        1e-9));
-
-  // Residual ground set, kept across all passes: n/64 words.
-  DynamicBitset uncovered(n, true);
-  tracker.Charge(uncovered.WordCount());
-
-  Cover sol;
-
-  for (uint64_t iter = 0; iter < iterations; ++iter) {
-    uint64_t uncovered_count = uncovered.Count();
-    if (uncovered_count <= allowed_uncovered) break;
-
-    IterSetCoverIterationDiag diag;
-    diag.iteration = static_cast<uint32_t>(iter + 1);
-    diag.uncovered_before = uncovered_count;
-
-    // Section 4.2 refinement: when <= k stragglers remain, one sweep
-    // taking any covering set per straggler finishes the job.
-    if (options.final_sweep && uncovered_count <= k) {
-      std::vector<uint32_t> new_picks;
-      stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-        if (uncovered.None()) return;
+  void OnSet(uint32_t id, std::span<const uint32_t> elems) override {
+    switch (phase_) {
+      case Phase::kPass1: {
+        // Size Test: heavy sets are taken now, light projections stored.
+        scratch_.clear();
+        for (uint32_t e : elems) {
+          if (live_.Test(e)) scratch_.push_back(e);
+        }
+        if (scratch_.empty()) return;
+        if (static_cast<double>(scratch_.size()) >= threshold_) {
+          heavy_picks_.push_back(id);
+          tracker_.Charge(1);
+          for (uint32_t e : scratch_) live_.Reset(e);
+        } else {
+          projection_words_ += scratch_.size() + 1;  // elements + set id
+          tracker_.Charge(scratch_.size() + 1);
+          projections_.emplace_back(id, scratch_);
+        }
+        return;
+      }
+      case Phase::kPass2: {
+        // Only the sets picked this iteration can newly cover anything.
+        if (!picked_this_iter_.Test(id)) return;
+        for (uint32_t e : elems) uncovered_.Reset(e);
+        return;
+      }
+      case Phase::kFinalSweep: {
+        if (uncovered_.None()) return;
         bool hits = false;
         for (uint32_t e : elems) {
-          if (uncovered.Test(e)) {
+          if (uncovered_.Test(e)) {
             hits = true;
             break;
           }
         }
         if (hits) {
-          new_picks.push_back(id);
-          tracker.Charge(1);
-          for (uint32_t e : elems) uncovered.Reset(e);
+          sweep_picks_.push_back(id);
+          tracker_.Charge(1);
+          for (uint32_t e : elems) uncovered_.Reset(e);
         }
-      });
-      sol.set_ids.insert(sol.set_ids.end(), new_picks.begin(),
-                         new_picks.end());
-      diag.heavy_picked = new_picks.size();
-      diag.uncovered_after = uncovered.Count();
-      result.diagnostics.push_back(diag);
-      break;
+        return;
+      }
+      case Phase::kDone:
+        return;
+    }
+  }
+
+  void OnPassEnd() override {
+    switch (phase_) {
+      case Phase::kPass1:
+        FinishPass1();
+        return;
+      case Phase::kPass2:
+        FinishPass2();
+        return;
+      case Phase::kFinalSweep:
+        FinishFinalSweep();
+        return;
+      case Phase::kDone:
+        return;
+    }
+  }
+
+  bool done() const override { return phase_ == Phase::kDone; }
+
+  uint64_t k() const { return k_; }
+  bool success() const { return success_; }
+  bool killed() const { return killed_; }
+  /// Deduplicated cover size; valid once done() and not killed.
+  uint64_t final_cover_size() const { return sol_.size(); }
+  /// Distinct sets picked so far (maintained only with early_exit on).
+  /// Monotone non-decreasing, so it lower-bounds the final cover size.
+  uint64_t distinct_picks() const { return distinct_picks_; }
+  uint64_t peak_words() const { return tracker_.peak_words(); }
+
+  /// Retires the guess: it provably cannot beat the current winner, so
+  /// its partial cover is abandoned (peak space already stands).
+  void Kill() {
+    killed_ = true;
+    success_ = false;
+    phase_ = Phase::kDone;
+  }
+
+  StreamingResult TakeResult(uint64_t logical_passes) {
+    StreamingResult result;
+    result.cover = std::move(sol_);
+    result.success = success_;
+    result.passes = logical_passes;
+    result.sequential_scans = logical_passes;
+    result.physical_scans = logical_passes;
+    result.space_words_parallel = tracker_.peak_words();
+    result.space_words_max_guess = tracker_.peak_words();
+    result.winning_k = k_;
+    result.diagnostics = std::move(diagnostics_);
+    return result;
+  }
+
+ private:
+  enum class Phase { kPass1, kPass2, kFinalSweep, kDone };
+
+  void TakeSet(uint32_t id) {
+    sol_.set_ids.push_back(id);
+    if (options_->early_exit && !picked_distinct_.Test(id)) {
+      picked_distinct_.Set(id);
+      ++distinct_picks_;
+    }
+  }
+
+  // Inter-pass work at the top of an iteration: termination checks,
+  // sampling, Size-Test threshold. Leaves the consumer waiting for a
+  // pass (or done).
+  void Advance() {
+    uncovered_count_ = uncovered_.Count();
+    if (uncovered_count_ <= allowed_uncovered_ || iter_ >= iterations_) {
+      Finalize();
+      return;
+    }
+    diag_ = IterSetCoverIterationDiag{};
+    diag_.iteration = static_cast<uint32_t>(iter_ + 1);
+    diag_.uncovered_before = uncovered_count_;
+
+    // Section 4.2 refinement: when <= k stragglers remain, one sweep
+    // taking any covering set per straggler finishes the job.
+    if (options_->final_sweep && uncovered_count_ <= k_) {
+      sweep_picks_.clear();
+      phase_ = Phase::kFinalSweep;
+      return;
     }
 
     // --- Sample S from the residual (Lemma 2.5 size). ---
     const uint64_t sample_size = IterSetCoverSampleSize(
-        options.sample_constant, rho, k, n, options.delta, m,
-        uncovered_count);
-    std::vector<uint32_t> sample = SampleFromBitset(uncovered, sample_size,
-                                                    rng);
-    diag.sample_size = sample.size();
-    tracker.Charge(sample.size());  // the sample's element ids
+        options_->sample_constant, rho_, k_, n_, options_->delta, m_,
+        uncovered_count_);
+    sample_ = SampleFromBitset(uncovered_, sample_size, rng_);
+    diag_.sample_size = sample_.size();
+    tracker_.Charge(sample_.size());  // the sample's element ids
 
     // L <- S, as a membership mask over U (n/64 words).
-    DynamicBitset live(n);
-    for (uint32_t e : sample) live.Set(e);
-    tracker.Charge(live.WordCount());
+    live_ = DynamicBitset(n_);
+    for (uint32_t e : sample_) live_.Set(e);
+    tracker_.Charge(live_.WordCount());
 
-    const double threshold = options.size_test_multiplier *
-                             static_cast<double>(sample.size()) /
-                             static_cast<double>(k);
+    threshold_ = options_->size_test_multiplier *
+                 static_cast<double>(sample_.size()) /
+                 static_cast<double>(k_);
+    heavy_picks_.clear();
+    projections_.clear();
+    projection_words_ = 0;
+    phase_ = Phase::kPass1;
+  }
 
-    // --- Pass 1: Size Test; store projections of light sets. ---
-    std::vector<uint32_t> heavy_picks;
-    std::vector<std::pair<uint32_t, std::vector<uint32_t>>> projections;
-    uint64_t projection_words = 0;
-    std::vector<uint32_t> scratch;  // per-set transient, not charged
-    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-      scratch.clear();
-      for (uint32_t e : elems) {
-        if (live.Test(e)) scratch.push_back(e);
-      }
-      if (scratch.empty()) return;
-      if (static_cast<double>(scratch.size()) >= threshold) {
-        heavy_picks.push_back(id);
-        tracker.Charge(1);
-        for (uint32_t e : scratch) live.Reset(e);
-      } else {
-        projection_words += scratch.size() + 1;  // elements + set id
-        tracker.Charge(scratch.size() + 1);
-        projections.emplace_back(id, scratch);
-      }
-    });
-    diag.heavy_picked = heavy_picks.size();
-    diag.projection_words = projection_words;
-    sol.set_ids.insert(sol.set_ids.end(), heavy_picks.begin(),
-                       heavy_picks.end());
+  void FinishPass1() {
+    diag_.heavy_picked = heavy_picks_.size();
+    diag_.projection_words = projection_words_;
+    for (uint32_t id : heavy_picks_) TakeSet(id);
 
     // --- Offline solve on the sampled sub-instance (no pass). ---
     // Re-index the still-live sampled elements to [0, n_sub).
     std::vector<uint32_t> live_elems;
-    for (uint32_t e : sample) {
-      if (live.Test(e)) live_elems.push_back(e);
+    for (uint32_t e : sample_) {
+      if (live_.Test(e)) live_elems.push_back(e);
     }
     if (!live_elems.empty()) {
       std::unordered_map<uint32_t, uint32_t> reindex;
@@ -141,8 +225,8 @@ StreamingResult RunGuess(SetStream& stream, uint64_t k,
       SetSystem::Builder sub_builder(
           static_cast<uint32_t>(live_elems.size()));
       std::vector<uint32_t> original_ids;
-      original_ids.reserve(projections.size());
-      for (auto& [id, proj] : projections) {
+      original_ids.reserve(projections_.size());
+      for (auto& [id, proj] : projections_) {
         std::vector<uint32_t> mapped;
         mapped.reserve(proj.size());
         for (uint32_t e : proj) {
@@ -154,16 +238,16 @@ StreamingResult RunGuess(SetStream& stream, uint64_t k,
         original_ids.push_back(id);
       }
       SetSystem sub = std::move(sub_builder).Build();
-      OfflineResult offline_result = offline.Solve(sub);
+      OfflineResult offline_result = offline_->Solve(sub);
       size_t take = offline_result.cover.size();
-      if (allowed_uncovered > 0 && uncovered_count > 0) {
+      if (allowed_uncovered_ > 0 && uncovered_count_ > 0) {
         // epsilon-Partial: the sample is a relative approximation of the
         // residual (Lemma 2.5), so leaving the proportional share of the
         // sample uncovered suffices. Greedy emits picks in decreasing
         // marginal order, so trimming the pick tail IS the greedy
         // partial cover of the sub-instance.
         const uint64_t sub_allowed =
-            allowed_uncovered * live_elems.size() / uncovered_count;
+            allowed_uncovered_ * live_elems.size() / uncovered_count_;
         if (sub_allowed > 0) {
           DynamicBitset covered_sub(sub.num_elements());
           uint64_t covered_count = 0;
@@ -180,102 +264,214 @@ StreamingResult RunGuess(SetStream& stream, uint64_t k,
           }
         }
       }
-      diag.offline_picked = take;
+      diag_.offline_picked = take;
       for (size_t i = 0; i < take; ++i) {
-        sol.set_ids.push_back(original_ids[offline_result.cover.set_ids[i]]);
-        tracker.Charge(1);
+        TakeSet(original_ids[offline_result.cover.set_ids[i]]);
+        tracker_.Charge(1);
       }
     }
 
     // Projections, sample ids, and the live mask die with the iteration.
-    tracker.Release(projection_words);
-    tracker.Release(sample.size());
-    tracker.Release(live.WordCount());
+    tracker_.Release(projection_words_);
+    tracker_.Release(sample_.size());
+    tracker_.Release(live_.WordCount());
 
-    // --- Pass 2: recompute the uncovered elements. ---
-    // Only the sets picked in this iteration can newly cover anything.
-    DynamicBitset picked_this_iter(m);
-    size_t new_from = sol.set_ids.size() - diag.heavy_picked -
-                      diag.offline_picked;
-    for (size_t i = new_from; i < sol.set_ids.size(); ++i) {
-      picked_this_iter.Set(sol.set_ids[i]);
+    picked_this_iter_ = DynamicBitset(m_);
+    const size_t new_from = sol_.set_ids.size() - diag_.heavy_picked -
+                            diag_.offline_picked;
+    for (size_t i = new_from; i < sol_.set_ids.size(); ++i) {
+      picked_this_iter_.Set(sol_.set_ids[i]);
     }
-    tracker.Charge(picked_this_iter.WordCount());
-    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-      if (!picked_this_iter.Test(id)) return;
-      for (uint32_t e : elems) uncovered.Reset(e);
-    });
-    tracker.Release(picked_this_iter.WordCount());
-
-    diag.uncovered_after = uncovered.Count();
-    result.diagnostics.push_back(diag);
+    tracker_.Charge(picked_this_iter_.WordCount());
+    phase_ = Phase::kPass2;
   }
 
-  result.success = uncovered.Count() <= allowed_uncovered;
-  tracker.Release(uncovered.WordCount());
+  void FinishPass2() {
+    tracker_.Release(picked_this_iter_.WordCount());
+    diag_.uncovered_after = uncovered_.Count();
+    diagnostics_.push_back(diag_);
+    ++iter_;
+    Advance();
+  }
 
-  sol.Deduplicate();
-  result.cover = std::move(sol);
-  result.winning_k = k;
-  result.passes = stream.passes() - passes_before;
-  result.sequential_scans = result.passes;
-  result.space_words_parallel = tracker.peak_words();
-  result.space_words_max_guess = tracker.peak_words();
-  return result;
+  void FinishFinalSweep() {
+    for (uint32_t id : sweep_picks_) TakeSet(id);
+    diag_.heavy_picked = sweep_picks_.size();
+    diag_.uncovered_after = uncovered_.Count();
+    diagnostics_.push_back(diag_);
+    Finalize();
+  }
+
+  void Finalize() {
+    success_ = uncovered_.Count() <= allowed_uncovered_;
+    tracker_.Release(uncovered_.WordCount());
+    if (options_->early_exit) {
+      tracker_.Release(picked_distinct_.WordCount());
+    }
+    sol_.Deduplicate();
+    phase_ = Phase::kDone;
+  }
+
+  // Immutable configuration.
+  const uint64_t k_;
+  const uint32_t n_;
+  const uint32_t m_;
+  const IterSetCoverOptions* options_;
+  const OfflineSolver* offline_;
+  const double rho_;
+  const uint64_t iterations_;
+  uint64_t allowed_uncovered_ = 0;
+
+  // Cross-iteration state.
+  Rng rng_;
+  SpaceTracker tracker_;
+  DynamicBitset uncovered_;
+  Cover sol_;
+  DynamicBitset picked_distinct_;
+  uint64_t distinct_picks_ = 0;
+  std::vector<IterSetCoverIterationDiag> diagnostics_;
+  uint64_t iter_ = 0;
+  bool success_ = false;
+  bool killed_ = false;
+  Phase phase_ = Phase::kDone;
+
+  // Per-iteration state.
+  IterSetCoverIterationDiag diag_;
+  uint64_t uncovered_count_ = 0;
+  std::vector<uint32_t> sample_;
+  DynamicBitset live_;
+  double threshold_ = 0.0;
+  std::vector<uint32_t> heavy_picks_;
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> projections_;
+  uint64_t projection_words_ = 0;
+  std::vector<uint32_t> scratch_;  // per-set transient, not charged
+  DynamicBitset picked_this_iter_;
+  std::vector<uint32_t> sweep_picks_;
+};
+
+// The winner rule of the sequential implementation — ascending k, a
+// success replaces the incumbent only when strictly smaller — picks the
+// success minimizing (cover size, k) lexicographically. A live guess
+// whose distinct-pick count already sorts at-or-after the incumbent on
+// that key can therefore never win: distinct picks only grow and
+// deduplication cannot shrink below them.
+void RetireHopelessGuesses(
+    std::vector<std::unique_ptr<GuessConsumer>>& guesses) {
+  uint64_t best_size = UINT64_MAX;
+  uint64_t best_k = UINT64_MAX;
+  for (const auto& guess : guesses) {
+    if (guess->done() && !guess->killed() && guess->success()) {
+      const uint64_t size = guess->final_cover_size();
+      if (size < best_size || (size == best_size && guess->k() < best_k)) {
+        best_size = size;
+        best_k = guess->k();
+      }
+    }
+  }
+  if (best_size == UINT64_MAX) return;
+  for (auto& guess : guesses) {
+    if (guess->done()) continue;
+    const uint64_t distinct = guess->distinct_picks();
+    if (distinct > best_size ||
+        (distinct == best_size && guess->k() > best_k)) {
+      guess->Kill();
+    }
+  }
 }
 
 }  // namespace
 
-StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
+StreamingResult IterSetCoverSingleGuess(PassScheduler& scheduler, uint64_t k,
                                         const IterSetCoverOptions& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
   GreedySolver default_solver;
   const OfflineSolver& offline =
       options.offline != nullptr ? *options.offline : default_solver;
-  SpaceTracker tracker;
-  Rng rng(options.seed ^ (k * 0x9e3779b97f4a7c15ULL));
-  return RunGuess(stream, k, options, offline, tracker, rng);
+  GuessConsumer guess(k, scheduler.stream().num_elements(),
+                      scheduler.stream().num_sets(), options, offline);
+  PassScheduler::SoloRun run = scheduler.DriveToCompletion(guess);
+  StreamingResult result = guess.TakeResult(run.logical_passes);
+  result.physical_scans = run.physical_scans;
+  return result;
 }
 
-StreamingResult IterSetCover(SetStream& stream,
+StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
+                                        const IterSetCoverOptions& options) {
+  PassScheduler scheduler(stream);
+  return IterSetCoverSingleGuess(scheduler, k, options);
+}
+
+StreamingResult IterSetCover(PassScheduler& scheduler,
                              const IterSetCoverOptions& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
   GreedySolver default_solver;
   const OfflineSolver& offline =
       options.offline != nullptr ? *options.offline : default_solver;
 
-  const uint32_t n = stream.num_elements();
+  const uint32_t n = scheduler.stream().num_elements();
+  const uint32_t m = scheduler.stream().num_sets();
+  const uint64_t physical_before = scheduler.physical_scans();
+
+  // Guesses k = 2^i, i in [0, log n], registered up front: pass p of
+  // every live guess rides the p-th physical scan.
+  std::vector<std::unique_ptr<GuessConsumer>> guesses;
+  std::vector<size_t> slots;
+  for (uint64_t k = 1;; k *= 2) {
+    guesses.push_back(
+        std::make_unique<GuessConsumer>(k, n, m, options, offline));
+    slots.push_back(scheduler.Register(guesses.back().get()));
+    if (k >= n) break;
+  }
+
+  // Drive rounds only while OUR guesses are live: foreign consumers on
+  // the same scheduler ride these scans but never extend this run's
+  // window or inflate its physical-scan attribution.
+  auto any_guess_live = [&] {
+    for (const auto& guess : guesses) {
+      if (!guess->done()) return true;
+    }
+    return false;
+  };
+  while (any_guess_live()) {
+    scheduler.RunRound();
+    if (options.early_exit) RetireHopelessGuesses(guesses);
+  }
+
+  // Winner selection identical to the sequential implementation:
+  // ascending k, replace only on strictly smaller cover. Accounting is
+  // the parallel composition (passes: max; space: sum) plus the new
+  // physical column.
   StreamingResult best;
   uint64_t passes_max = 0;
   uint64_t scans_total = 0;
   uint64_t space_sum = 0;
   uint64_t space_max = 0;
-
-  // Guesses k = 2^i, i in [0, log n] — run sequentially, accounted as
-  // parallel (passes: max; space: sum).
-  for (uint64_t k = 1; ; k *= 2) {
-    SpaceTracker tracker;
-    Rng rng(options.seed ^ (k * 0x9e3779b97f4a7c15ULL));
+  for (size_t i = 0; i < guesses.size(); ++i) {
+    const uint64_t peak = guesses[i]->peak_words();
     StreamingResult guess_result =
-        RunGuess(stream, k, options, offline, tracker, rng);
-
+        guesses[i]->TakeResult(scheduler.passes(slots[i]));
     passes_max = std::max(passes_max, guess_result.passes);
     scans_total += guess_result.sequential_scans;
-    space_sum += tracker.peak_words();
-    space_max = std::max(space_max, tracker.peak_words());
-
+    space_sum += peak;
+    space_max = std::max(space_max, peak);
     if (guess_result.success &&
         (!best.success || guess_result.cover.size() < best.cover.size())) {
       best = std::move(guess_result);
     }
-    if (k >= n) break;
+    scheduler.Retire(slots[i]);
   }
-
   best.passes = passes_max;
   best.sequential_scans = scans_total;
+  best.physical_scans = scheduler.physical_scans() - physical_before;
   best.space_words_parallel = space_sum;
   best.space_words_max_guess = space_max;
   return best;
+}
+
+StreamingResult IterSetCover(SetStream& stream,
+                             const IterSetCoverOptions& options) {
+  PassScheduler scheduler(stream);
+  return IterSetCover(scheduler, options);
 }
 
 }  // namespace streamcover

@@ -17,6 +17,14 @@
 // adds O(rho k) sets, so 1/delta iterations cover everything with
 // O(rho k / delta) sets in 2/delta passes (Lemma 2.1) and O~(m n^delta)
 // words (Lemma 2.2).
+//
+// Execution model: the guesses are ScanConsumer state machines
+// multiplexed on a PassScheduler — pass p of every live guess is served
+// by the p-th physical scan of the repository, exactly the parallel
+// composition the paper's accounting assumes. `physical_scans` is what
+// the repository paid; `passes` (per-guess max) and `sequential_scans`
+// (per-guess sum — what the old one-guess-at-a-time implementation
+// scanned) are the logical views.
 
 #ifndef STREAMCOVER_CORE_ITER_SET_COVER_H_
 #define STREAMCOVER_CORE_ITER_SET_COVER_H_
@@ -26,6 +34,7 @@
 
 #include "offline/solver.h"
 #include "setsystem/cover.h"
+#include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
 #include "stream/space_tracker.h"
 
@@ -53,6 +62,14 @@ struct IterSetCoverOptions {
   /// once at least this fraction of U is covered; `success` then means
   /// the fraction was reached. 1.0 = classic full cover.
   double coverage_fraction = 1.0;
+  /// Retire a still-running guess between rounds once a completed guess
+  /// already beats everything it could still produce (its deduplicated
+  /// partial cover is provably no smaller than the winner's — the
+  /// distinct-pick count only grows). Never changes the winning cover;
+  /// shaves physical scans and makes `passes` reflect passes actually
+  /// consumed. Off by default so pass accounting matches Lemma 2.1's
+  /// run-to-completion reading exactly.
+  bool early_exit = false;
 };
 
 /// Per-iteration trace of the winning guess (benches & tests).
@@ -75,9 +92,13 @@ struct StreamingResult {
   /// Passes per Lemma 2.1: the per-guess maximum (guesses run in
   /// parallel in the paper's accounting).
   uint64_t passes = 0;
-  /// Total stream scans actually performed by this (sequential)
-  /// implementation, summed over all guesses.
+  /// Logical per-guess passes summed over all guesses — what a
+  /// sequential one-guess-at-a-time implementation scans.
   uint64_t sequential_scans = 0;
+  /// Physical scans of the repository actually performed: one shared
+  /// scan per round serves every live guess, so this collapses to
+  /// `passes` (+0 rounds of overhead) instead of `sequential_scans`.
+  uint64_t physical_scans = 0;
   /// Peak working memory: sum over guesses of per-guess peaks (parallel
   /// composition, Lemma 2.2's x log n factor).
   uint64_t space_words_parallel = 0;
@@ -88,12 +109,19 @@ struct StreamingResult {
   std::vector<IterSetCoverIterationDiag> diagnostics;
 };
 
-/// Runs iterSetCover over `stream`. The returned cover is verified
+/// Runs iterSetCover with every guess multiplexed on `scheduler` (and
+/// on its worker threads, if any). The returned cover is verified
 /// feasible iff `success`.
+StreamingResult IterSetCover(PassScheduler& scheduler,
+                             const IterSetCoverOptions& options);
+
+/// Convenience: single-threaded scheduler over `stream`.
 StreamingResult IterSetCover(SetStream& stream,
                              const IterSetCoverOptions& options);
 
 /// Runs only the single guess `k` (exposed for tests and ablations).
+StreamingResult IterSetCoverSingleGuess(PassScheduler& scheduler, uint64_t k,
+                                        const IterSetCoverOptions& options);
 StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
                                         const IterSetCoverOptions& options);
 

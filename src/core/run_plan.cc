@@ -36,7 +36,9 @@ JsonValue OptionsJson(const RunOptions& options) {
           static_cast<uint64_t>(options.threshold_passes));
   out.Set("max_cover_budget",
           static_cast<uint64_t>(options.max_cover_budget));
+  out.Set("threads", static_cast<uint64_t>(options.threads));
   if (options.iter_guess > 0) out.Set("iter_guess", options.iter_guess);
+  if (options.early_exit) out.Set("early_exit", true);
   return out;
 }
 
@@ -114,6 +116,7 @@ RunReport ExecutePlan(const RunPlan& plan) {
           cell.passes.Add(static_cast<double>(r.passes));
           cell.sequential_scans.Add(
               static_cast<double>(r.sequential_scans));
+          cell.physical_scans.Add(static_cast<double>(r.physical_scans));
           cell.space_words.Add(static_cast<double>(r.space_words));
           if (r.projection_words_peak > 0) {
             cell.projection_words.Add(
@@ -138,7 +141,7 @@ const RunCell* RunReport::FindCell(std::string_view solver_label,
 
 JsonValue RunReport::ToJson() const {
   JsonValue out = JsonValue::Object();
-  out.Set("schema", "streamcover.run_report.v1");
+  out.Set("schema", "streamcover.run_report.v2");
 
   JsonValue solvers = JsonValue::Array();
   for (const SolverSpec& spec : plan.solvers) {
@@ -177,6 +180,7 @@ JsonValue RunReport::ToJson() const {
     c.Set("ratio", StatsJson(cell.ratio));
     c.Set("passes", StatsJson(cell.passes));
     c.Set("sequential_scans", StatsJson(cell.sequential_scans));
+    c.Set("physical_scans", StatsJson(cell.physical_scans));
     c.Set("space_words", StatsJson(cell.space_words));
     c.Set("projection_words", StatsJson(cell.projection_words));
     if (!cell.errors.empty()) {
@@ -208,12 +212,13 @@ bool RunReport::WriteJsonFile(const std::string& path,
 
 Table RunReport::SummaryTable() const {
   Table table({"workload", "solver", "cover", "cover/OPT", "passes",
-               "seq scans", "space (words)", "ok"});
+               "seq scans", "phys scans", "space (words)", "ok"});
   for (const RunCell& cell : cells) {
     table.AddRow(
         {cell.workload, cell.solver, FmtMean(cell.cover, 1),
          FmtMean(cell.ratio, 2), FmtMean(cell.passes, 1),
          FmtMean(cell.sequential_scans, 1),
+         FmtMean(cell.physical_scans, 1),
          cell.space_words.count() > 0
              ? Table::Fmt(static_cast<uint64_t>(cell.space_words.mean()))
              : std::string("-"),

@@ -8,8 +8,10 @@
 // pass-counted stream per trial from the Instance (no shared or
 // manually reset counters), and aggregates mean/min/max of cover size,
 // cover/OPT ratio (when the workload plants a bound), passes,
-// sequential_scans, and space words into a RunReport that serializes to
-// JSON (util/json.h) for the perf trajectory and external tooling.
+// sequential_scans, physical_scans, and space words into a RunReport
+// that serializes to JSON (util/json.h, schema
+// streamcover.run_report.v2) for the perf trajectory and external
+// tooling.
 //
 // Determinism: instances are generated once per (workload, seed) with
 // the plan seed; trial t of plan seed s runs the solver with seed
@@ -81,6 +83,10 @@ struct RunCell {
   RunningStats ratio;
   RunningStats passes;
   RunningStats sequential_scans;
+  /// Physical scans of the repository — the shared-scan scheduler's
+  /// column; ≈ passes for multiplexed solvers, far below
+  /// sequential_scans.
+  RunningStats physical_scans;
   RunningStats space_words;
   /// Peak stored-projection words (iterSetCover-family solvers only).
   RunningStats projection_words;
@@ -99,7 +105,8 @@ struct RunReport {
                           std::string_view workload_label) const;
 
   /// Full report as a JSON document (schema
-  /// "streamcover.run_report.v1").
+  /// "streamcover.run_report.v2": v1 + per-cell "physical_scans" stats
+  /// and per-solver "threads" in options).
   JsonValue ToJson() const;
 
   /// Pretty-printed ToJson().
@@ -110,8 +117,8 @@ struct RunReport {
                      std::string* error = nullptr) const;
 
   /// One markdown row per cell: workload | solver | cover | ratio |
-  /// passes | scans | space. The shared table shape of `sweep` and the
-  /// benches.
+  /// passes | seq scans | phys scans | space. The shared table shape of
+  /// `sweep` and the benches.
   Table SummaryTable() const;
 };
 

@@ -8,6 +8,7 @@
 #include "baselines/store_all_greedy.h"
 #include "baselines/streaming_max_cover.h"
 #include "baselines/threshold_greedy.h"
+#include "core/instance.h"
 #include "core/iter_set_cover.h"
 #include "geometry/geom_set_cover.h"
 #include "geometry/range_space.h"
@@ -23,9 +24,10 @@ RunResult FromBaseline(BaselineResult r) {
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
-  // The baselines run one logical instruction stream: every pass is a
-  // sequential scan.
+  // Single-instruction-stream baselines leave physical_scans at 0
+  // ("same as passes"); scheduler-driven ones fill it.
   result.sequential_scans = r.passes;
+  result.physical_scans = r.physical_scans > 0 ? r.physical_scans : r.passes;
   result.space_words = r.space_words;
   return result;
 }
@@ -38,47 +40,50 @@ uint64_t PeakProjectionWords(const StreamingResult& r) {
   return peak;
 }
 
-RunResult RunIterSetCover(SetStream& stream, const RunOptions& options) {
+RunResult RunIterSetCover(RunContext& ctx) {
   IterSetCoverOptions opts;
-  opts.delta = options.delta;
-  opts.sample_constant = options.sample_constant;
-  opts.offline = options.offline;
-  opts.seed = options.seed;
-  opts.coverage_fraction = options.coverage_fraction;
+  opts.delta = ctx.options.delta;
+  opts.sample_constant = ctx.options.sample_constant;
+  opts.offline = ctx.options.offline;
+  opts.seed = ctx.options.seed;
+  opts.coverage_fraction = ctx.options.coverage_fraction;
+  opts.early_exit = ctx.options.early_exit;
   StreamingResult r =
-      options.iter_guess > 0
-          ? IterSetCoverSingleGuess(stream, options.iter_guess, opts)
-          : IterSetCover(stream, opts);
+      ctx.options.iter_guess > 0
+          ? IterSetCoverSingleGuess(ctx.scheduler, ctx.options.iter_guess,
+                                    opts)
+          : IterSetCover(ctx.scheduler, opts);
   RunResult result;
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
   result.sequential_scans = r.sequential_scans;
+  result.physical_scans = r.physical_scans;
   result.space_words = r.space_words_max_guess;
   result.projection_words_peak = PeakProjectionWords(r);
   return result;
 }
 
-RunResult RunDimv14(SetStream& stream, const RunOptions& options) {
+RunResult RunDimv14(RunContext& ctx) {
   Dimv14Options opts;
-  opts.delta = options.delta;
-  opts.sample_constant = options.sample_constant;
-  opts.offline = options.offline;
-  opts.seed = options.seed;
-  return FromBaseline(Dimv14Cover(stream, opts));
+  opts.delta = ctx.options.delta;
+  opts.sample_constant = ctx.options.sample_constant;
+  opts.offline = ctx.options.offline;
+  opts.seed = ctx.options.seed;
+  return FromBaseline(Dimv14Cover(ctx.scheduler, opts));
 }
 
-RunResult RunStreamingMaxCover(SetStream& stream,
-                               const RunOptions& options) {
-  const uint32_t budget = options.max_cover_budget > 0
-                              ? options.max_cover_budget
-                              : stream.num_elements();
-  StreamingMaxCoverResult r = StreamingMaxCover(stream, budget);
+RunResult RunStreamingMaxCover(RunContext& ctx) {
+  const uint32_t budget = ctx.options.max_cover_budget > 0
+                              ? ctx.options.max_cover_budget
+                              : ctx.stream.num_elements();
+  StreamingMaxCoverResult r = StreamingMaxCover(ctx.stream, budget);
   RunResult result;
   result.cover = std::move(r.cover);
-  result.success = r.covered >= stream.num_elements();
+  result.success = r.covered >= ctx.stream.num_elements();
   result.passes = r.passes;
   result.sequential_scans = r.passes;
+  result.physical_scans = r.passes;
   result.space_words = r.space_words;
   return result;
 }
@@ -86,8 +91,9 @@ RunResult RunStreamingMaxCover(SetStream& stream,
 /// Store-all wrapper turning any OfflineSolver into a one-pass
 /// streaming run: buffer F (Θ(total_size) words), solve in memory.
 template <typename Solver>
-RunResult RunOffline(SetStream& stream, const RunOptions& /*options*/) {
+RunResult RunOffline(RunContext& ctx) {
   SpaceTracker tracker;
+  SetStream& stream = ctx.stream;
   const uint64_t passes_before = stream.passes();
   SetSystem::Builder builder(stream.num_elements());
   stream.ForEachSet([&](uint32_t /*id*/, std::span<const uint32_t> elems) {
@@ -103,33 +109,38 @@ RunResult RunOffline(SetStream& stream, const RunOptions& /*options*/) {
   result.success = IsFullCover(buffered, result.cover);
   result.passes = stream.passes() - passes_before;
   result.sequential_scans = result.passes;
+  result.physical_scans = result.passes;
   result.space_words = tracker.peak_words();
   return result;
 }
 
-RunResult RunGeometric(SetStream& /*stream*/, const RunOptions& options) {
+RunResult RunGeometric(RunContext& ctx) {
   RunResult result;
-  if (options.geometry == nullptr) {
+  if (ctx.geometry == nullptr) {
     result.error =
-        "solver 'geom' needs RunOptions::geometry (points + shapes); "
-        "the abstract SetStream carries no coordinates";
+        "solver 'geom' needs an instance with a points + shapes payload; "
+        "the abstract stream carries no coordinates";
     return result;
   }
-  ShapeStream shapes(&options.geometry->shapes);
+  ShapeStream shapes(&ctx.geometry->shapes);
   GeomSetCoverOptions opts;
-  opts.delta = options.delta;
-  opts.sample_constant = options.sample_constant;
-  opts.offline = options.offline;
-  opts.seed = options.seed;
+  opts.delta = ctx.options.delta;
+  opts.sample_constant = ctx.options.sample_constant;
+  opts.offline = ctx.options.offline;
+  opts.seed = ctx.options.seed;
   GeomStreamingResult r =
-      options.iter_guess > 0
-          ? AlgGeomSCSingleGuess(shapes, options.geometry->points,
-                                 options.iter_guess, opts)
-          : AlgGeomSC(shapes, options.geometry->points, opts);
+      ctx.options.iter_guess > 0
+          ? AlgGeomSCSingleGuess(shapes, ctx.geometry->points,
+                                 ctx.options.iter_guess, opts)
+          : AlgGeomSC(shapes, ctx.geometry->points, opts);
   result.cover = std::move(r.cover);
   result.success = r.success;
   result.passes = r.passes;
   result.sequential_scans = r.sequential_scans;
+  // algGeomSC's guesses still scan the shape stream sequentially; its
+  // repository is the payload, not the SetSource, so the shared-scan
+  // collapse does not apply here yet.
+  result.physical_scans = r.sequential_scans;
   result.space_words = r.space_words_max_guess;
   return result;
 }
@@ -148,28 +159,30 @@ void RegisterBuiltins(SolverRegistry& registry) {
   add("store_all_greedy",
       "greedy, store-all: 1 pass, O(mn) space, ln n approx",
       Kind::kStreaming,
-      [](SetStream& s, const RunOptions&) {
-        return FromBaseline(StoreAllGreedy(s));
+      [](RunContext& ctx) {
+        return FromBaseline(StoreAllGreedy(ctx.stream));
       });
   add("iterative_greedy",
       "greedy, pass-per-pick: n passes, O(n) space, ln n approx",
       Kind::kStreaming,
-      [](SetStream& s, const RunOptions&) {
-        return FromBaseline(IterativeGreedy(s));
+      [](RunContext& ctx) {
+        return FromBaseline(IterativeGreedy(ctx.stream));
       });
   add("progressive_greedy",
       "[SG09] halving thresholds: O(log n) passes, O~(n) space",
       Kind::kStreaming,
-      [](SetStream& s, const RunOptions& o) {
-        return FromBaseline(ProgressiveGreedy(s, o.coverage_fraction));
+      [](RunContext& ctx) {
+        return FromBaseline(
+            ProgressiveGreedy(ctx.stream, ctx.options.coverage_fraction));
       });
   add("threshold_greedy",
       "[ER14]/[CW16] p-pass thresholds: (p+1) n^{1/(p+1)} approx, "
       "O~(n) space",
       Kind::kStreaming,
-      [](SetStream& s, const RunOptions& o) {
-        return FromBaseline(PolynomialThresholdCover(s, o.threshold_passes,
-                                                     o.coverage_fraction));
+      [](RunContext& ctx) {
+        return FromBaseline(PolynomialThresholdCover(
+            ctx.scheduler, ctx.options.threshold_passes,
+            ctx.options.coverage_fraction));
       });
   add("dimv14",
       "[DIMV14] recursive sampling: O(4^{1/delta}) passes, "
@@ -187,8 +200,20 @@ void RegisterBuiltins(SolverRegistry& registry) {
       Kind::kOffline, RunOffline<ExactSolver>);
   add("geom",
       "algGeomSC (Thm 4.6): O(1) passes, O~(n) space for "
-      "disks/rects/fat triangles; needs RunOptions::geometry",
+      "disks/rects/fat triangles; needs an instance with geometry",
       Kind::kGeometric, RunGeometric);
+}
+
+std::string UnknownSolverError(std::string_view name) {
+  std::string error =
+      "unknown solver '" + std::string(name) + "'; available: ";
+  bool first = true;
+  for (const std::string& known : SolverRegistry::Global().Names()) {
+    if (!first) error += ", ";
+    error += known;
+    first = false;
+  }
+  return error;
 }
 
 }  // namespace
@@ -227,23 +252,46 @@ std::vector<const SolverRegistry::Entry*> SolverRegistry::Entries() const {
   return entries;
 }
 
-RunResult RunSolver(std::string_view name, SetStream& stream,
+RunResult RunSolver(std::string_view name, Instance& instance,
                     const RunOptions& options) {
+  // Shared by the paths that must not touch the instance's repository:
+  // unknown names (diagnose without side effects) and geometric runs
+  // (they read only the payload — never materialize the possibly
+  // quadratic range space for them).
+  static const SetSystem* const kEmptySystem = new SetSystem();
+
   const SolverRegistry::Entry* entry = SolverRegistry::Global().Find(name);
   if (entry == nullptr) {
     RunResult result;
-    result.error = "unknown solver '" + std::string(name) +
-                   "'; available: ";
-    bool first = true;
-    for (const std::string& known : SolverRegistry::Global().Names()) {
-      if (!first) result.error += ", ";
-      result.error += known;
-      first = false;
+    result.error = UnknownSolverError(name);
+    return result;
+  }
+  if (entry->kind == SolverRegistry::Kind::kGeometric) {
+    if (!instance.has_geometry()) {
+      RunResult result;
+      result.error = "solver '" + entry->name +
+                     "' is geometric but instance '" + instance.name() +
+                     "' carries no points/shapes payload";
+      return result;
+    }
+    SetStream stream(kEmptySystem);
+    PassScheduler scheduler(stream, options.threads);
+    RunContext ctx{stream, scheduler, instance.geometry(), options};
+    RunResult result = entry->run(ctx);
+    if (result.ok()) {
+      result.solver = entry->name;
+      result.instance = instance.name();
     }
     return result;
   }
-  RunResult result = entry->run(stream, options);
-  if (result.ok()) result.solver = entry->name;
+  SetStream stream = instance.NewStream();
+  PassScheduler scheduler(stream, options.threads);
+  RunContext ctx{stream, scheduler, nullptr, options};
+  RunResult result = entry->run(ctx);
+  if (result.ok()) {
+    result.solver = entry->name;
+    result.instance = instance.name();
+  }
   return result;
 }
 

@@ -3,11 +3,18 @@
 //
 // Each algorithm (iterSetCover, the Figure 1.1 baselines, the offline
 // solvers run in store-all mode, and algGeomSC) registers under a stable
-// name; RunSolver(name, stream, options) dispatches to it and reports
-// cover size, pass count, and peak space in one uniform RunResult.
-// Tools, benches, and tests drive algorithms exclusively through this
-// seam, so new workloads and benchmarks never touch individual solver
-// call signatures.
+// name; RunSolver(name, instance, options) dispatches to it and reports
+// cover size, pass count, physical scan count, and peak space in one
+// uniform RunResult. Tools, benches, and tests drive algorithms
+// exclusively through this seam, so new workloads and benchmarks never
+// touch individual solver call signatures.
+//
+// Runners receive a RunContext: the pass-counted stream, a PassScheduler
+// over it (pre-sized with RunOptions::threads), and — for geometric
+// solvers — the instance's points/shapes payload. Multi-branch solvers
+// (iterSetCover's guesses, DIMV14, the threshold sieve) register
+// ScanConsumers with the scheduler so one physical scan serves every
+// branch; single-branch solvers may drive the stream directly.
 //
 // Unknown names fail cleanly: RunSolver returns a RunResult with ok()
 // false and a diagnostic in `error` (no aborts, no exceptions).
@@ -25,6 +32,7 @@
 #include "geometry/geom_io.h"
 #include "offline/solver.h"
 #include "setsystem/cover.h"
+#include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
 
 namespace streamcover {
@@ -55,22 +63,36 @@ struct RunOptions {
   /// the trade-off benches (IterSetCoverSingleGuess through the
   /// registry). 0 = normal parallel-guess run.
   uint64_t iter_guess = 0;
+  /// Worker threads for the shared-scan PassScheduler; <= 1 dispatches
+  /// inline. Results are bit-identical at every thread count.
+  uint32_t threads = 1;
+  /// iterSetCover: retire guesses that provably cannot beat a completed
+  /// winner (never changes the winning cover; shaves physical scans and
+  /// makes `passes` reflect passes actually consumed).
+  bool early_exit = false;
   /// Offline solver (algOfflineSC) for the sampling algorithms;
   /// null => greedy.
   const OfflineSolver* offline = nullptr;
-  /// DEPRECATED — internal. Filled by RunSolver(name, Instance&, ...)
-  /// from the instance's geometric payload; external callers must route
-  /// geometry through core/instance.h instead of setting this field.
-  /// Will be removed once the SetStream overload goes away.
+};
+
+/// Everything a runner needs for one dispatch. Built by
+/// RunSolver(name, Instance&, options); runners never construct one.
+struct RunContext {
+  /// Pass-counted stream over the instance's repository (fresh per run).
+  SetStream& stream;
+  /// Shared-scan executor over `stream`, pre-sized with
+  /// RunOptions::threads. stream.passes() counts its physical scans.
+  PassScheduler& scheduler;
+  /// Points/shapes payload for kGeometric solvers; nullptr otherwise.
   const GeomDataset* geometry = nullptr;
+  const RunOptions& options;
 };
 
 /// Uniform outcome: the cover plus the accounting columns of Figure 1.1.
 struct RunResult {
   /// Resolved solver name (empty if dispatch failed).
   std::string solver;
-  /// Name of the Instance the run executed on (empty for the bare
-  /// SetStream overload).
+  /// Name of the Instance the run executed on.
   std::string instance;
   Cover cover;
   /// True iff the solver reports a complete cover (or the requested
@@ -79,11 +101,14 @@ struct RunResult {
   /// Passes in the paper's accounting: per-guess max for parallel-guess
   /// algorithms.
   uint64_t passes = 0;
-  /// Stream scans this (sequential) implementation actually performed,
-  /// summed over all guesses. Equals `passes` for single-guess
-  /// algorithms; quantifies the sharding/batching gap for iterSetCover
-  /// and algGeomSC.
+  /// Logical per-branch passes summed over all branches — what a
+  /// sequential one-branch-at-a-time implementation would scan. Equals
+  /// `passes` for single-branch algorithms.
   uint64_t sequential_scans = 0;
+  /// Physical scans of the repository actually performed. With the
+  /// shared-scan scheduler this collapses to `passes` for iterSetCover
+  /// instead of the old `sequential_scans ≈ guesses × passes` blow-up.
+  uint64_t physical_scans = 0;
   /// Peak retained 64-bit words.
   uint64_t space_words = 0;
   /// Peak stored-projection words across iterations (Lemma 2.2's
@@ -104,12 +129,12 @@ class SolverRegistry {
  public:
   /// Coarse classification, used by drivers to select sweep subsets.
   enum class Kind {
-    kStreaming,  ///< reads F only through SetStream passes
+    kStreaming,  ///< reads F only through scheduler/stream passes
     kOffline,    ///< buffers the stream, then solves in memory
-    kGeometric,  ///< needs RunOptions::geometry; ignores the SetStream
+    kGeometric,  ///< needs RunContext::geometry; ignores the stream
   };
 
-  using Runner = std::function<RunResult(SetStream&, const RunOptions&)>;
+  using Runner = std::function<RunResult(RunContext&)>;
 
   struct Entry {
     std::string name;
@@ -143,19 +168,12 @@ class SolverRegistry {
   std::map<std::string, Entry, std::less<>> entries_;
 };
 
-/// Canonical entry point: dispatches to `name` on `instance` (which
-/// supplies the stream, a fresh per-run pass counter, and — for
-/// geometric solvers — the points/shapes payload). Unknown names and
-/// geometric solvers on instances without geometry come back with
-/// ok() == false and a diagnostic in `error`. Defined in
-/// core/instance.cc.
+/// Canonical (and only) entry point: dispatches to `name` on `instance`,
+/// which supplies the stream, a fresh per-run pass counter and
+/// scheduler, and — for geometric solvers — the points/shapes payload.
+/// Unknown names and geometric solvers on instances without geometry
+/// come back with ok() == false and a diagnostic in `error`.
 RunResult RunSolver(std::string_view name, Instance& instance,
-                    const RunOptions& options = {});
-
-/// DEPRECATED thin overload kept for one PR: dispatches on a bare
-/// stream. Geometric solvers only work here if the caller smuggles a
-/// payload through RunOptions::geometry; prefer the Instance overload.
-RunResult RunSolver(std::string_view name, SetStream& stream,
                     const RunOptions& options = {});
 
 }  // namespace streamcover

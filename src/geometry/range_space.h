@@ -39,7 +39,6 @@ class ShapeStream {
   }
 
   uint64_t passes() const { return passes_; }
-  void ResetPassCount() { passes_ = 0; }
 
  private:
   const std::vector<Shape>* shapes_;

@@ -1,0 +1,143 @@
+#include "stream/pass_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.h"
+
+namespace streamcover {
+namespace {
+
+// Batch bounds for threaded dispatch: flush when either fills. Workers
+// are (re)spawned per flush, so batches are sized to make that roughly
+// once per scan on laptop-scale instances (a few MB of transient
+// scratch) — the spawn cost amortizes over the whole round.
+constexpr size_t kBatchMaxSets = size_t{1} << 16;
+constexpr size_t kBatchMaxWords = size_t{1} << 20;
+
+}  // namespace
+
+PassScheduler::PassScheduler(SetStream& stream, uint32_t threads)
+    : stream_(&stream), threads_(std::max(threads, 1u)) {}
+
+size_t PassScheduler::Register(ScanConsumer* consumer) {
+  SC_CHECK(consumer != nullptr);
+  slots_.push_back(Slot{consumer, 0});
+  return slots_.size() - 1;
+}
+
+void PassScheduler::Retire(size_t slot) {
+  SC_CHECK_LT(slot, slots_.size());
+  slots_[slot].consumer = nullptr;
+}
+
+bool PassScheduler::AnyLive() const {
+  for (const Slot& slot : slots_) {
+    if (slot.consumer != nullptr && !slot.consumer->done()) return true;
+  }
+  return false;
+}
+
+uint64_t PassScheduler::passes(size_t slot) const {
+  SC_CHECK_LT(slot, slots_.size());
+  return slots_[slot].passes;
+}
+
+uint64_t PassScheduler::max_passes() const {
+  uint64_t max = 0;
+  for (const Slot& slot : slots_) max = std::max(max, slot.passes);
+  return max;
+}
+
+uint64_t PassScheduler::total_passes() const {
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) total += slot.passes;
+  return total;
+}
+
+void PassScheduler::FlushBatch(const std::vector<ScanConsumer*>& live,
+                               uint32_t workers) {
+  if (batch_ids_.empty()) return;
+  // Static partition: worker w serves consumers w, w+workers, ... Each
+  // consumer is touched by exactly one worker and sees every batch set
+  // in stream order, so no locks and no dispatch-order nondeterminism.
+  auto serve = [&](uint32_t worker) {
+    for (size_t c = worker; c < live.size(); c += workers) {
+      ScanConsumer* consumer = live[c];
+      for (size_t i = 0; i < batch_ids_.size(); ++i) {
+        consumer->OnSet(
+            batch_ids_[i],
+            std::span<const uint32_t>(
+                batch_elems_.data() + batch_offsets_[i],
+                batch_offsets_[i + 1] - batch_offsets_[i]));
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(serve, w);
+  serve(0);
+  for (std::thread& t : pool) t.join();
+  batch_ids_.clear();
+  batch_offsets_.assign(1, 0);
+  batch_elems_.clear();
+}
+
+size_t PassScheduler::RunRound() {
+  std::vector<ScanConsumer*> live;
+  std::vector<Slot*> live_slots;
+  live.reserve(slots_.size());
+  for (Slot& slot : slots_) {
+    if (slot.consumer != nullptr && !slot.consumer->done()) {
+      live.push_back(slot.consumer);
+      live_slots.push_back(&slot);
+    }
+  }
+  if (live.empty()) return 0;
+
+  ++physical_scans_;
+  const uint32_t workers = static_cast<uint32_t>(
+      std::min<size_t>(threads_, live.size()));
+  if (workers <= 1) {
+    stream_->ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      for (ScanConsumer* consumer : live) consumer->OnSet(id, elems);
+    });
+  } else {
+    stream_->ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+      batch_ids_.push_back(id);
+      batch_elems_.insert(batch_elems_.end(), elems.begin(), elems.end());
+      batch_offsets_.push_back(batch_elems_.size());
+      if (batch_ids_.size() >= kBatchMaxSets ||
+          batch_elems_.size() >= kBatchMaxWords) {
+        FlushBatch(live, workers);
+      }
+    });
+    FlushBatch(live, workers);
+  }
+  for (Slot* slot : live_slots) {
+    ++slot->passes;
+    slot->consumer->OnPassEnd();
+  }
+  return live.size();
+}
+
+uint64_t PassScheduler::RunToCompletion() {
+  const uint64_t before = physical_scans_;
+  while (RunRound() > 0) {
+  }
+  return physical_scans_ - before;
+}
+
+PassScheduler::SoloRun PassScheduler::DriveToCompletion(
+    ScanConsumer& consumer) {
+  const uint64_t physical_before = physical_scans_;
+  const size_t slot = Register(&consumer);
+  while (!consumer.done()) RunRound();
+  SoloRun run;
+  run.logical_passes = passes(slot);
+  run.physical_scans = physical_scans_ - physical_before;
+  Retire(slot);
+  return run;
+}
+
+}  // namespace streamcover

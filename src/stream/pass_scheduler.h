@@ -1,0 +1,146 @@
+// Shared-scan pass execution.
+//
+// The paper's accounting (Lemma 2.1/2.2) composes the log n guesses of
+// iterSetCover *in parallel*: one pass over F is ONE physical scan of
+// the repository that feeds every guess at once. `PassScheduler` is that
+// composition made executable. Streaming algorithms are expressed as
+// `ScanConsumer` state machines (per-guess, per-threshold-level, or one
+// per whole algorithm); the scheduler runs rounds, where each round is a
+// single `SetStream::ForEachSet` scan whose sets are dispatched to every
+// live consumer. A disk-backed `FileSetSource` is therefore parsed once
+// per round, not once per guess per round.
+//
+// Accounting: the scheduler counts *physical scans* (rounds that touched
+// the repository) and attributes one *logical pass* per round to each
+// consumer it served — logical passes are what the paper's per-guess
+// bounds (Lemma 2.1) are stated in; physical scans are what the disk
+// pays. Space stays with the consumers: each owns its SpaceTracker, so
+// the parallel-composition space sum (Lemma 2.2's log n factor) is the
+// sum of consumer peaks.
+//
+// Threading: with `threads > 1` the scheduler buffers the scan into
+// batches and fans consumers out across worker threads. Each consumer is
+// owned by exactly one worker per batch and sees every set in stream
+// order, so results are bit-identical to the serial dispatch; consumers
+// never need locks as long as they touch only their own state in
+// OnSet(). OnPassEnd() and all inter-round work run on the calling
+// thread.
+
+#ifndef STREAMCOVER_STREAM_PASS_SCHEDULER_H_
+#define STREAMCOVER_STREAM_PASS_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/set_stream.h"
+
+namespace streamcover {
+
+/// A streaming algorithm (or one parallel branch of one) expressed as a
+/// per-set state machine, drivable by PassScheduler.
+class ScanConsumer {
+ public:
+  virtual ~ScanConsumer() = default;
+
+  /// One set of the current pass, in stream order. `elems` is valid only
+  /// for the duration of the call (it may point into a transient scan
+  /// batch). May run on a worker thread: implementations must touch only
+  /// their own state.
+  virtual void OnSet(uint32_t set_id, std::span<const uint32_t> elems) = 0;
+
+  /// The current pass finished. Runs on the scheduling thread; this is
+  /// where inter-pass work (offline solves, sampling, phase advance)
+  /// belongs.
+  virtual void OnPassEnd() = 0;
+
+  /// True once the consumer needs no further passes. A done consumer is
+  /// never served again.
+  virtual bool done() const = 0;
+};
+
+/// Executes rounds: one physical scan each, multiplexed over every live
+/// registered consumer. Non-owning; consumers must outlive the
+/// scheduler or at least its last RunRound.
+class PassScheduler {
+ public:
+  /// `threads` <= 1 dispatches inline on the calling thread; larger
+  /// values fan consumers out over that many workers per batch.
+  explicit PassScheduler(SetStream& stream, uint32_t threads = 1);
+
+  /// Registers a consumer and returns its slot (index for passes()).
+  size_t Register(ScanConsumer* consumer);
+
+  /// Detaches the consumer in `slot` (its pass count stays readable).
+  /// Drivers call this before their consumers go out of scope so a
+  /// longer-lived scheduler never touches a dangling pointer.
+  void Retire(size_t slot);
+
+  /// True iff any registered consumer still wants passes.
+  bool AnyLive() const;
+
+  /// Runs one round: a single physical scan served to every live
+  /// consumer, then OnPassEnd on each (in registration order). Returns
+  /// the number of consumers served; 0 means no live consumers and no
+  /// scan performed.
+  size_t RunRound();
+
+  /// Rounds until every consumer is done. Returns the number of physical
+  /// scans this call performed.
+  uint64_t RunToCompletion();
+
+  /// Pass/scan attribution of one DriveToCompletion window.
+  struct SoloRun {
+    uint64_t logical_passes = 0;   ///< passes served to the consumer
+    uint64_t physical_scans = 0;   ///< scans performed during the window
+  };
+
+  /// The solo-driver pattern shared by the single-consumer solver entry
+  /// points: registers `consumer`, runs rounds until IT is done (other
+  /// live consumers ride the same scans but never extend the window or
+  /// the attribution), then retires its slot.
+  SoloRun DriveToCompletion(ScanConsumer& consumer);
+
+  /// Physical scans of the repository performed so far.
+  uint64_t physical_scans() const { return physical_scans_; }
+
+  /// Logical passes attributed to the consumer in `slot` — the count its
+  /// per-guess bounds (Lemma 2.1) are measured in.
+  uint64_t passes(size_t slot) const;
+
+  /// Max / sum of logical passes over all consumers. The sum is what a
+  /// sequential one-consumer-at-a-time implementation would have
+  /// scanned ("sequential_scans"); the max equals physical_scans for
+  /// consumers that start together and run until done.
+  uint64_t max_passes() const;
+  uint64_t total_passes() const;
+
+  uint32_t threads() const { return threads_; }
+  SetStream& stream() { return *stream_; }
+
+ private:
+  struct Slot {
+    ScanConsumer* consumer = nullptr;
+    uint64_t passes = 0;
+  };
+
+  /// Dispatches the buffered batch to `live` across the worker pool,
+  /// then clears the batch.
+  void FlushBatch(const std::vector<ScanConsumer*>& live, uint32_t workers);
+
+  SetStream* stream_;
+  uint32_t threads_;
+  std::vector<Slot> slots_;
+  uint64_t physical_scans_ = 0;
+
+  // Threaded dispatch buffers one batch of sets (ids + CSR-style
+  // offsets + elements) — transient scan scratch, not algorithm space.
+  std::vector<uint32_t> batch_ids_;
+  std::vector<size_t> batch_offsets_{0};
+  std::vector<uint32_t> batch_elems_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_STREAM_PASS_SCHEDULER_H_

@@ -49,24 +49,24 @@ std::optional<FileSetSource> FileSetSource::Open(const std::string& path,
 void FileSetSource::Scan(const SetVisitor& visit) {
   std::ifstream in(path_);
   SC_CHECK(static_cast<bool>(in));  // validated by Open; must still exist
+  ++parses_;
   std::string magic;
   uint64_t n = 0, m = 0;
   in >> magic >> n >> m;
   SC_CHECK_EQ(magic, std::string("setcover"));
-  std::vector<uint32_t> buffer;
   for (uint32_t s = 0; s < num_sets_; ++s) {
     uint64_t size = 0;
     SC_CHECK(static_cast<bool>(in >> size));
     SC_CHECK_LE(size, num_elements_);
-    buffer.clear();
-    buffer.reserve(size);
+    scan_buffer_.clear();
+    scan_buffer_.reserve(size);
     for (uint64_t i = 0; i < size; ++i) {
       uint64_t e = 0;
       SC_CHECK(static_cast<bool>(in >> e));
       SC_CHECK_LT(e, num_elements_);
-      buffer.push_back(static_cast<uint32_t>(e));
+      scan_buffer_.push_back(static_cast<uint32_t>(e));
     }
-    visit(s, std::span<const uint32_t>(buffer));
+    visit(s, std::span<const uint32_t>(scan_buffer_));
   }
 }
 

@@ -52,7 +52,9 @@ class InMemorySetSource : public SetSource {
 
 /// Scans a file in the setsystem text format (setsystem/io.h),
 /// re-parsing it front to back on every pass. Spans passed to the
-/// visitor are valid only for the duration of that callback.
+/// visitor are valid only for the duration of that callback. Scans are
+/// not concurrency-safe with each other (they share the parse buffer);
+/// PassScheduler serializes them by construction.
 class FileSetSource : public SetSource {
  public:
   /// Validates the header; returns std::nullopt and fills *error if the
@@ -66,12 +68,20 @@ class FileSetSource : public SetSource {
 
   const std::string& path() const { return path_; }
 
+  /// Number of front-to-back parses of the file so far. With the
+  /// shared-scan scheduler this equals *physical* scans — one parse
+  /// serves every multiplexed guess — not the per-guess sequential
+  /// total (the regression the pass_scheduler tests pin down).
+  uint64_t parses() const { return parses_; }
+
  private:
   FileSetSource(std::string path, uint32_t n, uint32_t m);
 
   std::string path_;
   uint32_t num_elements_ = 0;
   uint32_t num_sets_ = 0;
+  uint64_t parses_ = 0;
+  std::vector<uint32_t> scan_buffer_;  // reused across sets and scans
 };
 
 }  // namespace streamcover

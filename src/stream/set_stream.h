@@ -45,15 +45,12 @@ class SetStream {
     source_->Scan(SetVisitor(std::forward<Fn>(fn)));
   }
 
-  /// Number of passes performed so far.
+  /// Number of passes performed so far. There is deliberately no reset:
+  /// multi-trial drivers draw a fresh stream per trial from
+  /// Instance::NewStream() (core/instance.h) — RunPlan does this
+  /// automatically — so pass counts can never be silently
+  /// misattributed by hand-reset shared streams.
   uint64_t passes() const { return passes_; }
-
-  /// Resets the pass counter. AVOID in multi-trial drivers: sharing one
-  /// stream across trials and resetting it by hand is how pass counts
-  /// get silently misattributed. Draw a fresh stream per trial from
-  /// Instance::NewStream() (core/instance.h) instead — RunPlan does
-  /// this automatically.
-  void ResetPassCount() { passes_ = 0; }
 
  private:
   std::unique_ptr<InMemorySetSource> owned_;  // set for the SetSystem ctor

@@ -39,6 +39,7 @@
 #include "setsystem/generators.h"             // IWYU pragma: export
 #include "setsystem/io.h"                     // IWYU pragma: export
 #include "setsystem/set_system.h"             // IWYU pragma: export
+#include "stream/pass_scheduler.h"            // IWYU pragma: export
 #include "stream/sampling.h"                  // IWYU pragma: export
 #include "stream/set_source.h"                // IWYU pragma: export
 #include "stream/set_stream.h"                // IWYU pragma: export

@@ -67,4 +67,9 @@ uint64_t GeomSampleSize(double c, double rho, uint64_t k, uint64_t n,
   return ClampSample(raw, universe_size);
 }
 
+uint64_t AllowedUncovered(uint64_t n, double coverage_fraction) {
+  return n - static_cast<uint64_t>(std::ceil(
+                 coverage_fraction * static_cast<double>(n) - 1e-9));
+}
+
 }  // namespace streamcover

@@ -45,6 +45,14 @@ uint64_t IterSetCoverSampleSize(double c, double rho, uint64_t k, uint64_t n,
 uint64_t GeomSampleSize(double c, double rho, uint64_t k, uint64_t n,
                         double delta, uint64_t m, uint64_t universe_size);
 
+/// epsilon-Partial Set Cover allowance: how many of the n elements may
+/// stay uncovered when the target is `coverage_fraction` of U. Computed
+/// as n - ceil(fraction*n) with an epsilon guard so that e.g. fraction
+/// 0.9 of n=100 allows exactly 10 uncovered elements despite 1.0 - 0.9
+/// not being representable. Fraction must be in (0, 1]; 1.0 = classic
+/// full cover (allowance 0).
+uint64_t AllowedUncovered(uint64_t n, double coverage_fraction);
+
 }  // namespace streamcover
 
 #endif  // STREAMCOVER_UTIL_MATHUTIL_H_

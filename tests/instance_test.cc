@@ -135,6 +135,11 @@ TEST(InstanceTest, FileBackedInstanceMatchesInMemoryResults) {
   EXPECT_EQ(file_run.cover.set_ids, mem_run.cover.set_ids);
   EXPECT_EQ(file_run.passes, mem_run.passes);
   EXPECT_EQ(file_run.sequential_scans, mem_run.sequential_scans);
+  EXPECT_EQ(file_run.physical_scans, mem_run.physical_scans);
+  // The multi-guess run shares scans: the file is re-parsed once per
+  // physical scan, which collapses to the per-guess pass max.
+  EXPECT_EQ(file_run.physical_scans, file_run.passes);
+  EXPECT_LT(file_run.physical_scans, file_run.sequential_scans);
   EXPECT_TRUE(from_file->VerifyCover(file_run.cover));
 
   // Re-running on the same file-backed instance reproduces the result:

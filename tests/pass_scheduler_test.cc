@@ -1,0 +1,365 @@
+// PassScheduler: one physical scan per round serves every live
+// consumer. Covers per-consumer pass attribution, thread-count
+// invariance (also the TSan target: >= 4 consumers fanned out over
+// workers), the determinism guarantee that the multiplexed iterSetCover
+// is byte-identical to the old sequential per-guess path (in-memory and
+// file-backed), the file re-parse regression (parses == physical scans,
+// not sequential scans), heterogeneous consumers (DIMV14 + threshold
+// sieves sharing scans), and the winner-preserving early-exit rule.
+
+#include "stream/pass_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/dimv14.h"
+#include "baselines/threshold_greedy.h"
+#include "core/iter_set_cover.h"
+#include "gtest/gtest.h"
+#include "offline/greedy.h"
+#include "setsystem/generators.h"
+#include "setsystem/io.h"
+#include "stream/set_source.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+PlantedInstance MakePlanted(uint64_t seed, uint32_t n = 300,
+                            uint32_t m = 600, uint32_t k = 6) {
+  PlantedOptions options;
+  options.num_elements = n;
+  options.num_sets = m;
+  options.cover_size = k;
+  options.noise_max_size = 20;
+  Rng rng(seed);
+  return GeneratePlanted(options, rng);
+}
+
+IterSetCoverOptions SmallIterOptions() {
+  IterSetCoverOptions options;
+  options.sample_constant = 0.05;
+  options.seed = 11;
+  return options;
+}
+
+// Consumes a fixed number of passes, accumulating an order-sensitive
+// digest of everything it sees.
+class CountingConsumer final : public ScanConsumer {
+ public:
+  explicit CountingConsumer(uint64_t passes_needed)
+      : remaining_(passes_needed) {}
+
+  void OnSet(uint32_t id, std::span<const uint32_t> elems) override {
+    ++sets_seen_;
+    digest_ = digest_ * 1000003ULL + id;
+    for (uint32_t e : elems) digest_ = digest_ * 1000003ULL + e;
+  }
+  void OnPassEnd() override {
+    if (remaining_ > 0) --remaining_;
+  }
+  bool done() const override { return remaining_ == 0; }
+
+  uint64_t sets_seen() const { return sets_seen_; }
+  uint64_t digest() const { return digest_; }
+
+ private:
+  uint64_t remaining_;
+  uint64_t sets_seen_ = 0;
+  uint64_t digest_ = 0;
+};
+
+// The pre-scheduler execution: one guess at a time, every logical pass
+// a dedicated physical scan. The multiplexed run must reproduce it
+// byte for byte.
+StreamingResult SequentialPerGuessPath(SetStream& stream,
+                                       const IterSetCoverOptions& options) {
+  const uint32_t n = stream.num_elements();
+  StreamingResult best;
+  uint64_t passes_max = 0;
+  uint64_t scans_total = 0;
+  uint64_t space_sum = 0;
+  uint64_t space_max = 0;
+  for (uint64_t k = 1;; k *= 2) {
+    StreamingResult guess = IterSetCoverSingleGuess(stream, k, options);
+    passes_max = std::max(passes_max, guess.passes);
+    scans_total += guess.passes;
+    space_sum += guess.space_words_parallel;
+    space_max = std::max(space_max, guess.space_words_max_guess);
+    if (guess.success &&
+        (!best.success || guess.cover.size() < best.cover.size())) {
+      best = std::move(guess);
+    }
+    if (k >= n) break;
+  }
+  best.passes = passes_max;
+  best.sequential_scans = scans_total;
+  best.space_words_parallel = space_sum;
+  best.space_words_max_guess = space_max;
+  return best;
+}
+
+void ExpectSameOutcome(const StreamingResult& multiplexed,
+                       const StreamingResult& sequential) {
+  EXPECT_EQ(multiplexed.cover.set_ids, sequential.cover.set_ids);
+  EXPECT_EQ(multiplexed.success, sequential.success);
+  EXPECT_EQ(multiplexed.winning_k, sequential.winning_k);
+  EXPECT_EQ(multiplexed.passes, sequential.passes);
+  EXPECT_EQ(multiplexed.sequential_scans, sequential.sequential_scans);
+  EXPECT_EQ(multiplexed.space_words_parallel,
+            sequential.space_words_parallel);
+  EXPECT_EQ(multiplexed.space_words_max_guess,
+            sequential.space_words_max_guess);
+}
+
+TEST(PassSchedulerTest, OnePhysicalScanServesEveryLiveConsumer) {
+  PlantedInstance inst = MakePlanted(1, 50, 80, 4);
+  SetStream stream(&inst.system);
+  PassScheduler scheduler(stream);
+
+  CountingConsumer one(1), two(2), four(4);
+  const size_t s1 = scheduler.Register(&one);
+  const size_t s2 = scheduler.Register(&two);
+  const size_t s4 = scheduler.Register(&four);
+  EXPECT_TRUE(scheduler.AnyLive());
+  scheduler.RunToCompletion();
+
+  // Rounds = the longest consumer's demand; each consumer was served
+  // exactly as many passes as it needed, all from shared scans.
+  EXPECT_EQ(scheduler.physical_scans(), 4u);
+  EXPECT_EQ(stream.passes(), 4u);
+  EXPECT_EQ(scheduler.passes(s1), 1u);
+  EXPECT_EQ(scheduler.passes(s2), 2u);
+  EXPECT_EQ(scheduler.passes(s4), 4u);
+  EXPECT_EQ(scheduler.max_passes(), 4u);
+  EXPECT_EQ(scheduler.total_passes(), 7u);
+  EXPECT_EQ(one.sets_seen(), 1u * inst.system.num_sets());
+  EXPECT_EQ(two.sets_seen(), 2u * inst.system.num_sets());
+  EXPECT_EQ(four.sets_seen(), 4u * inst.system.num_sets());
+}
+
+TEST(PassSchedulerTest, NoLiveConsumersMeansNoScan) {
+  PlantedInstance inst = MakePlanted(2, 40, 60, 4);
+  SetStream stream(&inst.system);
+  PassScheduler scheduler(stream);
+  EXPECT_FALSE(scheduler.AnyLive());
+  EXPECT_EQ(scheduler.RunRound(), 0u);
+  EXPECT_EQ(scheduler.physical_scans(), 0u);
+  EXPECT_EQ(stream.passes(), 0u);
+
+  CountingConsumer spent(0);  // already done at registration
+  scheduler.Register(&spent);
+  EXPECT_FALSE(scheduler.AnyLive());
+  EXPECT_EQ(scheduler.RunRound(), 0u);
+  EXPECT_EQ(stream.passes(), 0u);
+}
+
+TEST(PassSchedulerTest, RetiredSlotsAreSkipped) {
+  PlantedInstance inst = MakePlanted(3, 40, 60, 4);
+  SetStream stream(&inst.system);
+  PassScheduler scheduler(stream);
+  CountingConsumer hungry(100);
+  const size_t slot = scheduler.Register(&hungry);
+  scheduler.RunRound();
+  EXPECT_EQ(scheduler.passes(slot), 1u);
+  scheduler.Retire(slot);
+  EXPECT_FALSE(scheduler.AnyLive());
+  EXPECT_EQ(scheduler.RunRound(), 0u);
+  // The retired slot's attribution stays readable.
+  EXPECT_EQ(scheduler.passes(slot), 1u);
+}
+
+TEST(PassSchedulerTest, ThreadedDispatchIsBitIdenticalToSerial) {
+  PlantedInstance inst = MakePlanted(4, 200, 400, 5);
+  auto run = [&](uint32_t threads) {
+    SetStream stream(&inst.system);
+    PassScheduler scheduler(stream, threads);
+    // >= 4 consumers with skewed demands so every worker gets a mix of
+    // live and finished consumers across rounds (the TSan target).
+    std::vector<CountingConsumer> consumers;
+    consumers.reserve(6);
+    for (uint64_t need : {1, 2, 3, 5, 5, 8}) consumers.emplace_back(need);
+    for (CountingConsumer& c : consumers) scheduler.Register(&c);
+    scheduler.RunToCompletion();
+    std::vector<uint64_t> digests;
+    for (CountingConsumer& c : consumers) digests.push_back(c.digest());
+    digests.push_back(scheduler.physical_scans());
+    return digests;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(PassSchedulerTest, MultiplexedIterMatchesSequentialPerGuessPath) {
+  // The determinism contract of the redesign: multiplexing the >= 8
+  // guesses onto shared scans produces the byte-identical winning cover
+  // and identical logical pass accounting as running each guess on its
+  // own dedicated scans — while the repository pays per-guess-max scans
+  // instead of the sequential sum.
+  PlantedInstance inst = MakePlanted(5);
+  IterSetCoverOptions options = SmallIterOptions();
+
+  SetStream multiplexed_stream(&inst.system);
+  StreamingResult multiplexed = IterSetCover(multiplexed_stream, options);
+
+  SetStream sequential_stream(&inst.system);
+  StreamingResult sequential =
+      SequentialPerGuessPath(sequential_stream, options);
+
+  ASSERT_TRUE(multiplexed.success);
+  ExpectSameOutcome(multiplexed, sequential);
+  EXPECT_EQ(multiplexed.physical_scans, multiplexed.passes);
+  EXPECT_EQ(multiplexed_stream.passes(), multiplexed.physical_scans);
+  EXPECT_EQ(sequential_stream.passes(), sequential.sequential_scans);
+  EXPECT_LT(multiplexed_stream.passes(), sequential_stream.passes());
+}
+
+TEST(PassSchedulerTest, FileBackedMultiplexingMatchesAndParsesOncePerRound) {
+  // Same contract on a disk-backed repository, plus the re-parse
+  // regression: a multi-guess run re-parses the file once per physical
+  // scan — not once per guess per pass, the old guesses x passes I/O
+  // blow-up.
+  PlantedInstance inst = MakePlanted(6);
+  const std::string path =
+      testing::TempDir() + "/pass_scheduler_file_test.txt";
+  ASSERT_TRUE(SaveSetSystemToFile(inst.system, path));
+  IterSetCoverOptions options = SmallIterOptions();
+
+  std::string error;
+  auto multiplexed_source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(multiplexed_source.has_value()) << error;
+  SetStream multiplexed_stream(&*multiplexed_source);
+  StreamingResult multiplexed = IterSetCover(multiplexed_stream, options);
+
+  auto sequential_source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(sequential_source.has_value()) << error;
+  SetStream sequential_stream(&*sequential_source);
+  StreamingResult sequential =
+      SequentialPerGuessPath(sequential_stream, options);
+
+  ASSERT_TRUE(multiplexed.success);
+  ExpectSameOutcome(multiplexed, sequential);
+
+  // >= 8 guesses on n=300 (k = 1..512), each needing >= 2 passes:
+  // the sequential path parses the file per guess per pass, the
+  // scheduler once per round.
+  EXPECT_EQ(multiplexed_source->parses(), multiplexed.physical_scans);
+  EXPECT_EQ(sequential_source->parses(), sequential.sequential_scans);
+  EXPECT_GE(sequential_source->parses(),
+            8 * multiplexed_source->parses());
+  std::remove(path.c_str());
+}
+
+TEST(PassSchedulerTest, ThreadedIterSetCoverIsBitIdentical) {
+  // Full iterSetCover (>= 8 guess consumers) fanned out over 4 workers:
+  // byte-identical to serial, and TSan-clean under the sanitizer job.
+  PlantedInstance inst = MakePlanted(7);
+  IterSetCoverOptions options = SmallIterOptions();
+
+  SetStream serial_stream(&inst.system);
+  PassScheduler serial(serial_stream, 1);
+  StreamingResult serial_result = IterSetCover(serial, options);
+
+  SetStream threaded_stream(&inst.system);
+  PassScheduler threaded(threaded_stream, 4);
+  StreamingResult threaded_result = IterSetCover(threaded, options);
+
+  ASSERT_TRUE(serial_result.success);
+  ExpectSameOutcome(threaded_result, serial_result);
+  EXPECT_EQ(threaded_result.physical_scans, serial_result.physical_scans);
+}
+
+TEST(PassSchedulerTest, HeterogeneousConsumersShareScans) {
+  // The seam is not iterSetCover-shaped: a DIMV14 recursion and three
+  // [ER14]/[CW16] threshold sieves — four unrelated consumers — ride
+  // the same physical scans and reproduce their solo results exactly.
+  PlantedInstance inst = MakePlanted(8);
+  const uint32_t n = inst.system.num_elements();
+  const uint32_t m = inst.system.num_sets();
+  GreedySolver greedy;
+  Dimv14Options dimv_options;
+  dimv_options.sample_constant = 0.05;
+  dimv_options.seed = 11;
+
+  SetStream stream(&inst.system);
+  PassScheduler scheduler(stream, 2);
+  Dimv14Consumer dimv(n, m, dimv_options, greedy);
+  ThresholdSieveConsumer sieve1(n, 1), sieve2(n, 2), sieve3(n, 3);
+  const size_t dimv_slot = scheduler.Register(&dimv);
+  const size_t s1 = scheduler.Register(&sieve1);
+  const size_t s2 = scheduler.Register(&sieve2);
+  const size_t s3 = scheduler.Register(&sieve3);
+  scheduler.RunToCompletion();
+
+  EXPECT_EQ(scheduler.physical_scans(), scheduler.max_passes());
+  EXPECT_LT(scheduler.physical_scans(), scheduler.total_passes());
+  EXPECT_EQ(scheduler.passes(s1), 1u);
+  EXPECT_EQ(scheduler.passes(s2), 2u);
+  EXPECT_EQ(scheduler.passes(s3), 3u);
+
+  BaselineResult shared_dimv = dimv.TakeResult(scheduler.passes(dimv_slot));
+  SetStream solo_stream(&inst.system);
+  BaselineResult solo_dimv = Dimv14Cover(solo_stream, dimv_options);
+  EXPECT_EQ(shared_dimv.cover.set_ids, solo_dimv.cover.set_ids);
+  EXPECT_EQ(shared_dimv.passes, solo_dimv.passes);
+  EXPECT_EQ(shared_dimv.space_words, solo_dimv.space_words);
+
+  BaselineResult shared_sieve = sieve2.TakeResult(scheduler.passes(s2));
+  SetStream sieve_stream(&inst.system);
+  BaselineResult solo_sieve = PolynomialThresholdCover(sieve_stream, 2);
+  EXPECT_TRUE(shared_sieve.success);
+  EXPECT_EQ(shared_sieve.cover.set_ids, solo_sieve.cover.set_ids);
+  EXPECT_EQ(shared_sieve.passes, solo_sieve.passes);
+  EXPECT_EQ(shared_sieve.space_words, solo_sieve.space_words);
+}
+
+TEST(PassSchedulerTest, SoloDriversIgnoreForeignConsumers) {
+  // A driver invoked on a shared scheduler runs rounds only until ITS
+  // consumer finishes: a hungrier foreign consumer neither extends the
+  // call nor inflates the result's physical-scan attribution.
+  PlantedInstance inst = MakePlanted(9);
+  SetStream stream(&inst.system);
+  PassScheduler scheduler(stream);
+  CountingConsumer foreign(50);
+  const size_t foreign_slot = scheduler.Register(&foreign);
+  BaselineResult shared = PolynomialThresholdCover(scheduler, 2);
+  EXPECT_EQ(shared.passes, 2u);
+  EXPECT_EQ(shared.physical_scans, 2u);
+  EXPECT_EQ(scheduler.physical_scans(), 2u);
+  // The foreign consumer rode the sieve's two scans all the same.
+  EXPECT_EQ(scheduler.passes(foreign_slot), 2u);
+
+  SetStream solo_stream(&inst.system);
+  BaselineResult solo = PolynomialThresholdCover(solo_stream, 2);
+  EXPECT_EQ(shared.cover.set_ids, solo.cover.set_ids);
+}
+
+TEST(PassSchedulerTest, EarlyExitPreservesWinnerAndSavesScans) {
+  // The retire rule kills only guesses that provably cannot win, so the
+  // winning cover is identical; pass and scan counts can only shrink.
+  for (uint64_t seed : {11, 12, 13, 14}) {
+    PlantedInstance inst = MakePlanted(seed + 100);
+    IterSetCoverOptions options = SmallIterOptions();
+    options.seed = seed;
+
+    SetStream normal_stream(&inst.system);
+    StreamingResult normal = IterSetCover(normal_stream, options);
+
+    options.early_exit = true;
+    SetStream early_stream(&inst.system);
+    StreamingResult early = IterSetCover(early_stream, options);
+
+    ASSERT_TRUE(normal.success);
+    ASSERT_TRUE(early.success);
+    EXPECT_EQ(early.cover.set_ids, normal.cover.set_ids) << "seed " << seed;
+    EXPECT_EQ(early.winning_k, normal.winning_k) << "seed " << seed;
+    EXPECT_LE(early.physical_scans, normal.physical_scans);
+    EXPECT_LE(early.passes, normal.passes);
+    EXPECT_LE(early.sequential_scans, normal.sequential_scans);
+  }
+}
+
+}  // namespace
+}  // namespace streamcover

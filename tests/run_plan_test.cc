@@ -56,6 +56,12 @@ TEST(RunPlanTest, GridShapeAndRunCounts) {
            "by being zero";
     EXPECT_GT(cell.passes.mean(), 0.0);
     EXPECT_GE(cell.sequential_scans.mean(), cell.passes.mean());
+    // Shared-scan collapse: the repository pays at most the sequential
+    // total and at least the per-guess max — and for the multiplexed
+    // solvers exactly the max.
+    EXPECT_GT(cell.physical_scans.mean(), 0.0);
+    EXPECT_LE(cell.physical_scans.mean(), cell.sequential_scans.mean());
+    EXPECT_DOUBLE_EQ(cell.physical_scans.mean(), cell.passes.mean());
     EXPECT_GT(cell.space_words.mean(), 0.0);
   }
 }
@@ -133,7 +139,7 @@ TEST(RunPlanTest, JsonRoundTrip) {
   std::string error;
   std::optional<JsonValue> parsed = JsonValue::Parse(text, &error);
   ASSERT_TRUE(parsed.has_value()) << error;
-  EXPECT_EQ(parsed->At("schema").AsString(), "streamcover.run_report.v1");
+  EXPECT_EQ(parsed->At("schema").AsString(), "streamcover.run_report.v2");
   EXPECT_EQ(parsed->At("solvers").size(), 2u);
   EXPECT_EQ(parsed->At("workloads").size(), 3u);
   EXPECT_EQ(parsed->At("seeds").size(), 2u);
@@ -147,6 +153,8 @@ TEST(RunPlanTest, JsonRoundTrip) {
   EXPECT_EQ(cell0.At("workload").AsString(), report.cells[0].workload);
   EXPECT_DOUBLE_EQ(cell0.At("cover").At("mean").AsDouble(),
                    report.cells[0].cover.mean());
+  EXPECT_DOUBLE_EQ(cell0.At("physical_scans").At("mean").AsDouble(),
+                   report.cells[0].physical_scans.mean());
   EXPECT_DOUBLE_EQ(cell0.At("space_words").At("max").AsDouble(),
                    report.cells[0].space_words.max());
   EXPECT_EQ(cell0.At("runs").AsDouble(), 4.0);

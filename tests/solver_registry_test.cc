@@ -1,6 +1,8 @@
 // SolverRegistry: every registered solver must produce a feasible cover
 // on a shared planted instance through the uniform RunSolver entry
-// point, and unknown names must fail cleanly.
+// point, unknown names must fail cleanly, and the physical-scan
+// accounting of the shared-scan scheduler must hold at every thread
+// count.
 
 #include "core/solver_registry.h"
 
@@ -16,7 +18,6 @@
 #include "gtest/gtest.h"
 #include "setsystem/cover.h"
 #include "setsystem/generators.h"
-#include "stream/set_stream.h"
 #include "util/rng.h"
 
 namespace streamcover {
@@ -50,11 +51,12 @@ TEST(SolverRegistryTest, EveryAbstractSolverProducesFeasibleCover) {
   for (const SolverRegistry::Entry* entry :
        SolverRegistry::Global().Entries()) {
     if (entry->kind == SolverRegistry::Kind::kGeometric) continue;
-    SetStream stream(&inst.system);
+    Instance instance =
+        Instance::WrapSystem(&inst.system, {"shared", "test"});
     RunOptions options;
     options.sample_constant = 0.05;
     options.seed = 11;
-    RunResult r = RunSolver(entry->name, stream, options);
+    RunResult r = RunSolver(entry->name, instance, options);
     ASSERT_TRUE(r.ok()) << entry->name << ": " << r.error;
     EXPECT_EQ(r.solver, entry->name);
     EXPECT_TRUE(r.success) << entry->name << " reported failure";
@@ -63,30 +65,35 @@ TEST(SolverRegistryTest, EveryAbstractSolverProducesFeasibleCover) {
         << r.cover.size();
     EXPECT_GT(r.passes, 0u) << entry->name;
     EXPECT_GT(r.space_words, 0u) << entry->name;
+    // Shared-scan accounting invariants: the repository never pays more
+    // than the sequential total, and at least the per-branch max.
+    EXPECT_GT(r.physical_scans, 0u) << entry->name;
+    EXPECT_LE(r.physical_scans, r.sequential_scans) << entry->name;
+    EXPECT_GE(r.physical_scans, r.passes) << entry->name;
   }
 }
 
 TEST(SolverRegistryTest, UnknownNameFailsCleanly) {
   PlantedInstance inst = SharedInstance();
-  SetStream stream(&inst.system);
-  RunResult r = RunSolver("definitely-not-a-solver", stream);
+  Instance instance = Instance::WrapSystem(&inst.system, {"shared", ""});
+  RunResult r = RunSolver("definitely-not-a-solver", instance);
   EXPECT_FALSE(r.ok());
   EXPECT_FALSE(r.success);
   EXPECT_TRUE(r.cover.set_ids.empty());
   // The diagnostic names the unknown solver and lists the alternatives.
   EXPECT_NE(r.error.find("definitely-not-a-solver"), std::string::npos);
   EXPECT_NE(r.error.find("iter"), std::string::npos);
-  // The failed dispatch must not have consumed a pass.
-  EXPECT_EQ(stream.passes(), 0u);
+  EXPECT_EQ(r.passes, 0u);
+  EXPECT_EQ(r.physical_scans, 0u);
 }
 
 TEST(SolverRegistryTest, GeometricSolverWithoutGeometryFailsCleanly) {
   PlantedInstance inst = SharedInstance();
-  SetStream stream(&inst.system);
-  RunResult r = RunSolver("geom", stream);
+  Instance instance = Instance::WrapSystem(&inst.system, {"abstract", ""});
+  RunResult r = RunSolver("geom", instance);
   EXPECT_FALSE(r.ok());
-  EXPECT_NE(r.error.find("geometry"), std::string::npos);
-  EXPECT_EQ(stream.passes(), 0u);
+  EXPECT_NE(r.error.find("geometr"), std::string::npos);
+  EXPECT_EQ(r.passes, 0u);
 }
 
 TEST(SolverRegistryTest, GeometricSolverCoversPlantedGeomInstance) {
@@ -99,8 +106,8 @@ TEST(SolverRegistryTest, GeometricSolverCoversPlantedGeomInstance) {
   GeomInstance geom = GeneratePlantedGeom(geom_options, rng);
   SetSystem ranges = BuildRangeSpace(geom.points, geom.shapes);
 
-  // The points/shapes payload travels inside the Instance; nobody
-  // constructs RunOptions::geometry.
+  // The points/shapes payload travels inside the Instance; runners get
+  // it through RunContext, never through RunOptions.
   Instance instance =
       Instance::FromGeometry(std::move(geom), {"planted-disks", "test"});
   RunOptions options;
@@ -127,26 +134,27 @@ TEST(SolverRegistryTest, SampleConstantDefaultsAgreeEverywhere) {
   EXPECT_DOUBLE_EQ(RunOptions{}.sample_constant, 0.5);
 }
 
-TEST(SolverRegistryTest, InstanceOverloadMatchesDeprecatedStreamOverload) {
+TEST(SolverRegistryTest, ThreadCountNeverChangesResults) {
+  // The scheduler's worker fan-out is an execution detail: every thread
+  // count must produce the byte-identical cover and identical
+  // accounting for every scheduler-driven solver.
   PlantedInstance inst = SharedInstance();
-  RunOptions options;
-  options.sample_constant = 0.05;
-  options.seed = 11;
-
-  SetStream stream(&inst.system);
-  RunResult via_stream = RunSolver("iter", stream, options);
-
-  Instance wrapped =
-      Instance::WrapSystem(&inst.system, {"shared", "test"});
-  RunResult via_instance = RunSolver("iter", wrapped, options);
-
-  ASSERT_TRUE(via_stream.ok());
-  ASSERT_TRUE(via_instance.ok());
-  EXPECT_EQ(via_stream.cover.set_ids, via_instance.cover.set_ids);
-  EXPECT_EQ(via_stream.passes, via_instance.passes);
-  EXPECT_EQ(via_stream.space_words, via_instance.space_words);
-  EXPECT_EQ(via_instance.instance, "shared");
-  EXPECT_TRUE(via_stream.instance.empty());
+  for (const char* solver : {"iter", "dimv14", "threshold_greedy"}) {
+    RunOptions options;
+    options.sample_constant = 0.05;
+    options.seed = 11;
+    Instance instance = Instance::WrapSystem(&inst.system, {"shared", ""});
+    RunResult serial = RunSolver(solver, instance, options);
+    options.threads = 4;
+    RunResult threaded = RunSolver(solver, instance, options);
+    ASSERT_TRUE(serial.ok()) << solver << ": " << serial.error;
+    ASSERT_TRUE(threaded.ok()) << solver << ": " << threaded.error;
+    EXPECT_EQ(serial.cover.set_ids, threaded.cover.set_ids) << solver;
+    EXPECT_EQ(serial.passes, threaded.passes) << solver;
+    EXPECT_EQ(serial.sequential_scans, threaded.sequential_scans) << solver;
+    EXPECT_EQ(serial.physical_scans, threaded.physical_scans) << solver;
+    EXPECT_EQ(serial.space_words, threaded.space_words) << solver;
+  }
 }
 
 TEST(SolverRegistryTest, SingleGuessProbeRunsThroughRegistry) {
@@ -159,16 +167,32 @@ TEST(SolverRegistryTest, SingleGuessProbeRunsThroughRegistry) {
   RunResult r = RunSolver("iter", instance, options);
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_GT(r.projection_words_peak, 0u);
-  // Single guess: the sequential implementation performs exactly the
-  // per-guess passes, no parallel-guess multiplication.
+  // Single guess: one consumer on the scheduler, so logical passes,
+  // sequential scans, and physical scans all coincide.
   EXPECT_EQ(r.sequential_scans, r.passes);
+  EXPECT_EQ(r.physical_scans, r.passes);
+}
+
+TEST(SolverRegistryTest, MultiGuessRunCollapsesPhysicalScans) {
+  // The headline of the shared-scan redesign: iterSetCover's ~log n
+  // guesses ride the same physical scans, so the repository pays
+  // per-guess-max passes, not the sequential sum.
+  PlantedInstance inst = SharedInstance();
+  Instance instance = Instance::WrapSystem(&inst.system, {"shared", ""});
+  RunOptions options;
+  options.sample_constant = 0.05;
+  options.seed = 11;
+  RunResult r = RunSolver("iter", instance, options);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.physical_scans, r.passes);
+  EXPECT_GT(r.sequential_scans, r.physical_scans);
 }
 
 TEST(SolverRegistryTest, RegisterRejectsDuplicatesAndEmptyEntries) {
   SolverRegistry registry;
   SolverRegistry::Entry entry;
   entry.name = "custom";
-  entry.run = [](SetStream&, const RunOptions&) { return RunResult{}; };
+  entry.run = [](RunContext&) { return RunResult{}; };
   EXPECT_TRUE(registry.Register(entry));
   EXPECT_FALSE(registry.Register(entry)) << "duplicate name accepted";
   SolverRegistry::Entry no_runner;

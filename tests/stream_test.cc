@@ -26,8 +26,6 @@ TEST(SetStreamTest, CountsPasses) {
   stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
   stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
   EXPECT_EQ(stream.passes(), 3u);
-  stream.ResetPassCount();
-  EXPECT_EQ(stream.passes(), 0u);
 }
 
 TEST(SetStreamTest, VisitsSetsInStreamOrder) {

@@ -7,22 +7,26 @@
 //   stats    --in FILE
 //       Prints n, m, nnz, set-size distribution.
 //   solve    --in FILE --algo ALGO [--delta D] [--p P] [--seed SEED]
-//            [--coverage F] [--budget B] [--from-disk]
+//            [--coverage F] [--budget B] [--threads N] [--early-exit]
+//            [--from-disk]
 //       ALGO: any name from `list-solvers` (plus the legacy aliases
 //       store-all / iterative / progressive / threshold). The file
 //       becomes an Instance and dispatch goes through
 //       RunSolver(name, Instance&, options). --from-disk keeps the
-//       repository on disk, re-parsed per pass (FileSetSource).
+//       repository on disk, re-parsed once per *physical* scan
+//       (FileSetSource); --threads N fans multiplexed consumers out
+//       over N workers of the shared-scan PassScheduler.
 //   list-solvers  (also: --list_solvers)
 //       Prints every registered solver with its kind and bounds.
 //   list-workloads
 //       Prints every registered workload family with its kind.
 //   sweep    [--solvers a,b,c] [--workloads x,y,z] [--seeds S]
 //            [--trials T] [--n N --m M --k K] [--delta D] [--c C]
-//            [--json FILE]
+//            [--threads N] [--early-exit] [--json FILE]
 //       Executes the (solvers × workloads × seeds × trials) grid
-//       through WorkloadRegistry/RunPlan, prints the summary table,
-//       and optionally writes the RunReport JSON.
+//       through WorkloadRegistry/RunPlan, prints the summary table
+//       (passes vs sequential vs physical scans), and optionally
+//       writes the RunReport JSON (schema streamcover.run_report.v2).
 //   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
 //            [--seed SEED] --out FILE
 //       Writes a geometric instance (geometry/geom_io.h format).
@@ -93,12 +97,12 @@ int Usage() {
       "  streamcover_cli stats --in FILE\n"
       "  streamcover_cli solve --in FILE --algo NAME (see list-solvers) "
       "[--delta D] [--p P] [--seed SEED] [--coverage F] [--budget B] "
-      "[--from-disk]\n"
+      "[--threads N] [--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
       "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
-      "[--json FILE]\n"
+      "[--threads N] [--early-exit] [--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
       "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
@@ -283,6 +287,8 @@ int SolveOnInstance(Instance& instance, const Args& args) {
   options.coverage_fraction = args.GetDouble("coverage", 1.0);
   options.threshold_passes = static_cast<uint32_t>(args.GetInt("p", 2));
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
+  options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+  options.early_exit = args.Has("early-exit");
 
   RunResult r = RunSolver(algo, instance, options);
   if (!r.ok()) {
@@ -292,10 +298,12 @@ int SolveOnInstance(Instance& instance, const Args& args) {
 
   const size_t covered = instance.CountCovered(r.cover);
   std::printf("algo=%s success=%s cover=%zu covered=%zu/%u passes=%llu "
-              "space_words=%llu\n",
+              "seq_scans=%llu phys_scans=%llu space_words=%llu\n",
               r.solver.c_str(), r.success ? "yes" : "no", r.cover.size(),
               covered, instance.num_elements(),
               static_cast<unsigned long long>(r.passes),
+              static_cast<unsigned long long>(r.sequential_scans),
+              static_cast<unsigned long long>(r.physical_scans),
               static_cast<unsigned long long>(r.space_words));
   return r.success ? 0 : 1;
 }
@@ -346,6 +354,8 @@ int CmdSweep(const Args& args) {
     spec.options.threshold_passes =
         static_cast<uint32_t>(args.GetInt("p", 2));
     spec.options.coverage_fraction = args.GetDouble("coverage", 1.0);
+    spec.options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+    spec.options.early_exit = args.Has("early-exit");
     plan.solvers.push_back(std::move(spec));
   }
   for (const std::string& workload : workloads) {
@@ -461,8 +471,9 @@ int CmdSelfTest() {
   }
   if (CmdListWorkloads() != 0) return 1;
   {
-    // A tiny sweep through WorkloadRegistry/RunPlan; its JSON must
-    // parse back.
+    // A tiny sweep through WorkloadRegistry/RunPlan — multiplexed over
+    // 4 scheduler threads; its v2 JSON must parse back with the
+    // physical-scans column populated.
     const std::string json_path = dir + "/streamcover_cli_selftest.json";
     Args sweep;
     sweep.flags = {{"solvers", "iter,store_all_greedy,progressive_greedy"},
@@ -471,6 +482,7 @@ int CmdSelfTest() {
                    {"n", "200"},
                    {"m", "400"},
                    {"k", "5"},
+                   {"threads", "4"},
                    {"json", json_path}};
     if (CmdSweep(sweep) != 0) return 1;
     std::ifstream is(json_path);
@@ -479,7 +491,9 @@ int CmdSelfTest() {
     std::string error;
     auto parsed = JsonValue::Parse(buffer.str(), &error);
     if (!parsed.has_value() || !parsed->is_object() ||
-        parsed->At("cells").size() != 9) {
+        parsed->At("schema").AsString() != "streamcover.run_report.v2" ||
+        parsed->At("cells").size() != 9 ||
+        !parsed->At("cells")[0].At("physical_scans").is_object()) {
       std::fprintf(stderr, "selftest: sweep JSON invalid: %s\n",
                    error.c_str());
       return 1;
