@@ -175,11 +175,13 @@ int main(int argc, char** argv) {
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: bench_fig11_summary [--json FILE]\n");
-        return 1;
+      // Bare --json writes the stable trajectory path, so every PR's CI
+      // artifact lands under the same name.
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        json_path = "BENCH_fig11.json";
+      } else {
+        json_path = argv[++i];
       }
-      json_path = argv[++i];
     }
   }
   return streamcover::Run(json_path);

@@ -1,0 +1,359 @@
+// bench_hotpath — dispatch-throughput microbenchmark for the columnar
+// hot path (CSR SetViews + projection arena) against the seed
+// representation (a fresh std::vector per set per consumer, projections
+// stored as fresh vectors).
+//
+// Workload: the Figure 1.1 planted instance (n=2000, m=4000, OPT<=25,
+// seed 1). Both paths run the same Size-Test-shaped work — filter each
+// set against a live bitset, store light projections, drop heavy ones —
+// multiplexed over `--consumers` parallel consumers on a PassScheduler,
+// exactly the per-set work iterSetCover's guesses do per scan:
+//
+//   * vector path (pre-refactor): each consumer copies the dispatched
+//     elements into a fresh std::vector, filters into another fresh
+//     vector, and stores it; per-round cleanup frees every one of them.
+//   * view path (this repo): consumers read the borrowed SetView span
+//     in place and filter straight into a bump arena; per-round cleanup
+//     is an O(1) epoch reset.
+//
+// Reported: sets/sec dispatched, ns per element projected, the
+// view-vs-vector speedup, peak RSS, and a timed registry run of the
+// full `iter` solver with its covers/passes/space so the perf
+// trajectory carries correctness context. `--json FILE` (default
+// BENCH_hotpath.json) writes schema streamcover.bench_hotpath.v1; CI
+// uploads it per PR so the numbers accumulate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/instance.h"
+#include "core/solver_registry.h"
+#include "core/workload_registry.h"
+#include "stream/pass_scheduler.h"
+#include "util/arena.h"
+#include "util/bitset.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace streamcover {
+namespace {
+
+constexpr uint32_t kN = 2000;
+constexpr uint32_t kM = 4000;
+constexpr uint32_t kOpt = 25;
+constexpr uint64_t kSeed = 1;
+
+/// Every consumer filters against the same live mask (every other
+/// element "live") with a threshold that keeps most projections light —
+/// the storage-heavy regime the arena exists for.
+DynamicBitset MakeLiveMask(uint32_t n) {
+  DynamicBitset live(n);
+  for (uint32_t e = 0; e < n; e += 2) live.Set(e);
+  return live;
+}
+
+/// Pre-refactor representation: per-set vector materialization, fresh
+/// projection vectors, per-round frees.
+class VectorPathConsumer final : public ScanConsumer {
+ public:
+  VectorPathConsumer(const DynamicBitset* live, size_t threshold,
+                     uint64_t rounds)
+      : live_(live), threshold_(threshold), remaining_(rounds) {}
+
+  void OnSet(const SetView& set) override {
+    // The copy every pre-view consumer paid: elements materialize as a
+    // fresh vector before the consumer's own logic sees them.
+    std::vector<uint32_t> elems(set.begin(), set.end());
+    std::vector<uint32_t> proj;
+    for (uint32_t e : elems) {
+      if (live_->Test(e)) proj.push_back(e);
+    }
+    if (proj.empty() || proj.size() >= threshold_) return;
+    checksum_ += proj.size();
+    projections_.emplace_back(set.id, std::move(proj));
+  }
+  void OnPassEnd() override {
+    stored_ += projections_.size();
+    projections_.clear();  // frees every projection vector
+    if (remaining_ > 0) --remaining_;
+  }
+  bool done() const override { return remaining_ == 0; }
+
+  uint64_t stored() const { return stored_; }
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  const DynamicBitset* live_;
+  const size_t threshold_;
+  uint64_t remaining_;
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> projections_;
+  uint64_t stored_ = 0;
+  uint64_t checksum_ = 0;
+};
+
+/// Columnar representation: borrowed spans in, bump-arena storage,
+/// O(1) epoch reset per round.
+class ViewPathConsumer final : public ScanConsumer {
+ public:
+  ViewPathConsumer(const DynamicBitset* live, size_t threshold,
+                   uint64_t rounds)
+      : live_(live), threshold_(threshold), remaining_(rounds) {}
+
+  void OnSet(const SetView& set) override {
+    const size_t mark = arena_.size();
+    for (uint32_t e : set.elems) {
+      if (live_->Test(e)) arena_.Push(e);
+    }
+    const size_t length = arena_.size() - mark;
+    if (length == 0 || length >= threshold_) {
+      arena_.RewindTo(mark);
+      return;
+    }
+    checksum_ += length;
+    refs_.push_back(set.id);
+  }
+  void OnPassEnd() override {
+    stored_ += refs_.size();
+    refs_.clear();
+    arena_.ResetEpoch();
+    if (remaining_ > 0) --remaining_;
+  }
+  bool done() const override { return remaining_ == 0; }
+
+  uint64_t stored() const { return stored_; }
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  const DynamicBitset* live_;
+  const size_t threshold_;
+  uint64_t remaining_;
+  U32Arena arena_;
+  std::vector<uint32_t> refs_;
+  uint64_t stored_ = 0;
+  uint64_t checksum_ = 0;
+};
+
+struct DispatchStats {
+  double seconds = 0;
+  double sets_per_sec = 0;
+  double ns_per_element = 0;
+  uint64_t stored = 0;
+  uint64_t checksum = 0;
+};
+
+template <typename Consumer>
+DispatchStats RunDispatch(Instance& instance, const DynamicBitset& live,
+                          size_t threshold, uint32_t consumers,
+                          uint64_t rounds, uint32_t threads) {
+  SetStream stream = instance.NewStream();
+  PassScheduler scheduler(stream, threads);
+  std::vector<Consumer> pool;
+  pool.reserve(consumers);
+  for (uint32_t c = 0; c < consumers; ++c) {
+    pool.emplace_back(&live, threshold, rounds);
+  }
+  for (Consumer& c : pool) scheduler.Register(&c);
+
+  WallTimer timer;
+  scheduler.RunToCompletion();
+  DispatchStats stats;
+  stats.seconds = timer.ElapsedSeconds();
+  const SetSystem* system = instance.materialized();
+  const double dispatched_sets = static_cast<double>(kM) *
+                                 static_cast<double>(consumers) *
+                                 static_cast<double>(rounds);
+  const double dispatched_elems =
+      static_cast<double>(system != nullptr ? system->total_size() : 0) *
+      static_cast<double>(consumers) * static_cast<double>(rounds);
+  stats.sets_per_sec = dispatched_sets / stats.seconds;
+  stats.ns_per_element = stats.seconds * 1e9 / dispatched_elems;
+  for (Consumer& c : pool) {
+    stats.stored += c.stored();
+    stats.checksum += c.checksum();
+  }
+  return stats;
+}
+
+/// VmHWM from /proc/self/status, in KiB; 0 where unavailable.
+uint64_t PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+  return 0;
+}
+
+JsonValue DispatchJson(const DispatchStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seconds", stats.seconds);
+  v.Set("sets_per_sec", stats.sets_per_sec);
+  v.Set("ns_per_element", stats.ns_per_element);
+  v.Set("projections_stored", stats.stored);
+  return v;
+}
+
+int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
+        uint32_t threads) {
+  benchutil::Banner(
+      "Hot path — SetView/arena dispatch vs the seed vector path "
+      "(fig11 planted n=2000, m=4000, " +
+      std::to_string(consumers) + " consumers x " +
+      std::to_string(rounds) + " rounds, threads=" +
+      std::to_string(threads) + ")");
+
+  WorkloadParams params;
+  params.n = kN;
+  params.m = kM;
+  params.k = kOpt;
+  params.seed = kSeed;
+  std::string error;
+  std::optional<Instance> instance = MakeWorkload("planted", params, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const DynamicBitset live = MakeLiveMask(kN);
+  // Threshold sized like a mid-run Size Test: most projections stay
+  // light and get stored.
+  const size_t threshold = kN / (2 * kOpt);
+
+  // Untimed warmup so both paths measure steady-state capacity, not
+  // first-touch page faults.
+  RunDispatch<ViewPathConsumer>(*instance, live, threshold, consumers,
+                                /*rounds=*/2, threads);
+
+  DispatchStats vector_stats = RunDispatch<VectorPathConsumer>(
+      *instance, live, threshold, consumers, rounds, threads);
+  DispatchStats view_stats = RunDispatch<ViewPathConsumer>(
+      *instance, live, threshold, consumers, rounds, threads);
+  if (vector_stats.checksum != view_stats.checksum ||
+      vector_stats.stored != view_stats.stored) {
+    std::fprintf(stderr,
+                 "dispatch checksum mismatch: the two paths did not do "
+                 "identical work\n");
+    return 1;
+  }
+  const double speedup = view_stats.sets_per_sec / vector_stats.sets_per_sec;
+
+  Table table({"path", "sets/sec", "ns/element", "stored projections"});
+  table.AddRow({"vector (seed)",
+                Table::Fmt(static_cast<uint64_t>(vector_stats.sets_per_sec)),
+                Table::Fmt(vector_stats.ns_per_element, 2),
+                Table::Fmt(vector_stats.stored)});
+  table.AddRow({"view (arena)",
+                Table::Fmt(static_cast<uint64_t>(view_stats.sets_per_sec)),
+                Table::Fmt(view_stats.ns_per_element, 2),
+                Table::Fmt(view_stats.stored)});
+  table.Print(std::cout);
+  benchutil::Note("speedup (view vs vector): " + Table::Fmt(speedup, 2) +
+                  "x");
+
+  // One timed full solver run for correctness context in the trajectory.
+  RunOptions options;
+  options.sample_constant = 0.05;
+  WallTimer solver_timer;
+  RunResult iter = RunSolver("iter", *instance, options);
+  const double solver_ms = solver_timer.ElapsedMillis();
+  if (!iter.ok() || !iter.success) {
+    std::fprintf(stderr, "iter run failed: %s\n", iter.error.c_str());
+    return 1;
+  }
+  benchutil::Note(
+      "iter: cover=" + std::to_string(iter.cover.size()) +
+      " passes=" + std::to_string(iter.passes) +
+      " phys_scans=" + std::to_string(iter.physical_scans) +
+      " space_words=" + std::to_string(iter.space_words) +
+      " projection_words_peak=" + std::to_string(iter.projection_words_peak) +
+      " wall_ms=" + Table::Fmt(solver_ms, 1));
+  const uint64_t rss_kb = PeakRssKb();
+  benchutil::Note("peak RSS: " + std::to_string(rss_kb) + " KiB");
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", "streamcover.bench_hotpath.v1");
+    JsonValue p = JsonValue::Object();
+    p.Set("workload", "planted");
+    p.Set("n", static_cast<uint64_t>(kN));
+    p.Set("m", static_cast<uint64_t>(kM));
+    p.Set("k", static_cast<uint64_t>(kOpt));
+    p.Set("seed", kSeed);
+    p.Set("consumers", static_cast<uint64_t>(consumers));
+    p.Set("rounds", rounds);
+    p.Set("threads", static_cast<uint64_t>(threads));
+    doc.Set("params", std::move(p));
+    JsonValue dispatch = JsonValue::Object();
+    dispatch.Set("vector_path", DispatchJson(vector_stats));
+    dispatch.Set("view_path", DispatchJson(view_stats));
+    dispatch.Set("speedup", speedup);
+    doc.Set("dispatch", std::move(dispatch));
+    JsonValue solver = JsonValue::Object();
+    solver.Set("solver", "iter");
+    solver.Set("success", iter.success);
+    solver.Set("cover", static_cast<uint64_t>(iter.cover.size()));
+    solver.Set("passes", iter.passes);
+    solver.Set("sequential_scans", iter.sequential_scans);
+    solver.Set("physical_scans", iter.physical_scans);
+    solver.Set("space_words", iter.space_words);
+    solver.Set("projection_words_peak", iter.projection_words_peak);
+    solver.Set("wall_ms", solver_ms);
+    doc.Set("solver", std::move(solver));
+    doc.Set("peak_rss_kb", rss_kb);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << doc.Dump(2) << '\n';
+    benchutil::Note("wrote " + json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main(int argc, char** argv) {
+  // Stable default path so the per-PR trajectory accumulates in one
+  // place (CI uploads it as an artifact).
+  std::string json_path = "BENCH_hotpath.json";
+  uint32_t consumers = 12;
+  uint64_t rounds = 12;
+  uint32_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: bench_hotpath [--json FILE] [--consumers N] "
+                     "[--rounds N] [--threads N]  (missing value for %s)\n",
+                     flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--consumers") {
+      consumers = static_cast<uint32_t>(std::atoi(next("--consumers")));
+    } else if (arg == "--rounds") {
+      rounds = static_cast<uint64_t>(std::atoll(next("--rounds")));
+    } else if (arg == "--threads") {
+      threads = static_cast<uint32_t>(std::atoi(next("--threads")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--json FILE] [--consumers N] "
+                   "[--rounds N] [--threads N]\n");
+      return 1;
+    }
+  }
+  return streamcover::Run(json_path, consumers, rounds, threads);
+}

@@ -123,24 +123,24 @@ void Dimv14Consumer::Advance() {
   }
 }
 
-void Dimv14Consumer::OnSet(uint32_t id, std::span<const uint32_t> elems) {
+void Dimv14Consumer::OnSet(const SetView& set) {
   switch (phase_) {
     case Phase::kBasePass: {
-      std::vector<uint32_t> proj;
-      for (uint32_t e : elems) {
+      proj_scratch_.clear();
+      for (uint32_t e : set.elems) {
         auto it = reindex_.find(e);
-        if (it != reindex_.end()) proj.push_back(it->second);
+        if (it != reindex_.end()) proj_scratch_.push_back(it->second);
       }
-      if (proj.empty()) return;
-      stored_words_ += proj.size() + 1;
-      tracker_.Charge(proj.size() + 1);
-      sub_builder_->AddSet(std::move(proj));
-      original_ids_.push_back(id);
+      if (proj_scratch_.empty()) return;
+      stored_words_ += proj_scratch_.size() + 1;
+      tracker_.Charge(proj_scratch_.size() + 1);
+      sub_builder_->AddSet(std::span<const uint32_t>(proj_scratch_));
+      original_ids_.push_back(set.id);
       return;
     }
     case Phase::kUpdatePass: {
-      if (!picked_.Test(id)) return;
-      for (uint32_t e : elems) update_targets_->Reset(e);
+      if (!picked_.Test(set.id)) return;
+      for (uint32_t e : set.elems) update_targets_->Reset(e);
       return;
     }
     case Phase::kDone:

@@ -58,7 +58,7 @@ class Dimv14Consumer final : public ScanConsumer {
   Dimv14Consumer(uint32_t n, uint32_t m, const Dimv14Options& options,
                  const OfflineSolver& offline);
 
-  void OnSet(uint32_t id, std::span<const uint32_t> elems) override;
+  void OnSet(const SetView& set) override;
   void OnPassEnd() override;
   bool done() const override { return phase_ == Phase::kDone; }
 
@@ -95,11 +95,14 @@ class Dimv14Consumer final : public ScanConsumer {
   bool failed_ = false;
   Phase phase_ = Phase::kDone;
 
-  // Base-pass scratch (one base pass active at a time).
+  // Base-pass scratch (one base pass active at a time). The projection
+  // filter writes into a reused buffer and the sub-builder's CSR arena
+  // directly — no per-set vector is materialized.
   std::vector<uint32_t> base_target_elems_;
   std::unordered_map<uint32_t, uint32_t> reindex_;
   std::optional<SetSystem::Builder> sub_builder_;
   std::vector<uint32_t> original_ids_;
+  std::vector<uint32_t> proj_scratch_;
   uint64_t stored_words_ = 0;
 
   // Update-pass scratch.

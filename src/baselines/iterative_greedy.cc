@@ -24,16 +24,16 @@ BaselineResult IterativeGreedy(SetStream& stream) {
     uint32_t best_id = 0;
     size_t best_gain = 0;
     std::vector<uint32_t> best_elems;  // residual elements of best set
-    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+    stream.ForEachSet([&](const SetView& set) {
       size_t gain = 0;
-      for (uint32_t e : elems) {
+      for (uint32_t e : set.elems) {
         if (uncovered.Test(e)) ++gain;
       }
       if (gain > best_gain) {
         best_gain = gain;
-        best_id = id;
+        best_id = set.id;
         best_elems.clear();
-        for (uint32_t e : elems) {
+        for (uint32_t e : set.elems) {
           if (uncovered.Test(e)) best_elems.push_back(e);
         }
       }

@@ -9,11 +9,11 @@ BaselineResult StoreAllGreedy(SetStream& stream) {
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
 
-  // One pass: copy every set into working memory.
+  // One pass: append every set straight onto the buffered CSR arena.
   SetSystem::Builder builder(stream.num_elements());
-  stream.ForEachSet([&](uint32_t /*id*/, std::span<const uint32_t> elems) {
-    tracker.Charge(elems.size() + 1);
-    builder.AddSet({elems.begin(), elems.end()});
+  stream.ForEachSet([&](const SetView& set) {
+    tracker.Charge(set.size() + 1);
+    builder.AddSet(set.elems);
   });
   SetSystem buffered = std::move(builder).Build();
 

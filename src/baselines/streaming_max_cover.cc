@@ -20,17 +20,17 @@ StreamingMaxCoverResult StreamingMaxCover(SetStream& stream,
   for (double threshold = static_cast<double>(n) / 2.0;;
        threshold /= 2.0) {
     if (threshold < 1.0) threshold = 1.0;
-    stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+    stream.ForEachSet([&](const SetView& set) {
       if (result.cover.size() >= budget) return;
       size_t gain = 0;
-      for (uint32_t e : elems) {
+      for (uint32_t e : set.elems) {
         if (uncovered.Test(e)) ++gain;
       }
       if (gain > 0 && static_cast<double>(gain) >= threshold) {
-        result.cover.set_ids.push_back(id);
+        result.cover.set_ids.push_back(set.id);
         tracker.Charge(1);
         result.covered += gain;
-        for (uint32_t e : elems) uncovered.Reset(e);
+        for (uint32_t e : set.elems) uncovered.Reset(e);
       }
     });
     if (result.cover.size() >= budget) break;

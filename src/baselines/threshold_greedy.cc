@@ -18,16 +18,16 @@ size_t ThresholdPass(SetStream& stream, DynamicBitset& uncovered,
                      uint64_t& remaining, uint64_t allowed_uncovered,
                      double threshold, Cover& cover, SpaceTracker& tracker) {
   size_t taken = 0;
-  stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
+  stream.ForEachSet([&](const SetView& set) {
     if (remaining <= allowed_uncovered) return;
     size_t gain = 0;
-    for (uint32_t e : elems) {
+    for (uint32_t e : set.elems) {
       if (uncovered.Test(e)) ++gain;
     }
     if (gain > 0 && static_cast<double>(gain) >= threshold) {
-      cover.set_ids.push_back(id);
+      cover.set_ids.push_back(set.id);
       tracker.Charge(1);
-      for (uint32_t e : elems) uncovered.Reset(e);
+      for (uint32_t e : set.elems) uncovered.Reset(e);
       remaining -= gain;
       ++taken;
     }
@@ -84,21 +84,20 @@ ThresholdSieveConsumer::ThresholdSieveConsumer(uint32_t n, uint32_t p,
       dn_, static_cast<double>(p_) / static_cast<double>(p_ + 1));
 }
 
-void ThresholdSieveConsumer::OnSet(uint32_t id,
-                                   std::span<const uint32_t> elems) {
+void ThresholdSieveConsumer::OnSet(const SetView& set) {
   if (done_) return;
   size_t gain = 0;
-  for (uint32_t e : elems) {
+  for (uint32_t e : set.elems) {
     if (uncovered_.Test(e)) {
       ++gain;
-      if (backup_[e] == UINT32_MAX) backup_[e] = id;
+      if (backup_[e] == UINT32_MAX) backup_[e] = set.id;
     }
   }
   if (remaining_ <= allowed_uncovered_) return;  // partial target met
   if (gain > 0 && static_cast<double>(gain) >= threshold_) {
-    sol_.set_ids.push_back(id);
+    sol_.set_ids.push_back(set.id);
     tracker_.Charge(1);
-    for (uint32_t e : elems) uncovered_.Reset(e);
+    for (uint32_t e : set.elems) uncovered_.Reset(e);
     remaining_ -= gain;
   }
 }

@@ -50,7 +50,7 @@ class ThresholdSieveConsumer final : public ScanConsumer {
   ThresholdSieveConsumer(uint32_t n, uint32_t p,
                          double coverage_fraction = 1.0);
 
-  void OnSet(uint32_t id, std::span<const uint32_t> elems) override;
+  void OnSet(const SetView& set) override;
   void OnPassEnd() override;
   bool done() const override { return done_; }
 

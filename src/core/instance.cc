@@ -101,9 +101,9 @@ size_t Instance::CountCovered(const Cover& cover) {
     if (id < in_cover.size()) in_cover[id] = 1;
   }
   std::vector<char> covered(file_source_->num_elements(), 0);
-  file_source_->Scan([&](uint32_t set_id, std::span<const uint32_t> elems) {
-    if (set_id >= in_cover.size() || in_cover[set_id] == 0) return;
-    for (uint32_t e : elems) covered[e] = 1;
+  file_source_->Scan([&](const SetView& set) {
+    if (set.id >= in_cover.size() || in_cover[set.id] == 0) return;
+    for (uint32_t e : set.elems) covered[e] = 1;
   });
   size_t count = 0;
   for (char c : covered) count += static_cast<size_t>(c);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/projection_store.h"
 #include "offline/greedy.h"
 #include "stream/sampling.h"
 #include "util/bitset.h"
@@ -54,45 +55,49 @@ class GuessConsumer final : public ScanConsumer {
     Advance();
   }
 
-  void OnSet(uint32_t id, std::span<const uint32_t> elems) override {
+  void OnSet(const SetView& set) override {
     switch (phase_) {
       case Phase::kPass1: {
-        // Size Test: heavy sets are taken now, light projections stored.
-        scratch_.clear();
-        for (uint32_t e : elems) {
-          if (live_.Test(e)) scratch_.push_back(e);
+        // Size Test: heavy sets are taken now, light projections kept.
+        // The projection is filtered straight into the iteration's bump
+        // arena — committed if light, rewound if heavy or empty — so
+        // the hot path performs no per-set heap allocation.
+        const size_t mark = projections_.StageMark();
+        for (uint32_t e : set.elems) {
+          if (live_.Test(e)) projections_.StagePush(e);
         }
-        if (scratch_.empty()) return;
-        if (static_cast<double>(scratch_.size()) >= threshold_) {
-          heavy_picks_.push_back(id);
+        const std::span<const uint32_t> staged = projections_.Staged(mark);
+        if (staged.empty()) return;
+        if (static_cast<double>(staged.size()) >= threshold_) {
+          heavy_picks_.push_back(set.id);
           tracker_.Charge(1);
-          for (uint32_t e : scratch_) live_.Reset(e);
+          for (uint32_t e : staged) live_.Reset(e);
+          projections_.Abandon(mark);
         } else {
-          projection_words_ += scratch_.size() + 1;  // elements + set id
-          tracker_.Charge(scratch_.size() + 1);
-          projections_.emplace_back(id, scratch_);
+          tracker_.Charge(staged.size() + 1);  // elements + set id
+          projections_.CommitLight(set.id, mark);
         }
         return;
       }
       case Phase::kPass2: {
         // Only the sets picked this iteration can newly cover anything.
-        if (!picked_this_iter_.Test(id)) return;
-        for (uint32_t e : elems) uncovered_.Reset(e);
+        if (!picked_this_iter_.Test(set.id)) return;
+        for (uint32_t e : set.elems) uncovered_.Reset(e);
         return;
       }
       case Phase::kFinalSweep: {
         if (uncovered_.None()) return;
         bool hits = false;
-        for (uint32_t e : elems) {
+        for (uint32_t e : set.elems) {
           if (uncovered_.Test(e)) {
             hits = true;
             break;
           }
         }
         if (hits) {
-          sweep_picks_.push_back(id);
+          sweep_picks_.push_back(set.id);
           tracker_.Charge(1);
-          for (uint32_t e : elems) uncovered_.Reset(e);
+          for (uint32_t e : set.elems) uncovered_.Reset(e);
         }
         return;
       }
@@ -200,14 +205,16 @@ class GuessConsumer final : public ScanConsumer {
                  static_cast<double>(sample_.size()) /
                  static_cast<double>(k_);
     heavy_picks_.clear();
-    projections_.clear();
-    projection_words_ = 0;
+    // Epoch reset: the previous iteration's projections died with their
+    // ReleaseEpoch in FinishPass1, so the arena drops to empty in O(1)
+    // (capacity retained) with the word watermark provably at zero.
+    projections_.ResetEpoch();
     phase_ = Phase::kPass1;
   }
 
   void FinishPass1() {
     diag_.heavy_picked = heavy_picks_.size();
-    diag_.projection_words = projection_words_;
+    diag_.projection_words = projections_.words();
     for (uint32_t id : heavy_picks_) TakeSet(id);
 
     // --- Offline solve on the sampled sub-instance (no pass). ---
@@ -225,17 +232,16 @@ class GuessConsumer final : public ScanConsumer {
       SetSystem::Builder sub_builder(
           static_cast<uint32_t>(live_elems.size()));
       std::vector<uint32_t> original_ids;
-      original_ids.reserve(projections_.size());
-      for (auto& [id, proj] : projections_) {
-        std::vector<uint32_t> mapped;
-        mapped.reserve(proj.size());
-        for (uint32_t e : proj) {
+      original_ids.reserve(projections_.refs().size());
+      for (const ProjectionStore::Ref& ref : projections_.refs()) {
+        mapped_scratch_.clear();
+        for (uint32_t e : projections_.Elements(ref)) {
           auto it = reindex.find(e);
-          if (it != reindex.end()) mapped.push_back(it->second);
+          if (it != reindex.end()) mapped_scratch_.push_back(it->second);
         }
-        if (mapped.empty()) continue;
-        sub_builder.AddSet(std::move(mapped));
-        original_ids.push_back(id);
+        if (mapped_scratch_.empty()) continue;
+        sub_builder.AddSet(std::span<const uint32_t>(mapped_scratch_));
+        original_ids.push_back(ref.set_id);
       }
       SetSystem sub = std::move(sub_builder).Build();
       OfflineResult offline_result = offline_->Solve(sub);
@@ -271,8 +277,10 @@ class GuessConsumer final : public ScanConsumer {
       }
     }
 
-    // Projections, sample ids, and the live mask die with the iteration.
-    tracker_.Release(projection_words_);
+    // Projections, sample ids, and the live mask die with the iteration
+    // (the arena itself resets at the top of the next one, with the
+    // watermark attribution CHECKed back to zero here).
+    projections_.ReleaseEpoch(tracker_);
     tracker_.Release(sample_.size());
     tracker_.Release(live_.WordCount());
 
@@ -335,16 +343,16 @@ class GuessConsumer final : public ScanConsumer {
   bool killed_ = false;
   Phase phase_ = Phase::kDone;
 
-  // Per-iteration state.
+  // Per-iteration state. Projections live in an arena-backed store
+  // whose epoch is the iteration; accounting stays in logical words.
   IterSetCoverIterationDiag diag_;
   uint64_t uncovered_count_ = 0;
   std::vector<uint32_t> sample_;
   DynamicBitset live_;
   double threshold_ = 0.0;
   std::vector<uint32_t> heavy_picks_;
-  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> projections_;
-  uint64_t projection_words_ = 0;
-  std::vector<uint32_t> scratch_;  // per-set transient, not charged
+  ProjectionStore projections_;
+  std::vector<uint32_t> mapped_scratch_;  // per-set transient, not charged
   DynamicBitset picked_this_iter_;
   std::vector<uint32_t> sweep_picks_;
 };

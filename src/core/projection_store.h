@@ -1,0 +1,110 @@
+// Arena-backed storage for per-iteration set projections.
+//
+// iterSetCover's Size-Test pass (and DIMV14's base case) stores, for
+// every light set, its projection onto the live sample. The paper's
+// space analysis (Lemma 2.2) charges those stored projections in
+// logical words; this store keeps the physical layout columnar — all
+// projections of one iteration share one bump arena, addressed by
+// (set id, offset, length) refs — so the hardware pays one amortized
+// append per element instead of one heap allocation per set.
+//
+// Life cycle per iteration (epoch):
+//   mark = StageMark(); StagePush(e)...        stage while filtering
+//   CommitLight(id, mark) or Abandon(mark)     keep the ref or rewind
+//   ... offline solve reads refs()/Elements() ...
+//   ReleaseEpoch(tracker)                      give the words back
+//   ResetEpoch()                               O(1) reset, keeps capacity
+//
+// Accounting discipline: the store counts the logical words (elements
+// + one id word per stored projection) its refs pin, and ReleaseEpoch /
+// ResetEpoch CHECK that the arena, the refs, and the word watermark
+// agree — a desynchronized SpaceTracker attribution aborts instead of
+// silently misreporting `projection_words_peak`.
+
+#ifndef STREAMCOVER_CORE_PROJECTION_STORE_H_
+#define STREAMCOVER_CORE_PROJECTION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stream/space_tracker.h"
+#include "util/arena.h"
+#include "util/check.h"
+
+namespace streamcover {
+
+/// Columnar (set id, projection) store with per-iteration epoch reset.
+class ProjectionStore {
+ public:
+  /// One stored projection: `length` arena words starting at `offset`.
+  struct Ref {
+    uint32_t set_id = 0;
+    uint32_t length = 0;
+    size_t offset = 0;
+  };
+
+  /// Tail position to stage the next projection at.
+  size_t StageMark() const { return arena_.size(); }
+
+  /// Appends one element of the projection being staged.
+  void StagePush(uint32_t element) { arena_.Push(element); }
+
+  /// The projection staged since `mark`.
+  std::span<const uint32_t> Staged(size_t mark) const {
+    return arena_.TailFrom(mark);
+  }
+
+  /// Keeps the staged projection as set `set_id`'s. Counts its logical
+  /// words (elements + the id word, the Lemma 2.2 charge); the caller
+  /// charges its SpaceTracker by the same amount.
+  void CommitLight(uint32_t set_id, size_t mark) {
+    const size_t length = arena_.size() - mark;
+    refs_.push_back(Ref{set_id, static_cast<uint32_t>(length), mark});
+    words_ += length + 1;
+  }
+
+  /// Drops the staged projection (heavy or empty sets are not stored).
+  void Abandon(size_t mark) { arena_.RewindTo(mark); }
+
+  /// Stored projections of the current epoch, in commit order.
+  const std::vector<Ref>& refs() const { return refs_; }
+
+  std::span<const uint32_t> Elements(const Ref& ref) const {
+    return arena_.SpanAt(ref.offset, ref.length);
+  }
+
+  /// Logical words currently pinned (elements + one id word per ref) —
+  /// what the iteration charged its SpaceTracker for projections.
+  uint64_t words() const { return words_; }
+
+  /// Epochs completed so far (ResetEpoch calls).
+  uint64_t epoch() const { return arena_.epoch(); }
+
+  /// Releases this epoch's projection words from `tracker`, checking
+  /// that the watermark attribution matches the stored content exactly.
+  void ReleaseEpoch(SpaceTracker& tracker) {
+    SC_CHECK_EQ(words_, arena_.size() + refs_.size());
+    tracker.Release(words_);
+    words_ = 0;
+  }
+
+  /// O(1) reset to an empty epoch (capacity retained). The epoch's
+  /// words must have been released first: resetting the arena also
+  /// resets the projection-word attribution, never strands it.
+  void ResetEpoch() {
+    SC_CHECK_EQ(words_, 0u);
+    refs_.clear();
+    arena_.ResetEpoch();
+  }
+
+ private:
+  U32Arena arena_;
+  std::vector<Ref> refs_;
+  uint64_t words_ = 0;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_CORE_PROJECTION_STORE_H_

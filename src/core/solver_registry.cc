@@ -96,9 +96,9 @@ RunResult RunOffline(RunContext& ctx) {
   SetStream& stream = ctx.stream;
   const uint64_t passes_before = stream.passes();
   SetSystem::Builder builder(stream.num_elements());
-  stream.ForEachSet([&](uint32_t /*id*/, std::span<const uint32_t> elems) {
-    tracker.Charge(elems.size() + 1);
-    builder.AddSet({elems.begin(), elems.end()});
+  stream.ForEachSet([&](const SetView& set) {
+    tracker.Charge(set.size() + 1);
+    builder.AddSet(set.elems);
   });
   SetSystem buffered = std::move(builder).Build();
   OfflineResult offline = Solver().Solve(buffered);

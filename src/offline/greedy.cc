@@ -1,8 +1,8 @@
 #include "offline/greedy.h"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
-#include <utility>
+#include <vector>
 
 #include "util/check.h"
 
@@ -32,30 +32,41 @@ OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
     uncovered &= coverable;
   }
 
-  // Max-heap of (stale gain, set id). Gains only decrease over time, so a
-  // popped entry whose recomputed gain still beats the heap top is truly
-  // the best set right now.
-  using Entry = std::pair<size_t, uint32_t>;
-  std::priority_queue<Entry> heap;
+  // Flat max-heap of lazily deleted entries packed as (gain << 32 | set
+  // id); the id doubles as the offset into the CSR storage that gains
+  // are recomputed from. Entry order is identical to the former
+  // pair<gain, id> priority_queue (gain first, id tie-break) and all
+  // keys are distinct, so the pick sequence — and the returned cover —
+  // is byte-identical; the flat layout just drops the node churn.
+  auto pack = [](size_t gain, uint32_t s) -> uint64_t {
+    return (static_cast<uint64_t>(gain) << 32) | s;
+  };
+  std::vector<uint64_t> heap;
+  heap.reserve(system.num_sets());
   for (uint32_t s = 0; s < system.num_sets(); ++s) {
     size_t gain = 0;
     for (uint32_t e : system.GetSet(s)) {
       if (uncovered.Test(e)) ++gain;
     }
-    if (gain > 0) heap.push({gain, s});
+    if (gain > 0) heap.push_back(pack(gain, s));
   }
+  std::make_heap(heap.begin(), heap.end());
 
   while (uncovered.Any() && !heap.empty()) {
-    auto [stale_gain, s] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end());
+    const uint32_t s = static_cast<uint32_t>(heap.back());
+    heap.pop_back();
     ++result.work;
+    // Gains only decrease over time, so a popped entry whose recomputed
+    // gain still beats the heap top is truly the best set right now.
     size_t gain = 0;
     for (uint32_t e : system.GetSet(s)) {
       if (uncovered.Test(e)) ++gain;
     }
     if (gain == 0) continue;
-    if (!heap.empty() && gain < heap.top().first) {
-      heap.push({gain, s});  // stale; re-queue with the fresh gain
+    if (!heap.empty() && gain < (heap.front() >> 32)) {
+      heap.push_back(pack(gain, s));  // stale; re-queue with fresh gain
+      std::push_heap(heap.begin(), heap.end());
       continue;
     }
     result.cover.set_ids.push_back(s);

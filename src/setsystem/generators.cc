@@ -7,6 +7,42 @@
 #include "util/check.h"
 
 namespace streamcover {
+namespace {
+
+// Generators stage every set in generation order into ONE flat CSR
+// buffer (elements + set boundaries) and then emit the sets to the
+// Builder — possibly in a shuffled stream order — as spans over that
+// buffer. No per-set vector is materialized anywhere on the build path;
+// the RNG draw sequence is identical to the historical vector-of-vectors
+// staging, so generated instances are byte-for-byte unchanged.
+class StagedSets {
+ public:
+  void Push(uint32_t element) { elements_.push_back(element); }
+
+  void PushRange(const uint32_t* first, const uint32_t* last) {
+    elements_.insert(elements_.end(), first, last);
+  }
+
+  /// Closes the currently staged set.
+  void Close() { bounds_.push_back(elements_.size()); }
+
+  /// Buffer to append the staged set's elements to (for RNG helpers
+  /// that fill a vector); pair with Close() like Push().
+  std::vector<uint32_t>& buffer() { return elements_; }
+
+  uint32_t count() const { return static_cast<uint32_t>(bounds_.size()) - 1; }
+
+  std::span<const uint32_t> Get(uint32_t staged_id) const {
+    return {elements_.data() + bounds_[staged_id],
+            bounds_[staged_id + 1] - bounds_[staged_id]};
+  }
+
+ private:
+  std::vector<uint32_t> elements_;
+  std::vector<size_t> bounds_{0};
+};
+
+}  // namespace
 
 PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng) {
   SC_CHECK_GE(options.cover_size, 1u);
@@ -19,35 +55,33 @@ PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng) {
   std::iota(perm.begin(), perm.end(), 0);
   rng.Shuffle(perm);
 
-  std::vector<std::vector<uint32_t>> sets;
-  sets.reserve(options.num_sets);
+  StagedSets sets;
   const uint32_t k = options.cover_size;
   for (uint32_t b = 0; b < k; ++b) {
     uint32_t lo = static_cast<uint32_t>(
         (static_cast<uint64_t>(b) * n) / k);
     uint32_t hi = static_cast<uint32_t>(
         (static_cast<uint64_t>(b + 1) * n) / k);
-    std::vector<uint32_t> block(perm.begin() + lo, perm.begin() + hi);
+    sets.PushRange(perm.data() + lo, perm.data() + hi);
     // Extra overlap elements drawn from the rest of U.
     uint32_t extra = static_cast<uint32_t>(
-        options.planted_overlap * static_cast<double>(block.size()));
+        options.planted_overlap * static_cast<double>(hi - lo));
     for (uint32_t i = 0; i < extra; ++i) {
-      block.push_back(
-          static_cast<uint32_t>(rng.Uniform(n)));
+      sets.Push(static_cast<uint32_t>(rng.Uniform(n)));
     }
-    sets.push_back(std::move(block));
+    sets.Close();
   }
   for (uint32_t s = k; s < options.num_sets; ++s) {
     uint32_t size = static_cast<uint32_t>(rng.UniformInt(
         options.noise_min_size,
         std::max(options.noise_min_size, options.noise_max_size)));
     size = std::min(size, n);
-    std::vector<uint32_t> elems = rng.SampleWithoutReplacement(n, size);
-    sets.push_back(std::move(elems));
+    rng.SampleWithoutReplacementInto(n, size, sets.buffer());
+    sets.Close();
   }
 
   // Stream order: planted sets hidden among noise if requested.
-  std::vector<uint32_t> order(sets.size());
+  std::vector<uint32_t> order(sets.count());
   std::iota(order.begin(), order.end(), 0);
   if (options.shuffle_order) rng.Shuffle(order);
 
@@ -55,7 +89,7 @@ PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng) {
   std::vector<uint32_t> planted_ids;
   planted_ids.reserve(k);
   for (uint32_t pos = 0; pos < order.size(); ++pos) {
-    builder.AddSet(std::move(sets[order[pos]]));
+    builder.AddSet(sets.Get(order[pos]));
     if (order[pos] < k) planted_ids.push_back(pos);
   }
   std::sort(planted_ids.begin(), planted_ids.end());
@@ -65,12 +99,13 @@ PlantedInstance GeneratePlanted(const PlantedOptions& options, Rng& rng) {
 SetSystem GenerateUniformRandom(uint32_t num_elements, uint32_t num_sets,
                                 double p, Rng& rng) {
   SetSystem::Builder builder(num_elements);
+  std::vector<uint32_t> elems;  // reused staging buffer
   for (uint32_t s = 0; s < num_sets; ++s) {
-    std::vector<uint32_t> elems;
+    elems.clear();
     for (uint32_t e = 0; e < num_elements; ++e) {
       if (rng.Bernoulli(p)) elems.push_back(e);
     }
-    builder.AddSet(std::move(elems));
+    builder.AddSet(std::span<const uint32_t>(elems));
   }
   return std::move(builder).Build();
 }
@@ -87,25 +122,27 @@ PlantedInstance GenerateSparse(uint32_t num_elements, uint32_t num_sets,
   std::iota(perm.begin(), perm.end(), 0);
   rng.Shuffle(perm);
 
-  std::vector<std::vector<uint32_t>> sets;
+  StagedSets sets;
   for (uint32_t b = 0; b < blocks; ++b) {
     uint32_t lo = b * max_set_size;
     uint32_t hi = std::min(n, lo + max_set_size);
-    sets.emplace_back(perm.begin() + lo, perm.begin() + hi);
+    sets.PushRange(perm.data() + lo, perm.data() + hi);
+    sets.Close();
   }
   for (uint32_t s = blocks; s < num_sets; ++s) {
     uint32_t size =
         static_cast<uint32_t>(rng.UniformInt(1, max_set_size));
-    sets.push_back(rng.SampleWithoutReplacement(n, std::min(size, n)));
+    rng.SampleWithoutReplacementInto(n, std::min(size, n), sets.buffer());
+    sets.Close();
   }
-  std::vector<uint32_t> order(sets.size());
+  std::vector<uint32_t> order(sets.count());
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
 
   SetSystem::Builder builder(n);
   std::vector<uint32_t> planted_ids;
   for (uint32_t pos = 0; pos < order.size(); ++pos) {
-    builder.AddSet(std::move(sets[order[pos]]));
+    builder.AddSet(sets.Get(order[pos]));
     if (order[pos] < blocks) planted_ids.push_back(pos);
   }
   std::sort(planted_ids.begin(), planted_ids.end());
@@ -144,11 +181,12 @@ PlantedInstance GenerateZipf(uint32_t num_elements, uint32_t num_sets,
   std::iota(perm.begin(), perm.end(), 0);
   rng.Shuffle(perm);
 
-  std::vector<std::vector<uint32_t>> sets;
+  StagedSets sets;
   for (uint32_t b = 0; b < blocks; ++b) {
     uint32_t lo = b * max_set_size;
     uint32_t hi = std::min(n, lo + max_set_size);
-    sets.emplace_back(perm.begin() + lo, perm.begin() + hi);
+    sets.PushRange(perm.data() + lo, perm.data() + hi);
+    sets.Close();
   }
   for (uint32_t s = blocks; s < num_sets; ++s) {
     // Power-law set size in [1, max_set_size].
@@ -157,19 +195,17 @@ PlantedInstance GenerateZipf(uint32_t num_elements, uint32_t num_sets,
         std::max(1.0, static_cast<double>(max_set_size) *
                           std::pow(u, alpha)));
     size = std::min(size, max_set_size);
-    std::vector<uint32_t> elems;
-    elems.reserve(size);
-    for (uint32_t i = 0; i < size; ++i) elems.push_back(draw_element());
-    sets.push_back(std::move(elems));
+    for (uint32_t i = 0; i < size; ++i) sets.Push(draw_element());
+    sets.Close();
   }
-  std::vector<uint32_t> order(sets.size());
+  std::vector<uint32_t> order(sets.count());
   std::iota(order.begin(), order.end(), 0);
   rng.Shuffle(order);
 
   SetSystem::Builder builder(n);
   std::vector<uint32_t> planted_ids;
   for (uint32_t pos = 0; pos < order.size(); ++pos) {
-    builder.AddSet(std::move(sets[order[pos]]));
+    builder.AddSet(sets.Get(order[pos]));
     if (order[pos] < blocks) planted_ids.push_back(pos);
   }
   std::sort(planted_ids.begin(), planted_ids.end());
@@ -184,21 +220,21 @@ PlantedInstance GenerateGreedyAdversarial(uint32_t levels) {
   // rows and has size 2^{levels-i+1}: strictly bigger than what remains
   // of each row after C_1..C_{i-1} are taken, so greedy prefers it.
   SetSystem::Builder builder(n);
-  std::vector<uint32_t> row_a(half), row_b(half);
-  std::iota(row_a.begin(), row_a.end(), 0u);
-  std::iota(row_b.begin(), row_b.end(), half);
-  uint32_t id_a = builder.AddSet(row_a);
-  uint32_t id_b = builder.AddSet(row_b);
+  std::vector<uint32_t> scratch(half);  // reused per-set staging buffer
+  std::iota(scratch.begin(), scratch.end(), 0u);
+  uint32_t id_a = builder.AddSet(scratch);
+  std::iota(scratch.begin(), scratch.end(), half);
+  uint32_t id_b = builder.AddSet(scratch);
   uint32_t cursor = 0;  // consumes positions within each row
   for (uint32_t i = 1; i <= levels; ++i) {
     uint32_t width = 1u << (levels - i);  // elements taken from each row
-    std::vector<uint32_t> col;
+    scratch.clear();
     for (uint32_t j = 0; j < width; ++j) {
-      col.push_back(cursor + j);         // from row A
-      col.push_back(half + cursor + j);  // from row B
+      scratch.push_back(cursor + j);         // from row A
+      scratch.push_back(half + cursor + j);  // from row B
     }
     cursor += width;
-    builder.AddSet(std::move(col));
+    builder.AddSet(scratch);
   }
   return PlantedInstance{std::move(builder).Build(), {id_a, id_b}};
 }
@@ -209,14 +245,15 @@ PlantedInstance GenerateDisjointBlocks(uint32_t num_elements, uint32_t k,
   SC_CHECK_GE(num_elements, k);
   SetSystem::Builder builder(num_elements);
   std::vector<uint32_t> planted;
+  std::vector<uint32_t> scratch;  // reused per-set staging buffer
   for (uint32_t b = 0; b < k; ++b) {
     uint32_t lo = static_cast<uint32_t>(
         (static_cast<uint64_t>(b) * num_elements) / k);
     uint32_t hi = static_cast<uint32_t>(
         (static_cast<uint64_t>(b + 1) * num_elements) / k);
-    std::vector<uint32_t> block;
-    for (uint32_t e = lo; e < hi; ++e) block.push_back(e);
-    planted.push_back(builder.AddSet(std::move(block)));
+    scratch.clear();
+    for (uint32_t e = lo; e < hi; ++e) scratch.push_back(e);
+    planted.push_back(builder.AddSet(scratch));
   }
   for (uint32_t s = 0; s < num_singletons; ++s) {
     builder.AddSet({static_cast<uint32_t>(rng.Uniform(num_elements))});

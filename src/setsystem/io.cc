@@ -27,11 +27,12 @@ std::optional<SetSystem> ReadSetSystem(std::istream& is, std::string* error) {
   if (!(is >> n >> m)) return fail("missing n/m header");
   if (n > (1ULL << 31) || m > (1ULL << 31)) return fail("n/m out of range");
   SetSystem::Builder builder(static_cast<uint32_t>(n));
+  std::vector<uint32_t> elems;  // reused across sets; CSR copies from it
   for (uint64_t s = 0; s < m; ++s) {
     uint64_t size = 0;
     if (!(is >> size)) return fail("truncated set header");
     if (size > n) return fail("set larger than universe");
-    std::vector<uint32_t> elems;
+    elems.clear();
     elems.reserve(size);
     for (uint64_t i = 0; i < size; ++i) {
       uint64_t e = 0;
@@ -39,7 +40,7 @@ std::optional<SetSystem> ReadSetSystem(std::istream& is, std::string* error) {
       if (e >= n) return fail("element id out of range");
       elems.push_back(static_cast<uint32_t>(e));
     }
-    builder.AddSet(std::move(elems));
+    builder.AddSet(std::span<const uint32_t>(elems));
   }
   return std::move(builder).Build();
 }

@@ -9,14 +9,15 @@ namespace streamcover {
 SetSystem::Builder::Builder(uint32_t num_elements)
     : num_elements_(num_elements), offsets_{0} {}
 
-uint32_t SetSystem::Builder::AddSet(std::vector<uint32_t> elements) {
-  std::sort(elements.begin(), elements.end());
-  elements.erase(std::unique(elements.begin(), elements.end()),
-                 elements.end());
-  if (!elements.empty()) {
-    SC_CHECK_LT(elements.back(), num_elements_);
-  }
+uint32_t SetSystem::Builder::AddSet(std::span<const uint32_t> elements) {
+  const size_t start = elements_.size();
   elements_.insert(elements_.end(), elements.begin(), elements.end());
+  const auto first = elements_.begin() + static_cast<ptrdiff_t>(start);
+  std::sort(first, elements_.end());
+  elements_.erase(std::unique(first, elements_.end()), elements_.end());
+  if (elements_.size() > start) {
+    SC_CHECK_LT(elements_.back(), num_elements_);
+  }
   offsets_.push_back(elements_.size());
   return static_cast<uint32_t>(offsets_.size()) - 2;
 }

@@ -4,14 +4,19 @@
 // sets of elements, stored immutably in CSR form (one offsets array, one
 // flat element-id array). Sets keep their stream order: set id i is the
 // i-th set scanned in a pass. Construction goes through Builder, which
-// sorts and deduplicates each set's elements.
+// appends each set to the CSR arena and sorts/deduplicates it in place
+// there — generators and IO feed it spans, so no per-set vector is ever
+// materialized on the build path.
 
 #ifndef STREAMCOVER_SETSYSTEM_SET_SYSTEM_H_
 #define STREAMCOVER_SETSYSTEM_SET_SYSTEM_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <vector>
+
+#include "setsystem/set_view.h"
 
 namespace streamcover {
 
@@ -25,7 +30,19 @@ class SetSystem {
     explicit Builder(uint32_t num_elements);
 
     /// Appends a set; returns its id (position in the stream order).
-    uint32_t AddSet(std::vector<uint32_t> elements);
+    /// The elements are copied onto the CSR tail and sorted/deduped in
+    /// place there — the zero-staging path generators and IO use.
+    uint32_t AddSet(std::span<const uint32_t> elements);
+
+    /// Vector / braced-list convenience (tests, ad-hoc construction);
+    /// same semantics.
+    uint32_t AddSet(const std::vector<uint32_t>& elements) {
+      return AddSet(std::span<const uint32_t>(elements));
+    }
+    uint32_t AddSet(std::initializer_list<uint32_t> elements) {
+      return AddSet(
+          std::span<const uint32_t>(elements.begin(), elements.size()));
+    }
 
     /// Number of sets added so far.
     uint32_t num_sets() const;
@@ -52,6 +69,12 @@ class SetSystem {
 
   /// The elements of set `set_id`, sorted ascending.
   std::span<const uint32_t> GetSet(uint32_t set_id) const;
+
+  /// Borrowed (id, elements) view of set `set_id` — what stream sources
+  /// dispatch to consumers.
+  SetView GetView(uint32_t set_id) const {
+    return SetView{set_id, GetSet(set_id)};
+  }
 
   size_t SetSize(uint32_t set_id) const;
 

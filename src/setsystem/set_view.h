@@ -1,0 +1,33 @@
+// SetView — the unit of stream dispatch.
+//
+// One set of F as the consumers see it: its stream id plus a borrowed
+// span over the elements, which live in whatever columnar storage the
+// source scans (the SetSystem CSR arena, a file parse buffer, or a
+// scheduler batch). A view is two words; it never owns or copies the
+// elements, so a set flows from source to solver with zero per-set heap
+// traffic. Views are valid only for the duration of the callback they
+// are passed to.
+
+#ifndef STREAMCOVER_SETSYSTEM_SET_VIEW_H_
+#define STREAMCOVER_SETSYSTEM_SET_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace streamcover {
+
+/// A borrowed (id, elements) pair in stream order.
+struct SetView {
+  uint32_t id = 0;
+  std::span<const uint32_t> elems;
+
+  size_t size() const { return elems.size(); }
+  bool empty() const { return elems.empty(); }
+  auto begin() const { return elems.begin(); }
+  auto end() const { return elems.end(); }
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_SET_VIEW_H_

@@ -58,19 +58,25 @@ uint64_t PassScheduler::total_passes() const {
 void PassScheduler::FlushBatch(const std::vector<ScanConsumer*>& live,
                                uint32_t workers) {
   if (batch_ids_.empty()) return;
+  // Materialize the columnar batch as one SetView array before any
+  // worker starts: the element arena is stable for the whole flush, so
+  // the views can be shared read-only across workers.
+  batch_views_.clear();
+  batch_views_.reserve(batch_ids_.size());
+  for (size_t i = 0; i < batch_ids_.size(); ++i) {
+    batch_views_.push_back(SetView{
+        batch_ids_[i],
+        std::span<const uint32_t>(batch_elems_.data() + batch_offsets_[i],
+                                  batch_offsets_[i + 1] - batch_offsets_[i])});
+  }
+  const std::span<const SetView> views(batch_views_);
   // Static partition: worker w serves consumers w, w+workers, ... Each
-  // consumer is touched by exactly one worker and sees every batch set
-  // in stream order, so no locks and no dispatch-order nondeterminism.
+  // consumer is touched by exactly one worker and receives the whole
+  // batch in stream order, so no locks and no dispatch-order
+  // nondeterminism.
   auto serve = [&](uint32_t worker) {
     for (size_t c = worker; c < live.size(); c += workers) {
-      ScanConsumer* consumer = live[c];
-      for (size_t i = 0; i < batch_ids_.size(); ++i) {
-        consumer->OnSet(
-            batch_ids_[i],
-            std::span<const uint32_t>(
-                batch_elems_.data() + batch_offsets_[i],
-                batch_offsets_[i + 1] - batch_offsets_[i]));
-      }
+      live[c]->OnBatch(views);
     }
   };
   std::vector<std::thread> pool;
@@ -99,13 +105,13 @@ size_t PassScheduler::RunRound() {
   const uint32_t workers = static_cast<uint32_t>(
       std::min<size_t>(threads_, live.size()));
   if (workers <= 1) {
-    stream_->ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-      for (ScanConsumer* consumer : live) consumer->OnSet(id, elems);
+    stream_->ForEachSet([&](const SetView& set) {
+      for (ScanConsumer* consumer : live) consumer->OnSet(set);
     });
   } else {
-    stream_->ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-      batch_ids_.push_back(id);
-      batch_elems_.insert(batch_elems_.end(), elems.begin(), elems.end());
+    stream_->ForEachSet([&](const SetView& set) {
+      batch_ids_.push_back(set.id);
+      batch_elems_.insert(batch_elems_.end(), set.begin(), set.end());
       batch_offsets_.push_back(batch_elems_.size());
       if (batch_ids_.size() >= kBatchMaxSets ||
           batch_elems_.size() >= kBatchMaxWords) {

@@ -18,13 +18,14 @@
 // the parallel-composition space sum (Lemma 2.2's log n factor) is the
 // sum of consumer peaks.
 //
-// Threading: with `threads > 1` the scheduler buffers the scan into
-// batches and fans consumers out across worker threads. Each consumer is
-// owned by exactly one worker per batch and sees every set in stream
-// order, so results are bit-identical to the serial dispatch; consumers
-// never need locks as long as they touch only their own state in
-// OnSet(). OnPassEnd() and all inter-round work run on the calling
-// thread.
+// Threading: with `threads > 1` the scheduler buffers the scan into a
+// columnar batch (one SetView array over one element arena) and fans
+// consumers out across worker threads, handing each consumer the whole
+// batch at once via OnBatch. Each consumer is owned by exactly one
+// worker per batch and sees every set in stream order, so results are
+// bit-identical to the serial dispatch; consumers never need locks as
+// long as they touch only their own state in OnSet()/OnBatch().
+// OnPassEnd() and all inter-round work run on the calling thread.
 
 #ifndef STREAMCOVER_STREAM_PASS_SCHEDULER_H_
 #define STREAMCOVER_STREAM_PASS_SCHEDULER_H_
@@ -44,11 +45,20 @@ class ScanConsumer {
  public:
   virtual ~ScanConsumer() = default;
 
-  /// One set of the current pass, in stream order. `elems` is valid only
-  /// for the duration of the call (it may point into a transient scan
-  /// batch). May run on a worker thread: implementations must touch only
-  /// their own state.
-  virtual void OnSet(uint32_t set_id, std::span<const uint32_t> elems) = 0;
+  /// One set of the current pass, in stream order. The view is valid
+  /// only for the duration of the call (it may point into a transient
+  /// scan batch). May run on a worker thread: implementations must touch
+  /// only their own state.
+  virtual void OnSet(const SetView& set) = 0;
+
+  /// A contiguous run of sets of the current pass, in stream order.
+  /// Batched dispatch entry used by the threaded scheduler: one virtual
+  /// call amortizes over the whole batch. The default forwards to OnSet
+  /// per view, so overriding it is an optimization, never a semantic
+  /// change.
+  virtual void OnBatch(std::span<const SetView> sets) {
+    for (const SetView& set : sets) OnSet(set);
+  }
 
   /// The current pass finished. Runs on the scheduling thread; this is
   /// where inter-pass work (offline solves, sampling, phase advance)
@@ -134,11 +144,14 @@ class PassScheduler {
   std::vector<Slot> slots_;
   uint64_t physical_scans_ = 0;
 
-  // Threaded dispatch buffers one batch of sets (ids + CSR-style
-  // offsets + elements) — transient scan scratch, not algorithm space.
+  // Threaded dispatch buffers one batch of sets in columnar form — ids
+  // + CSR-style offsets over one element arena, materialized as a
+  // SetView array at flush time. Transient scan scratch, not algorithm
+  // space; capacity is retained across batches and rounds.
   std::vector<uint32_t> batch_ids_;
   std::vector<size_t> batch_offsets_{0};
   std::vector<uint32_t> batch_elems_;
+  std::vector<SetView> batch_views_;
 };
 
 }  // namespace streamcover

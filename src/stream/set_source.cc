@@ -20,7 +20,7 @@ uint32_t InMemorySetSource::num_sets() const { return system_->num_sets(); }
 void InMemorySetSource::Scan(const SetVisitor& visit) {
   const uint32_t m = system_->num_sets();
   for (uint32_t s = 0; s < m; ++s) {
-    visit(s, system_->GetSet(s));
+    visit(system_->GetView(s));
   }
 }
 
@@ -66,7 +66,7 @@ void FileSetSource::Scan(const SetVisitor& visit) {
       SC_CHECK_LT(e, num_elements_);
       scan_buffer_.push_back(static_cast<uint32_t>(e));
     }
-    visit(s, std::span<const uint32_t>(scan_buffer_));
+    visit(SetView{s, std::span<const uint32_t>(scan_buffer_)});
   }
 }
 

@@ -5,6 +5,10 @@
 // in-memory CSR (the default, fastest for experiments) or an actual
 // on-disk file that is re-parsed on every pass (FileSetSource) — the
 // closest laptop analogue of "the data does not fit in memory".
+//
+// Scans dispatch `SetView`s: borrowed (id, element-span) pairs over the
+// source's columnar storage. No element is copied between the
+// repository and the visitor.
 
 #ifndef STREAMCOVER_STREAM_SET_SOURCE_H_
 #define STREAMCOVER_STREAM_SET_SOURCE_H_
@@ -18,12 +22,13 @@
 #include <vector>
 
 #include "setsystem/set_system.h"
+#include "setsystem/set_view.h"
 
 namespace streamcover {
 
-/// Callback invoked once per set during a scan.
-using SetVisitor =
-    std::function<void(uint32_t set_id, std::span<const uint32_t>)>;
+/// Callback invoked once per set during a scan. The view borrows the
+/// source's storage and is valid only for the duration of the call.
+using SetVisitor = std::function<void(const SetView&)>;
 
 /// A sequentially scannable repository of sets.
 class SetSource {

@@ -36,7 +36,7 @@ class SetStream {
   uint32_t num_elements() const { return source_->num_elements(); }
   uint32_t num_sets() const { return source_->num_sets(); }
 
-  /// Performs one pass: invokes fn(set_id, elements) for every set in
+  /// Performs one pass: invokes fn(const SetView&) for every set in
   /// stream order. Counts as one pass even if the caller stops consuming
   /// early (the scan cursor cannot be rewound mid-pass).
   template <typename Fn>

@@ -22,6 +22,7 @@
 #include "commlb/sparse_lb.h"                 // IWYU pragma: export
 #include "core/instance.h"                    // IWYU pragma: export
 #include "core/iter_set_cover.h"              // IWYU pragma: export
+#include "core/projection_store.h"            // IWYU pragma: export
 #include "core/run_plan.h"                    // IWYU pragma: export
 #include "core/solver_registry.h"             // IWYU pragma: export
 #include "core/workload_registry.h"           // IWYU pragma: export
@@ -39,6 +40,7 @@
 #include "setsystem/generators.h"             // IWYU pragma: export
 #include "setsystem/io.h"                     // IWYU pragma: export
 #include "setsystem/set_system.h"             // IWYU pragma: export
+#include "setsystem/set_view.h"               // IWYU pragma: export
 #include "stream/pass_scheduler.h"            // IWYU pragma: export
 #include "stream/sampling.h"                  // IWYU pragma: export
 #include "stream/set_source.h"                // IWYU pragma: export

@@ -1,0 +1,73 @@
+// Bump allocation for the columnar hot path.
+//
+// U32Arena is a contiguous store of 32-bit words that only grows at the
+// tail and resets in O(1) between epochs (capacity is retained, so a
+// steady-state round performs zero heap allocations). Consumers stage a
+// run of words at the tail, then either commit it (keeping its offset)
+// or rewind; committed runs are addressed by (offset, length) because
+// the backing vector may reallocate while later runs are staged — spans
+// are materialized on read, when the buffer is stable.
+//
+// This is transient *representation* storage, not streaming "space":
+// algorithms keep charging their SpaceTracker in logical words exactly
+// as before, so the reported accounting is independent of how the words
+// are laid out.
+
+#ifndef STREAMCOVER_UTIL_ARENA_H_
+#define STREAMCOVER_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace streamcover {
+
+/// Epoch-reset bump store of uint32 words.
+class U32Arena {
+ public:
+  /// Current tail position; the staging mark for the next run.
+  size_t size() const { return words_.size(); }
+  bool empty() const { return words_.empty(); }
+
+  /// Appends one word at the tail.
+  void Push(uint32_t word) { words_.push_back(word); }
+
+  /// Drops every word at or after `mark` (abandons a staged run).
+  void RewindTo(size_t mark) {
+    SC_DCHECK_LE(mark, words_.size());
+    words_.resize(mark);
+  }
+
+  /// The words in [offset, offset + length). Valid until the next Push
+  /// or reset.
+  std::span<const uint32_t> SpanAt(size_t offset, size_t length) const {
+    SC_DCHECK_LE(offset + length, words_.size());
+    return {words_.data() + offset, length};
+  }
+
+  /// The staged tail run starting at `mark`.
+  std::span<const uint32_t> TailFrom(size_t mark) const {
+    return SpanAt(mark, words_.size() - mark);
+  }
+
+  /// O(1) epoch reset: drops all content, keeps capacity, bumps the
+  /// epoch counter.
+  void ResetEpoch() {
+    words_.clear();
+    ++epoch_;
+  }
+
+  /// Number of ResetEpoch calls so far.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<uint32_t> words_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_ARENA_H_

@@ -71,12 +71,18 @@ bool Rng::Bernoulli(double p) {
 }
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  SampleWithoutReplacementInto(n, k, out);
+  return out;
+}
+
+void Rng::SampleWithoutReplacementInto(uint32_t n, uint32_t k,
+                                       std::vector<uint32_t>& out) {
   SC_CHECK_LE(k, n);
   // Robert Floyd's algorithm: k iterations, expected O(k) hash ops.
   std::unordered_set<uint32_t> chosen;
   chosen.reserve(k * 2);
-  std::vector<uint32_t> out;
-  out.reserve(k);
   for (uint32_t j = n - k; j < n; ++j) {
     uint32_t t = static_cast<uint32_t>(Uniform(j + 1));
     if (chosen.insert(t).second) {
@@ -86,7 +92,6 @@ std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
       out.push_back(j);
     }
   }
-  return out;
 }
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }

@@ -42,6 +42,11 @@ class Rng {
   /// algorithm; output is in no particular order. Requires k <= n.
   std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
 
+  /// Same draw sequence, appended to `out` — the allocation-free path
+  /// generators use to stage sets into a shared CSR buffer.
+  void SampleWithoutReplacementInto(uint32_t n, uint32_t k,
+                                    std::vector<uint32_t>& out);
+
   /// Fisher-Yates shuffles `v` in place.
   template <typename T>
   void Shuffle(std::vector<T>& v) {

@@ -1,0 +1,113 @@
+// U32Arena and ProjectionStore: bump staging, epoch reset, and the
+// SpaceTracker watermark-attribution contract — releasing an epoch must
+// hand back exactly the words the epoch charged, and the epoch reset
+// CHECK-fails if the attribution was not settled first (the projection
+// words of one iteration can never silently leak into the next
+// iteration's watermark).
+
+#include "util/arena.h"
+
+#include <vector>
+
+#include "core/projection_store.h"
+#include "gtest/gtest.h"
+#include "stream/space_tracker.h"
+
+namespace streamcover {
+namespace {
+
+TEST(U32ArenaTest, StagesCommitsAndRewinds) {
+  U32Arena arena;
+  EXPECT_TRUE(arena.empty());
+  const size_t first = arena.size();
+  arena.Push(5);
+  arena.Push(7);
+  EXPECT_EQ(arena.TailFrom(first).size(), 2u);
+  EXPECT_EQ(arena.TailFrom(first)[1], 7u);
+
+  const size_t second = arena.size();
+  arena.Push(9);
+  arena.RewindTo(second);  // abandoned run
+  EXPECT_EQ(arena.size(), 2u);
+
+  const auto span = arena.SpanAt(first, 2);
+  EXPECT_EQ(span[0], 5u);
+  EXPECT_EQ(span[1], 7u);
+}
+
+TEST(U32ArenaTest, EpochResetDropsContentAndCounts) {
+  U32Arena arena;
+  for (uint32_t i = 0; i < 100; ++i) arena.Push(i);
+  EXPECT_EQ(arena.epoch(), 0u);
+  arena.ResetEpoch();
+  EXPECT_TRUE(arena.empty());
+  EXPECT_EQ(arena.epoch(), 1u);
+  arena.Push(42);
+  EXPECT_EQ(arena.SpanAt(0, 1)[0], 42u);
+}
+
+// Simulates two Size-Test iterations: the store's words() must mirror
+// the tracker charges, the release must return the footprint to exactly
+// the pre-iteration level, and the peak must be the max — not the sum —
+// of the two epochs' watermarks.
+TEST(ProjectionStoreTest, EpochReleaseResetsWatermarkAttribution) {
+  ProjectionStore store;
+  SpaceTracker tracker;
+
+  // Iteration 1: two light sets (3 + 1 words incl. id, and 2 + 1).
+  size_t mark = store.StageMark();
+  store.StagePush(1);
+  store.StagePush(2);
+  store.StagePush(3);
+  tracker.Charge(store.Staged(mark).size() + 1);
+  store.CommitLight(10, mark);
+  mark = store.StageMark();
+  store.StagePush(4);
+  store.StagePush(5);
+  tracker.Charge(store.Staged(mark).size() + 1);
+  store.CommitLight(11, mark);
+  // A heavy set stages and abandons without charging.
+  mark = store.StageMark();
+  store.StagePush(6);
+  store.Abandon(mark);
+
+  EXPECT_EQ(store.words(), 7u);
+  EXPECT_EQ(tracker.current_words(), 7u);
+  ASSERT_EQ(store.refs().size(), 2u);
+  EXPECT_EQ(store.refs()[0].set_id, 10u);
+  EXPECT_EQ(store.Elements(store.refs()[0]).size(), 3u);
+  EXPECT_EQ(store.Elements(store.refs()[1])[0], 4u);
+
+  store.ReleaseEpoch(tracker);
+  EXPECT_EQ(store.words(), 0u);
+  EXPECT_EQ(tracker.current_words(), 0u);
+  store.ResetEpoch();
+  EXPECT_EQ(store.refs().size(), 0u);
+  EXPECT_EQ(store.epoch(), 1u);
+
+  // Iteration 2 is smaller: the watermark attribution restarted from
+  // zero, so the peak stays at iteration 1's 7 words (max, not sum).
+  mark = store.StageMark();
+  store.StagePush(8);
+  tracker.Charge(store.Staged(mark).size() + 1);
+  store.CommitLight(12, mark);
+  EXPECT_EQ(store.words(), 2u);
+  EXPECT_EQ(tracker.current_words(), 2u);
+  EXPECT_EQ(tracker.peak_words(), 7u);
+  store.ReleaseEpoch(tracker);
+  store.ResetEpoch();
+  EXPECT_EQ(tracker.peak_words(), 7u);
+}
+
+TEST(ProjectionStoreTest, ResetWithUnsettledWordsAborts) {
+  ProjectionStore store;
+  const size_t mark = store.StageMark();
+  store.StagePush(1);
+  store.CommitLight(0, mark);
+  // Resetting the arena without releasing the epoch's words would strand
+  // the tracker attribution; the store refuses.
+  EXPECT_DEATH(store.ResetEpoch(), "words");
+}
+
+}  // namespace
+}  // namespace streamcover

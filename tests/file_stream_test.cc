@@ -52,9 +52,9 @@ TEST(FileSetSourceTest, ScanMatchesInMemorySource) {
   EXPECT_EQ(file_source->num_sets(), inst.system.num_sets());
 
   std::vector<std::vector<uint32_t>> from_file;
-  file_source->Scan([&](uint32_t id, std::span<const uint32_t> elems) {
-    EXPECT_EQ(id, from_file.size());
-    from_file.emplace_back(elems.begin(), elems.end());
+  file_source->Scan([&](const SetView& set) {
+    EXPECT_EQ(set.id, from_file.size());
+    from_file.emplace_back(set.begin(), set.end());
   });
   ASSERT_EQ(from_file.size(), inst.system.num_sets());
   for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
@@ -73,12 +73,8 @@ TEST(FileSetSourceTest, RepeatedScansAreStable) {
   auto source = FileSetSource::Open(path, &error);
   ASSERT_TRUE(source.has_value()) << error;
   size_t first = 0, second = 0;
-  source->Scan([&](uint32_t, std::span<const uint32_t> e) {
-    first += e.size();
-  });
-  source->Scan([&](uint32_t, std::span<const uint32_t> e) {
-    second += e.size();
-  });
+  source->Scan([&](const SetView& set) { first += set.size(); });
+  source->Scan([&](const SetView& set) { second += set.size(); });
   EXPECT_EQ(first, inst.system.total_size());
   EXPECT_EQ(first, second);
 }
@@ -93,8 +89,8 @@ TEST(FileStreamTest, PassCountingThroughSetStream) {
   ASSERT_TRUE(source.has_value()) << error;
   SetStream stream(&*source);
   EXPECT_EQ(stream.num_elements(), 40u);
-  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
-  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  stream.ForEachSet([](const SetView&) {});
+  stream.ForEachSet([](const SetView&) {});
   EXPECT_EQ(stream.passes(), 2u);
 }
 

@@ -55,14 +55,14 @@ TEST(InstanceTest, NewStreamGetsFreshPassCounterEveryTime) {
   Instance instance =
       Instance::FromPlanted(SmallPlanted(), {"planted", ""});
   SetStream first = instance.NewStream();
-  first.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
-  first.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  first.ForEachSet([](const SetView&) {});
+  first.ForEachSet([](const SetView&) {});
   EXPECT_EQ(first.passes(), 2u);
   // A second stream starts at zero — trials never inherit or reset a
   // shared counter.
   SetStream second = instance.NewStream();
   EXPECT_EQ(second.passes(), 0u);
-  second.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  second.ForEachSet([](const SetView&) {});
   EXPECT_EQ(second.passes(), 1u);
   EXPECT_EQ(first.passes(), 2u);
 }

@@ -52,10 +52,10 @@ class CountingConsumer final : public ScanConsumer {
   explicit CountingConsumer(uint64_t passes_needed)
       : remaining_(passes_needed) {}
 
-  void OnSet(uint32_t id, std::span<const uint32_t> elems) override {
+  void OnSet(const SetView& set) override {
     ++sets_seen_;
-    digest_ = digest_ * 1000003ULL + id;
-    for (uint32_t e : elems) digest_ = digest_ * 1000003ULL + e;
+    digest_ = digest_ * 1000003ULL + set.id;
+    for (uint32_t e : set.elems) digest_ = digest_ * 1000003ULL + e;
   }
   void OnPassEnd() override {
     if (remaining_ > 0) --remaining_;

@@ -21,10 +21,10 @@ TEST(SetStreamTest, CountsPasses) {
   SetSystem s = MakeSystem();
   SetStream stream(&s);
   EXPECT_EQ(stream.passes(), 0u);
-  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  stream.ForEachSet([](const SetView&) {});
   EXPECT_EQ(stream.passes(), 1u);
-  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
-  stream.ForEachSet([](uint32_t, std::span<const uint32_t>) {});
+  stream.ForEachSet([](const SetView&) {});
+  stream.ForEachSet([](const SetView&) {});
   EXPECT_EQ(stream.passes(), 3u);
 }
 
@@ -33,9 +33,9 @@ TEST(SetStreamTest, VisitsSetsInStreamOrder) {
   SetStream stream(&s);
   std::vector<uint32_t> ids;
   std::vector<size_t> sizes;
-  stream.ForEachSet([&](uint32_t id, std::span<const uint32_t> elems) {
-    ids.push_back(id);
-    sizes.push_back(elems.size());
+  stream.ForEachSet([&](const SetView& set) {
+    ids.push_back(set.id);
+    sizes.push_back(set.size());
   });
   EXPECT_EQ(ids, (std::vector<uint32_t>{0, 1, 2}));
   EXPECT_EQ(sizes, (std::vector<size_t>{2, 1, 3}));

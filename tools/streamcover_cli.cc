@@ -6,11 +6,14 @@
 //       Writes an instance in the text format of setsystem/io.h.
 //   stats    --in FILE
 //       Prints n, m, nnz, set-size distribution.
-//   solve    --in FILE --algo ALGO [--delta D] [--p P] [--seed SEED]
-//            [--coverage F] [--budget B] [--threads N] [--early-exit]
-//            [--from-disk]
+//   solve    (--in FILE | --workload NAME) --algo ALGO [--n N --m M
+//            --k K] [--delta D] [--p P] [--seed SEED] [--coverage F]
+//            [--budget B] [--threads N] [--early-exit] [--from-disk]
 //       ALGO: any name from `list-solvers` (plus the legacy aliases
-//       store-all / iterative / progressive / threshold). The file
+//       store-all / iterative / progressive / threshold); --workload
+//       takes any name from `list-workloads` and generates the
+//       instance in-process. Unknown solver or workload names fail
+//       with the full list of registered alternatives. The input
 //       becomes an Instance and dispatch goes through
 //       RunSolver(name, Instance&, options). --from-disk keeps the
 //       repository on disk, re-parsed once per *physical* scan
@@ -95,9 +98,10 @@ int Usage() {
       "  streamcover_cli generate --type planted|sparse|zipf --n N --m M "
       "--k K [--s S] [--seed SEED] --out FILE\n"
       "  streamcover_cli stats --in FILE\n"
-      "  streamcover_cli solve --in FILE --algo NAME (see list-solvers) "
-      "[--delta D] [--p P] [--seed SEED] [--coverage F] [--budget B] "
-      "[--threads N] [--early-exit] [--from-disk]\n"
+      "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
+      "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
+      "[--p P] [--seed SEED] [--coverage F] [--budget B] [--threads N] "
+      "[--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
@@ -405,6 +409,32 @@ int CmdSweep(const Args& args) {
 
 int CmdSolve(const Args& args) {
   const std::string in = args.Get("in");
+  const std::string workload = args.Get("workload");
+  if (!workload.empty() && (!in.empty() || args.Has("from-disk"))) {
+    std::fprintf(stderr,
+                 "--workload conflicts with --in/--from-disk; pick one "
+                 "input source\n");
+    return 1;
+  }
+  if (!workload.empty()) {
+    // Solve directly on a registered workload family — no file needed.
+    // Unknown names fail with the full list of registered workloads.
+    WorkloadParams params;
+    params.n = static_cast<uint32_t>(args.GetInt("n", 1000));
+    params.m = static_cast<uint32_t>(args.GetInt("m", 2000));
+    params.k = static_cast<uint32_t>(args.GetInt("k", 10));
+    params.max_set_size = static_cast<uint32_t>(args.GetInt("s", 32));
+    params.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+    params.path = args.Get("path");
+    std::string error;
+    std::optional<Instance> instance =
+        MakeWorkload(workload, params, &error);
+    if (!instance.has_value()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    return SolveOnInstance(*instance, args);
+  }
   if (in.empty()) return Usage();
   std::string error;
   if (args.Has("from-disk")) {
@@ -461,6 +491,17 @@ int CmdSelfTest() {
     solve.flags = {{"in", path}, {"algo", "store-all"}};
     if (CmdSolve(solve) != 0) return 1;
     solve.flags = {{"in", path}, {"algo", "no-such-solver"}};
+    if (CmdSolve(solve) != 1) return 1;
+  }
+  {
+    // Workload-backed solve: registered names dispatch, unknown names
+    // fail cleanly (listing the registered families on stderr).
+    Args solve;
+    solve.flags = {{"workload", "planted"}, {"algo", "iter"},
+                   {"n", "300"},            {"m", "600"},
+                   {"k", "6"},              {"seed", "2"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"workload", "no-such-workload"}, {"algo", "iter"}};
     if (CmdSolve(solve) != 1) return 1;
   }
   {
