@@ -16,12 +16,20 @@
 //     in place and filter straight into a bump arena; per-round cleanup
 //     is an O(1) epoch reset.
 //
+// A second A/B stage measures the coverage kernels themselves
+// (util/cover_kernels.h): the masked-filter, masked-popcount, and
+// masked-mark twins (scalar reference vs word-parallel path) stream
+// every set of the instance against the live mask, checksum-verified
+// to do identical work, reported as elements/sec and a word-vs-scalar
+// speedup.
+//
 // Reported: sets/sec dispatched, ns per element projected, the
-// view-vs-vector speedup, peak RSS, and a timed registry run of the
-// full `iter` solver with its covers/passes/space so the perf
-// trajectory carries correctness context. `--json FILE` (default
-// BENCH_hotpath.json) writes schema streamcover.bench_hotpath.v1; CI
-// uploads it per PR so the numbers accumulate.
+// view-vs-vector and word-vs-scalar speedups, peak RSS, and a timed
+// registry run of the full `iter` solver with its covers/passes/space
+// so the perf trajectory carries correctness context. `--json FILE`
+// (default BENCH_hotpath.json) writes schema
+// streamcover.bench_hotpath.v2; CI uploads it per PR so the numbers
+// accumulate.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +45,7 @@
 #include "stream/pass_scheduler.h"
 #include "util/arena.h"
 #include "util/bitset.h"
+#include "util/cover_kernels.h"
 #include "util/json.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -180,6 +189,106 @@ DispatchStats RunDispatch(Instance& instance, const DynamicBitset& live,
   return stats;
 }
 
+// --- Kernel A/B stage: the masked-filter / masked-popcount /
+// masked-mark twins on the same instance and live mask the dispatch
+// stage uses. ----------------------------------------------------------
+
+struct KernelStats {
+  double seconds = 0;
+  double melems_per_sec = 0;  ///< millions of span elements consumed/sec
+  uint64_t kept = 0;          ///< elements that survived the mask
+};
+
+/// Streams every set through FilterInto against `live`, `rounds` times,
+/// with an O(1) arena epoch reset per round — the Size-Test inner loop
+/// in isolation.
+KernelStats RunFilterStage(const SetSystem& system, const LiveMask& live,
+                           uint64_t rounds, KernelPolicy policy) {
+  U32Arena arena;
+  KernelStats stats;
+  WallTimer timer;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      stats.kept += FilterInto(system.GetSet(s), live.bits(), arena, policy);
+    }
+    arena.ResetEpoch();
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  stats.melems_per_sec = static_cast<double>(system.total_size()) *
+                         static_cast<double>(rounds) / stats.seconds / 1e6;
+  return stats;
+}
+
+/// Same shape for CountUncovered — the gain test every threshold
+/// algorithm runs per set.
+KernelStats RunCountStage(const SetSystem& system, const LiveMask& live,
+                          uint64_t rounds, KernelPolicy policy) {
+  KernelStats stats;
+  WallTimer timer;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      stats.kept += CountUncovered(system.GetSet(s), live.bits(), policy);
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  stats.melems_per_sec = static_cast<double>(system.total_size()) *
+                         static_cast<double>(rounds) / stats.seconds / 1e6;
+  return stats;
+}
+
+/// And for MarkCovered — the residual update. The mask is consumed as
+/// sets clear it, so each round ends with a word-parallel OrInto
+/// restore from the pristine mask (covered bits are a subset, so the
+/// union is an exact reset).
+KernelStats RunMarkStage(const SetSystem& system, const LiveMask& live,
+                         uint64_t rounds, KernelPolicy policy) {
+  DynamicBitset working = live.bits();
+  KernelStats stats;
+  WallTimer timer;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    for (uint32_t s = 0; s < system.num_sets(); ++s) {
+      stats.kept += MarkCovered(system.GetSet(s), working, policy);
+    }
+    live.bits().OrInto(working);
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  stats.melems_per_sec = static_cast<double>(system.total_size()) *
+                         static_cast<double>(rounds) / stats.seconds / 1e6;
+  return stats;
+}
+
+/// One untimed pass proving the twins produce identical sequences, not
+/// just identical totals.
+bool VerifyKernelTwins(const SetSystem& system, const LiveMask& live) {
+  std::vector<uint32_t> scalar_out;
+  std::vector<uint32_t> word_out;
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    scalar_out.clear();
+    word_out.clear();
+    FilterInto(system.GetSet(s), live.bits(), scalar_out,
+               KernelPolicy::kScalar);
+    FilterInto(system.GetSet(s), live.bits(), word_out, KernelPolicy::kWord);
+    if (scalar_out != word_out) return false;
+  }
+  return true;
+}
+
+JsonValue KernelStatsJson(const KernelStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seconds", stats.seconds);
+  v.Set("melems_per_sec", stats.melems_per_sec);
+  v.Set("kept", stats.kept);
+  return v;
+}
+
+JsonValue KernelAbJson(const KernelStats& scalar, const KernelStats& word) {
+  JsonValue v = JsonValue::Object();
+  v.Set("scalar", KernelStatsJson(scalar));
+  v.Set("word", KernelStatsJson(word));
+  v.Set("speedup", word.melems_per_sec / scalar.melems_per_sec);
+  return v;
+}
+
 /// VmHWM from /proc/self/status, in KiB; 0 where unavailable.
 uint64_t PeakRssKb() {
   std::ifstream status("/proc/self/status");
@@ -257,6 +366,67 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
   benchutil::Note("speedup (view vs vector): " + Table::Fmt(speedup, 2) +
                   "x");
 
+  // --- Kernel A/B: scalar reference vs word-parallel twins. ---
+  const SetSystem* system = instance->materialized();
+  if (system == nullptr) {
+    std::fprintf(stderr, "planted workload unexpectedly not in memory\n");
+    return 1;
+  }
+  LiveMask kernel_live(MakeLiveMask(kN));
+  if (!VerifyKernelTwins(*system, kernel_live)) {
+    std::fprintf(stderr,
+                 "kernel twin mismatch: scalar and word filters disagree\n");
+    return 1;
+  }
+  // The kernel loops are far cheaper than consumer dispatch, so give
+  // them enough rounds to time stably.
+  const uint64_t kernel_rounds = rounds * 10;
+  // Untimed warmup, then scalar/word under identical conditions.
+  RunFilterStage(*system, kernel_live, 2, KernelPolicy::kWord);
+  const KernelStats filter_scalar =
+      RunFilterStage(*system, kernel_live, kernel_rounds,
+                     KernelPolicy::kScalar);
+  const KernelStats filter_word = RunFilterStage(
+      *system, kernel_live, kernel_rounds, KernelPolicy::kWord);
+  const KernelStats count_scalar =
+      RunCountStage(*system, kernel_live, kernel_rounds,
+                    KernelPolicy::kScalar);
+  const KernelStats count_word = RunCountStage(
+      *system, kernel_live, kernel_rounds, KernelPolicy::kWord);
+  const KernelStats mark_scalar = RunMarkStage(
+      *system, kernel_live, kernel_rounds, KernelPolicy::kScalar);
+  const KernelStats mark_word = RunMarkStage(
+      *system, kernel_live, kernel_rounds, KernelPolicy::kWord);
+  if (filter_scalar.kept != filter_word.kept ||
+      count_scalar.kept != count_word.kept ||
+      mark_scalar.kept != mark_word.kept) {
+    std::fprintf(stderr,
+                 "kernel checksum mismatch: the twins did not do identical "
+                 "work\n");
+    return 1;
+  }
+  Table kernel_table(
+      {"kernel", "scalar Melem/s", "word Melem/s", "speedup"});
+  kernel_table.AddRow(
+      {"masked filter", Table::Fmt(filter_scalar.melems_per_sec, 1),
+       Table::Fmt(filter_word.melems_per_sec, 1),
+       Table::Fmt(filter_word.melems_per_sec / filter_scalar.melems_per_sec,
+                  2) +
+           "x"});
+  kernel_table.AddRow(
+      {"masked popcount", Table::Fmt(count_scalar.melems_per_sec, 1),
+       Table::Fmt(count_word.melems_per_sec, 1),
+       Table::Fmt(count_word.melems_per_sec / count_scalar.melems_per_sec,
+                  2) +
+           "x"});
+  kernel_table.AddRow(
+      {"masked mark", Table::Fmt(mark_scalar.melems_per_sec, 1),
+       Table::Fmt(mark_word.melems_per_sec, 1),
+       Table::Fmt(mark_word.melems_per_sec / mark_scalar.melems_per_sec,
+                  2) +
+           "x"});
+  kernel_table.Print(std::cout);
+
   // One timed full solver run for correctness context in the trajectory.
   RunOptions options;
   options.sample_constant = 0.05;
@@ -279,7 +449,7 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
 
   if (!json_path.empty()) {
     JsonValue doc = JsonValue::Object();
-    doc.Set("schema", "streamcover.bench_hotpath.v1");
+    doc.Set("schema", "streamcover.bench_hotpath.v2");
     JsonValue p = JsonValue::Object();
     p.Set("workload", "planted");
     p.Set("n", static_cast<uint64_t>(kN));
@@ -295,6 +465,12 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
     dispatch.Set("view_path", DispatchJson(view_stats));
     dispatch.Set("speedup", speedup);
     doc.Set("dispatch", std::move(dispatch));
+    JsonValue kernels = JsonValue::Object();
+    kernels.Set("rounds", kernel_rounds);
+    kernels.Set("filter", KernelAbJson(filter_scalar, filter_word));
+    kernels.Set("count", KernelAbJson(count_scalar, count_word));
+    kernels.Set("mark", KernelAbJson(mark_scalar, mark_word));
+    doc.Set("kernels", std::move(kernels));
     JsonValue solver = JsonValue::Object();
     solver.Set("solver", "iter");
     solver.Set("success", iter.success);

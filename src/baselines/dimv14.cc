@@ -15,7 +15,7 @@ Dimv14Consumer::Dimv14Consumer(uint32_t n, uint32_t m,
                                const Dimv14Options& options,
                                const OfflineSolver& offline)
     : n_(n), m_(m), options_(&options), offline_(&offline),
-      rng_(options.seed) {
+      kernel_(options.kernel), rng_(options.seed) {
   // Base case: |V| such that m * |V| = O~(m n^delta) — i.e.
   // |V| <= c * n^delta * log m * log n (no k factor; see header).
   base_size_ = static_cast<uint64_t>(std::ceil(
@@ -25,7 +25,7 @@ Dimv14Consumer::Dimv14Consumer(uint32_t n, uint32_t m,
   base_size_ = std::max<uint64_t>(base_size_, 1);
 
   Frame root;
-  root.targets = DynamicBitset(n, true);
+  root.targets = LiveMask(n, true);
   tracker_.Charge(root.targets.WordCount());
   stack_.push_back(std::move(root));
   Advance();
@@ -41,6 +41,7 @@ void Dimv14Consumer::PrepareBasePass(Frame& frame) {
   tracker_.Charge(2 * base_target_elems_.size());  // ids + reindex
   sub_builder_.emplace(static_cast<uint32_t>(base_target_elems_.size()));
   original_ids_.clear();
+  base_targets_ = &frame.targets;
   stored_words_ = 0;
 }
 
@@ -83,8 +84,8 @@ void Dimv14Consumer::Advance() {
         sample_size = std::min(sample_size, remaining - 1);
 
         std::vector<uint32_t> sample_elems =
-            SampleFromBitset(frame.targets, sample_size, rng_);
-        DynamicBitset sample_mask(frame.targets.size());
+            SampleFromBitset(frame.targets.bits(), sample_size, rng_);
+        LiveMask sample_mask(frame.targets.size());
         for (uint32_t e : sample_elems) sample_mask.Set(e);
         tracker_.Charge(sample_mask.WordCount());
 
@@ -126,12 +127,18 @@ void Dimv14Consumer::Advance() {
 void Dimv14Consumer::OnSet(const SetView& set) {
   switch (phase_) {
     case Phase::kBasePass: {
+      // Masked filter against the frame's residual first; only the
+      // survivors (all of them target elements by construction) pay the
+      // reindex hash lookup. Both filters visit a sorted span, so the
+      // projection order — and the sub-instance — is unchanged.
       proj_scratch_.clear();
-      for (uint32_t e : set.elems) {
-        auto it = reindex_.find(e);
-        if (it != reindex_.end()) proj_scratch_.push_back(it->second);
-      }
+      FilterInto(set, *base_targets_, proj_scratch_, kernel_);
       if (proj_scratch_.empty()) return;
+      for (uint32_t& e : proj_scratch_) {
+        auto it = reindex_.find(e);
+        SC_DCHECK(it != reindex_.end());
+        e = it->second;
+      }
       stored_words_ += proj_scratch_.size() + 1;
       tracker_.Charge(proj_scratch_.size() + 1);
       sub_builder_->AddSet(std::span<const uint32_t>(proj_scratch_));
@@ -140,7 +147,7 @@ void Dimv14Consumer::OnSet(const SetView& set) {
     }
     case Phase::kUpdatePass: {
       if (!picked_.Test(set.id)) return;
-      for (uint32_t e : set.elems) update_targets_->Reset(e);
+      MarkCovered(set, *update_targets_, kernel_);
       return;
     }
     case Phase::kDone:
@@ -163,6 +170,7 @@ void Dimv14Consumer::OnPassEnd() {
       // The base case always finishes its frame: covered elements are
       // covered, uncoverable leftovers are dropped — both die with the
       // popped frame's residual bitset.
+      base_targets_ = nullptr;
       stack_.pop_back();
       Advance();
       return;
@@ -194,7 +202,7 @@ BaselineResult Dimv14Consumer::TakeResult(uint64_t logical_passes) {
 BaselineResult Dimv14Cover(PassScheduler& scheduler,
                            const Dimv14Options& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
-  GreedySolver default_solver;
+  GreedySolver default_solver(options.kernel);
   const OfflineSolver& offline =
       options.offline != nullptr ? *options.offline : default_solver;
 

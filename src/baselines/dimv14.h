@@ -35,6 +35,7 @@
 #include "stream/set_stream.h"
 #include "stream/space_tracker.h"
 #include "util/bitset.h"
+#include "util/cover_kernels.h"
 #include "util/rng.h"
 
 namespace streamcover {
@@ -46,6 +47,8 @@ struct Dimv14Options {
   const OfflineSolver* offline = nullptr;  ///< defaults to greedy
   uint64_t seed = 1;
   uint32_t max_depth = 64;        ///< recursion safety valve
+  /// Coverage-kernel twin for the base-pass filter and update pass.
+  KernelPolicy kernel = KernelPolicy::kWord;
 };
 
 /// The DIMV14 recursion as a pass-driven state machine: each frame of
@@ -62,6 +65,13 @@ class Dimv14Consumer final : public ScanConsumer {
   void OnPassEnd() override;
   bool done() const override { return phase_ == Phase::kDone; }
 
+  /// Base-pass batches are prefiltered against the active frame's
+  /// residual: a set projecting to nothing stores nothing. The update
+  /// pass is guarded by picked set ids instead, so it opts out.
+  const LiveMask* batch_filter() const override {
+    return phase_ == Phase::kBasePass ? base_targets_ : nullptr;
+  }
+
   /// Finishes accounting; call once the consumer is done.
   BaselineResult TakeResult(uint64_t logical_passes);
 
@@ -70,7 +80,7 @@ class Dimv14Consumer final : public ScanConsumer {
   enum class Stage { kEnter, kAfterChild1, kAfterUpdate };
 
   struct Frame {
-    DynamicBitset targets;  ///< residual this frame must cover (owned)
+    LiveMask targets;  ///< residual this frame must cover (owned)
     uint32_t depth = 0;
     Stage stage = Stage::kEnter;
     size_t sol_before = 0;          ///< |sol| when child 1 started
@@ -86,6 +96,7 @@ class Dimv14Consumer final : public ScanConsumer {
   const uint32_t m_;
   const Dimv14Options* options_;
   const OfflineSolver* offline_;
+  const KernelPolicy kernel_;
   uint64_t base_size_ = 1;
 
   Rng rng_;
@@ -95,19 +106,21 @@ class Dimv14Consumer final : public ScanConsumer {
   bool failed_ = false;
   Phase phase_ = Phase::kDone;
 
-  // Base-pass scratch (one base pass active at a time). The projection
-  // filter writes into a reused buffer and the sub-builder's CSR arena
-  // directly — no per-set vector is materialized.
+  // Base-pass scratch (one base pass active at a time). The masked
+  // filter kernel writes into a reused buffer that is then reindexed in
+  // place and appended to the sub-builder's CSR arena — no per-set
+  // vector is materialized and no hash lookup runs for dead elements.
   std::vector<uint32_t> base_target_elems_;
   std::unordered_map<uint32_t, uint32_t> reindex_;
   std::optional<SetSystem::Builder> sub_builder_;
   std::vector<uint32_t> original_ids_;
   std::vector<uint32_t> proj_scratch_;
+  const LiveMask* base_targets_ = nullptr;
   uint64_t stored_words_ = 0;
 
   // Update-pass scratch.
   DynamicBitset picked_;
-  DynamicBitset* update_targets_ = nullptr;
+  LiveMask* update_targets_ = nullptr;
 };
 
 /// Runs the DIMV14 scheme on `scheduler` (one consumer; pass accounting

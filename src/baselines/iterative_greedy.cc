@@ -4,15 +4,16 @@
 
 #include "stream/space_tracker.h"
 #include "util/bitset.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
-BaselineResult IterativeGreedy(SetStream& stream) {
+BaselineResult IterativeGreedy(SetStream& stream, KernelPolicy kernel) {
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
   const uint32_t n = stream.num_elements();
 
-  DynamicBitset uncovered(n, true);
+  LiveMask uncovered(n, true);
   tracker.Charge(uncovered.WordCount());
 
   // Restrict to coverable elements with one initial pass (also the first
@@ -25,17 +26,12 @@ BaselineResult IterativeGreedy(SetStream& stream) {
     size_t best_gain = 0;
     std::vector<uint32_t> best_elems;  // residual elements of best set
     stream.ForEachSet([&](const SetView& set) {
-      size_t gain = 0;
-      for (uint32_t e : set.elems) {
-        if (uncovered.Test(e)) ++gain;
-      }
+      const size_t gain = CountUncovered(set, uncovered, kernel);
       if (gain > best_gain) {
         best_gain = gain;
         best_id = set.id;
         best_elems.clear();
-        for (uint32_t e : set.elems) {
-          if (uncovered.Test(e)) best_elems.push_back(e);
-        }
+        FilterInto(set, uncovered, best_elems, kernel);
       }
     });
     // Peak charge for the retained best-candidate buffer this pass.

@@ -5,7 +5,7 @@
 
 namespace streamcover {
 
-BaselineResult StoreAllGreedy(SetStream& stream) {
+BaselineResult StoreAllGreedy(SetStream& stream, KernelPolicy kernel) {
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
 
@@ -17,7 +17,7 @@ BaselineResult StoreAllGreedy(SetStream& stream) {
   });
   SetSystem buffered = std::move(builder).Build();
 
-  OfflineResult offline = GreedySolver().Solve(buffered);
+  OfflineResult offline = GreedySolver(kernel).Solve(buffered);
   tracker.Charge(offline.cover.size());
 
   BaselineResult result;

@@ -9,11 +9,13 @@
 
 #include "baselines/baseline_result.h"
 #include "stream/set_stream.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
 /// One pass, stores all of F (Θ(total_size) words), greedy offline.
-BaselineResult StoreAllGreedy(SetStream& stream);
+BaselineResult StoreAllGreedy(SetStream& stream,
+                              KernelPolicy kernel = KernelPolicy::kWord);
 
 }  // namespace streamcover
 

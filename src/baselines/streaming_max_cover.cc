@@ -3,17 +3,19 @@
 #include "stream/space_tracker.h"
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
 StreamingMaxCoverResult StreamingMaxCover(SetStream& stream,
-                                          uint32_t budget) {
+                                          uint32_t budget,
+                                          KernelPolicy kernel) {
   SC_CHECK_GE(budget, 1u);
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
   const uint32_t n = stream.num_elements();
 
-  DynamicBitset uncovered(n, true);
+  LiveMask uncovered(n, true);
   tracker.Charge(uncovered.WordCount());
 
   StreamingMaxCoverResult result;
@@ -22,15 +24,12 @@ StreamingMaxCoverResult StreamingMaxCover(SetStream& stream,
     if (threshold < 1.0) threshold = 1.0;
     stream.ForEachSet([&](const SetView& set) {
       if (result.cover.size() >= budget) return;
-      size_t gain = 0;
-      for (uint32_t e : set.elems) {
-        if (uncovered.Test(e)) ++gain;
-      }
+      const size_t gain = CountUncovered(set, uncovered, kernel);
       if (gain > 0 && static_cast<double>(gain) >= threshold) {
         result.cover.set_ids.push_back(set.id);
         tracker.Charge(1);
         result.covered += gain;
-        for (uint32_t e : set.elems) uncovered.Reset(e);
+        MarkCovered(set, uncovered, kernel);
       }
     });
     if (result.cover.size() >= budget) break;

@@ -14,20 +14,18 @@ namespace {
 // reaches `allowed_uncovered` (the epsilon-Partial stop; the scan still
 // finishes — a pass cannot be aborted — but nothing more is stored).
 // Returns the number of sets taken; `remaining` is kept in sync.
-size_t ThresholdPass(SetStream& stream, DynamicBitset& uncovered,
+size_t ThresholdPass(SetStream& stream, LiveMask& uncovered,
                      uint64_t& remaining, uint64_t allowed_uncovered,
-                     double threshold, Cover& cover, SpaceTracker& tracker) {
+                     double threshold, Cover& cover, SpaceTracker& tracker,
+                     KernelPolicy kernel) {
   size_t taken = 0;
   stream.ForEachSet([&](const SetView& set) {
     if (remaining <= allowed_uncovered) return;
-    size_t gain = 0;
-    for (uint32_t e : set.elems) {
-      if (uncovered.Test(e)) ++gain;
-    }
+    const size_t gain = CountUncovered(set, uncovered, kernel);
     if (gain > 0 && static_cast<double>(gain) >= threshold) {
       cover.set_ids.push_back(set.id);
       tracker.Charge(1);
-      for (uint32_t e : set.elems) uncovered.Reset(e);
+      MarkCovered(set, uncovered, kernel);
       remaining -= gain;
       ++taken;
     }
@@ -37,15 +35,15 @@ size_t ThresholdPass(SetStream& stream, DynamicBitset& uncovered,
 
 }  // namespace
 
-BaselineResult ProgressiveGreedy(SetStream& stream,
-                                 double coverage_fraction) {
+BaselineResult ProgressiveGreedy(SetStream& stream, double coverage_fraction,
+                                 KernelPolicy kernel) {
   SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
   SpaceTracker tracker;
   const uint64_t passes_before = stream.passes();
   const uint32_t n = stream.num_elements();
   const uint64_t allowed_uncovered = AllowedUncovered(n, coverage_fraction);
 
-  DynamicBitset uncovered(n, true);
+  LiveMask uncovered(n, true);
   tracker.Charge(uncovered.WordCount());
   uint64_t remaining = n;
 
@@ -56,7 +54,7 @@ BaselineResult ProgressiveGreedy(SetStream& stream,
        threshold /= 2.0) {
     if (threshold < 1.0) threshold = 1.0;
     ThresholdPass(stream, uncovered, remaining, allowed_uncovered,
-                  threshold, result.cover, tracker);
+                  threshold, result.cover, tracker, kernel);
     if (remaining <= allowed_uncovered) break;
     if (threshold == 1.0) break;  // leftovers are uncoverable
   }
@@ -69,9 +67,11 @@ BaselineResult ProgressiveGreedy(SetStream& stream,
 }
 
 ThresholdSieveConsumer::ThresholdSieveConsumer(uint32_t n, uint32_t p,
-                                               double coverage_fraction)
+                                               double coverage_fraction,
+                                               KernelPolicy kernel)
     : p_(p),
       dn_(static_cast<double>(std::max(n, 2u))),
+      kernel_(kernel),
       uncovered_(n, true),
       backup_(n, UINT32_MAX),
       remaining_(n) {
@@ -86,18 +86,18 @@ ThresholdSieveConsumer::ThresholdSieveConsumer(uint32_t n, uint32_t p,
 
 void ThresholdSieveConsumer::OnSet(const SetView& set) {
   if (done_) return;
-  size_t gain = 0;
-  for (uint32_t e : set.elems) {
-    if (uncovered_.Test(e)) {
-      ++gain;
-      if (backup_[e] == UINT32_MAX) backup_[e] = set.id;
-    }
+  // The residual intersection drives both the gain test and the backup
+  // pointers, so compute it once with the masked-filter kernel.
+  residual_scratch_.clear();
+  const size_t gain = FilterInto(set, uncovered_, residual_scratch_, kernel_);
+  for (uint32_t e : residual_scratch_) {
+    if (backup_[e] == UINT32_MAX) backup_[e] = set.id;
   }
   if (remaining_ <= allowed_uncovered_) return;  // partial target met
   if (gain > 0 && static_cast<double>(gain) >= threshold_) {
     sol_.set_ids.push_back(set.id);
     tracker_.Charge(1);
-    for (uint32_t e : set.elems) uncovered_.Reset(e);
+    for (uint32_t e : residual_scratch_) uncovered_.Reset(e);
     remaining_ -= gain;
   }
 }
@@ -146,9 +146,10 @@ BaselineResult ThresholdSieveConsumer::TakeResult(uint64_t logical_passes) {
 }
 
 BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
-                                        double coverage_fraction) {
+                                        double coverage_fraction,
+                                        KernelPolicy kernel) {
   ThresholdSieveConsumer consumer(scheduler.stream().num_elements(), p,
-                                  coverage_fraction);
+                                  coverage_fraction, kernel);
   PassScheduler::SoloRun run = scheduler.DriveToCompletion(consumer);
   BaselineResult result = consumer.TakeResult(run.logical_passes);
   result.physical_scans = run.physical_scans;
@@ -156,9 +157,10 @@ BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
 }
 
 BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
-                                        double coverage_fraction) {
+                                        double coverage_fraction,
+                                        KernelPolicy kernel) {
   PassScheduler scheduler(stream);
-  return PolynomialThresholdCover(scheduler, p, coverage_fraction);
+  return PolynomialThresholdCover(scheduler, p, coverage_fraction, kernel);
 }
 
 }  // namespace streamcover

@@ -31,6 +31,7 @@
 #include "stream/set_stream.h"
 #include "stream/space_tracker.h"
 #include "util/bitset.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -39,7 +40,8 @@ namespace streamcover {
 /// (both [ER14] and [CW16] state their results for it): the algorithm
 /// stops as soon as that fraction of U is covered.
 BaselineResult ProgressiveGreedy(SetStream& stream,
-                                 double coverage_fraction = 1.0);
+                                 double coverage_fraction = 1.0,
+                                 KernelPolicy kernel = KernelPolicy::kWord);
 
 /// The [ER14]/[CW16] polynomial threshold sieve as a pass-driven state
 /// machine: pass i applies threshold n^{(p+1-i)/(p+1)}; after pass p
@@ -48,11 +50,18 @@ BaselineResult ProgressiveGreedy(SetStream& stream,
 class ThresholdSieveConsumer final : public ScanConsumer {
  public:
   ThresholdSieveConsumer(uint32_t n, uint32_t p,
-                         double coverage_fraction = 1.0);
+                         double coverage_fraction = 1.0,
+                         KernelPolicy kernel = KernelPolicy::kWord);
 
   void OnSet(const SetView& set) override;
   void OnPassEnd() override;
   bool done() const override { return done_; }
+
+  /// A set with no still-uncovered element records no backups and never
+  /// clears the threshold, so the scheduler may drop it pre-dispatch.
+  const LiveMask* batch_filter() const override {
+    return done_ ? nullptr : &uncovered_;
+  }
 
   /// Finishes accounting; call once the consumer is done.
   BaselineResult TakeResult(uint64_t logical_passes);
@@ -62,11 +71,13 @@ class ThresholdSieveConsumer final : public ScanConsumer {
 
   const uint32_t p_;
   const double dn_;
+  const KernelPolicy kernel_;
   uint64_t allowed_uncovered_ = 0;
 
   SpaceTracker tracker_;
-  DynamicBitset uncovered_;
+  LiveMask uncovered_;
   std::vector<uint32_t> backup_;  ///< some set containing e; UINT32_MAX = none
+  std::vector<uint32_t> residual_scratch_;  ///< per-set transient, not charged
   uint64_t remaining_ = 0;
   uint32_t pass_index_ = 1;
   double threshold_ = 0.0;
@@ -78,11 +89,13 @@ class ThresholdSieveConsumer final : public ScanConsumer {
 /// [ER14] (p=1) / [CW16] (p>=1): p threshold passes + pointer finish.
 /// `coverage_fraction` < 1 gives the epsilon-Partial variant.
 BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
-                                        double coverage_fraction = 1.0);
+                                        double coverage_fraction = 1.0,
+                                        KernelPolicy kernel = KernelPolicy::kWord);
 
 /// Convenience: single-threaded scheduler over `stream`.
 BaselineResult PolynomialThresholdCover(SetStream& stream, uint32_t p,
-                                        double coverage_fraction = 1.0);
+                                        double coverage_fraction = 1.0,
+                                        KernelPolicy kernel = KernelPolicy::kWord);
 
 }  // namespace streamcover
 

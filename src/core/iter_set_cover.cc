@@ -11,6 +11,7 @@
 #include "stream/sampling.h"
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/cover_kernels.h"
 #include "util/mathutil.h"
 #include "util/rng.h"
 
@@ -34,6 +35,7 @@ class GuessConsumer final : public ScanConsumer {
         m_(m),
         options_(&options),
         offline_(&offline),
+        kernel_(options.kernel),
         rho_(offline.Rho(n)),
         iterations_(static_cast<uint64_t>(
             std::ceil(1.0 / options.delta) + 1e-9)),
@@ -60,18 +62,17 @@ class GuessConsumer final : public ScanConsumer {
       case Phase::kPass1: {
         // Size Test: heavy sets are taken now, light projections kept.
         // The projection is filtered straight into the iteration's bump
-        // arena — committed if light, rewound if heavy or empty — so
-        // the hot path performs no per-set heap allocation.
+        // arena by the masked-filter kernel — committed if light,
+        // rewound if heavy or empty — so the hot path performs no
+        // per-set heap allocation and no per-element branch.
         const size_t mark = projections_.StageMark();
-        for (uint32_t e : set.elems) {
-          if (live_.Test(e)) projections_.StagePush(e);
-        }
+        FilterInto(set, live_, projections_.staging_arena(), kernel_);
         const std::span<const uint32_t> staged = projections_.Staged(mark);
         if (staged.empty()) return;
         if (static_cast<double>(staged.size()) >= threshold_) {
           heavy_picks_.push_back(set.id);
           tracker_.Charge(1);
-          for (uint32_t e : staged) live_.Reset(e);
+          MarkCovered(staged, live_.bits(), kernel_);
           projections_.Abandon(mark);
         } else {
           tracker_.Charge(staged.size() + 1);  // elements + set id
@@ -82,22 +83,15 @@ class GuessConsumer final : public ScanConsumer {
       case Phase::kPass2: {
         // Only the sets picked this iteration can newly cover anything.
         if (!picked_this_iter_.Test(set.id)) return;
-        for (uint32_t e : set.elems) uncovered_.Reset(e);
+        MarkCovered(set, uncovered_, kernel_);
         return;
       }
       case Phase::kFinalSweep: {
         if (uncovered_.None()) return;
-        bool hits = false;
-        for (uint32_t e : set.elems) {
-          if (uncovered_.Test(e)) {
-            hits = true;
-            break;
-          }
-        }
-        if (hits) {
+        if (Intersects(set, uncovered_, kernel_)) {
           sweep_picks_.push_back(set.id);
           tracker_.Charge(1);
-          for (uint32_t e : set.elems) uncovered_.Reset(e);
+          MarkCovered(set, uncovered_, kernel_);
         }
         return;
       }
@@ -123,6 +117,23 @@ class GuessConsumer final : public ScanConsumer {
   }
 
   bool done() const override { return phase_ == Phase::kDone; }
+
+  // Batch prefilter for the threaded scheduler: in the mask-dominated
+  // phases a set with no live element is a no-op, so the scheduler may
+  // drop it before dispatch. Pass 2 is guarded by set id instead (one
+  // bit test per set — cheaper than any intersection), so it opts out.
+  const LiveMask* batch_filter() const override {
+    switch (phase_) {
+      case Phase::kPass1:
+        return &live_;
+      case Phase::kFinalSweep:
+        return &uncovered_;
+      case Phase::kPass2:
+      case Phase::kDone:
+        return nullptr;
+    }
+    return nullptr;
+  }
 
   uint64_t k() const { return k_; }
   bool success() const { return success_; }
@@ -192,12 +203,12 @@ class GuessConsumer final : public ScanConsumer {
     const uint64_t sample_size = IterSetCoverSampleSize(
         options_->sample_constant, rho_, k_, n_, options_->delta, m_,
         uncovered_count_);
-    sample_ = SampleFromBitset(uncovered_, sample_size, rng_);
+    sample_ = SampleFromBitset(uncovered_.bits(), sample_size, rng_);
     diag_.sample_size = sample_.size();
     tracker_.Charge(sample_.size());  // the sample's element ids
 
     // L <- S, as a membership mask over U (n/64 words).
-    live_ = DynamicBitset(n_);
+    live_ = LiveMask(n_);
     for (uint32_t e : sample_) live_.Set(e);
     tracker_.Charge(live_.WordCount());
 
@@ -326,6 +337,7 @@ class GuessConsumer final : public ScanConsumer {
   const uint32_t m_;
   const IterSetCoverOptions* options_;
   const OfflineSolver* offline_;
+  const KernelPolicy kernel_;
   const double rho_;
   const uint64_t iterations_;
   uint64_t allowed_uncovered_ = 0;
@@ -333,7 +345,7 @@ class GuessConsumer final : public ScanConsumer {
   // Cross-iteration state.
   Rng rng_;
   SpaceTracker tracker_;
-  DynamicBitset uncovered_;
+  LiveMask uncovered_;
   Cover sol_;
   DynamicBitset picked_distinct_;
   uint64_t distinct_picks_ = 0;
@@ -348,7 +360,7 @@ class GuessConsumer final : public ScanConsumer {
   IterSetCoverIterationDiag diag_;
   uint64_t uncovered_count_ = 0;
   std::vector<uint32_t> sample_;
-  DynamicBitset live_;
+  LiveMask live_;
   double threshold_ = 0.0;
   std::vector<uint32_t> heavy_picks_;
   ProjectionStore projections_;
@@ -392,7 +404,7 @@ void RetireHopelessGuesses(
 StreamingResult IterSetCoverSingleGuess(PassScheduler& scheduler, uint64_t k,
                                         const IterSetCoverOptions& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
-  GreedySolver default_solver;
+  GreedySolver default_solver(options.kernel);
   const OfflineSolver& offline =
       options.offline != nullptr ? *options.offline : default_solver;
   GuessConsumer guess(k, scheduler.stream().num_elements(),
@@ -412,7 +424,7 @@ StreamingResult IterSetCoverSingleGuess(SetStream& stream, uint64_t k,
 StreamingResult IterSetCover(PassScheduler& scheduler,
                              const IterSetCoverOptions& options) {
   SC_CHECK(options.delta > 0.0 && options.delta <= 1.0);
-  GreedySolver default_solver;
+  GreedySolver default_solver(options.kernel);
   const OfflineSolver& offline =
       options.offline != nullptr ? *options.offline : default_solver;
 

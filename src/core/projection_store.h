@@ -51,6 +51,11 @@ class ProjectionStore {
   /// Appends one element of the projection being staged.
   void StagePush(uint32_t element) { arena_.Push(element); }
 
+  /// The staging arena itself, for kernels (util/cover_kernels.h) that
+  /// filter a whole set in one call. Only valid use: appending between
+  /// StageMark() and the matching CommitLight()/Abandon().
+  U32Arena& staging_arena() { return arena_; }
+
   /// The projection staged since `mark`.
   std::span<const uint32_t> Staged(size_t mark) const {
     return arena_.TailFrom(mark);

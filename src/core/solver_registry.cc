@@ -1,6 +1,7 @@
 #include "core/solver_registry.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "baselines/dimv14.h"
@@ -48,6 +49,7 @@ RunResult RunIterSetCover(RunContext& ctx) {
   opts.seed = ctx.options.seed;
   opts.coverage_fraction = ctx.options.coverage_fraction;
   opts.early_exit = ctx.options.early_exit;
+  opts.kernel = ctx.options.kernel;
   StreamingResult r =
       ctx.options.iter_guess > 0
           ? IterSetCoverSingleGuess(ctx.scheduler, ctx.options.iter_guess,
@@ -70,6 +72,7 @@ RunResult RunDimv14(RunContext& ctx) {
   opts.sample_constant = ctx.options.sample_constant;
   opts.offline = ctx.options.offline;
   opts.seed = ctx.options.seed;
+  opts.kernel = ctx.options.kernel;
   return FromBaseline(Dimv14Cover(ctx.scheduler, opts));
 }
 
@@ -77,7 +80,8 @@ RunResult RunStreamingMaxCover(RunContext& ctx) {
   const uint32_t budget = ctx.options.max_cover_budget > 0
                               ? ctx.options.max_cover_budget
                               : ctx.stream.num_elements();
-  StreamingMaxCoverResult r = StreamingMaxCover(ctx.stream, budget);
+  StreamingMaxCoverResult r =
+      StreamingMaxCover(ctx.stream, budget, ctx.options.kernel);
   RunResult result;
   result.cover = std::move(r.cover);
   result.success = r.covered >= ctx.stream.num_elements();
@@ -101,7 +105,12 @@ RunResult RunOffline(RunContext& ctx) {
     builder.AddSet(set.elems);
   });
   SetSystem buffered = std::move(builder).Build();
-  OfflineResult offline = Solver().Solve(buffered);
+  OfflineResult offline;
+  if constexpr (std::is_constructible_v<Solver, KernelPolicy>) {
+    offline = Solver(ctx.options.kernel).Solve(buffered);
+  } else {
+    offline = Solver().Solve(buffered);
+  }
   tracker.Charge(offline.cover.size());
 
   RunResult result;
@@ -160,20 +169,22 @@ void RegisterBuiltins(SolverRegistry& registry) {
       "greedy, store-all: 1 pass, O(mn) space, ln n approx",
       Kind::kStreaming,
       [](RunContext& ctx) {
-        return FromBaseline(StoreAllGreedy(ctx.stream));
+        return FromBaseline(
+            StoreAllGreedy(ctx.stream, ctx.options.kernel));
       });
   add("iterative_greedy",
       "greedy, pass-per-pick: n passes, O(n) space, ln n approx",
       Kind::kStreaming,
       [](RunContext& ctx) {
-        return FromBaseline(IterativeGreedy(ctx.stream));
+        return FromBaseline(
+            IterativeGreedy(ctx.stream, ctx.options.kernel));
       });
   add("progressive_greedy",
       "[SG09] halving thresholds: O(log n) passes, O~(n) space",
       Kind::kStreaming,
       [](RunContext& ctx) {
-        return FromBaseline(
-            ProgressiveGreedy(ctx.stream, ctx.options.coverage_fraction));
+        return FromBaseline(ProgressiveGreedy(
+            ctx.stream, ctx.options.coverage_fraction, ctx.options.kernel));
       });
   add("threshold_greedy",
       "[ER14]/[CW16] p-pass thresholds: (p+1) n^{1/(p+1)} approx, "
@@ -182,7 +193,7 @@ void RegisterBuiltins(SolverRegistry& registry) {
       [](RunContext& ctx) {
         return FromBaseline(PolynomialThresholdCover(
             ctx.scheduler, ctx.options.threshold_passes,
-            ctx.options.coverage_fraction));
+            ctx.options.coverage_fraction, ctx.options.kernel));
       });
   add("dimv14",
       "[DIMV14] recursive sampling: O(4^{1/delta}) passes, "
@@ -275,7 +286,7 @@ RunResult RunSolver(std::string_view name, Instance& instance,
       return result;
     }
     SetStream stream(kEmptySystem);
-    PassScheduler scheduler(stream, options.threads);
+    PassScheduler scheduler(stream, options.threads, options.kernel);
     RunContext ctx{stream, scheduler, instance.geometry(), options};
     RunResult result = entry->run(ctx);
     if (result.ok()) {
@@ -285,7 +296,7 @@ RunResult RunSolver(std::string_view name, Instance& instance,
     return result;
   }
   SetStream stream = instance.NewStream();
-  PassScheduler scheduler(stream, options.threads);
+  PassScheduler scheduler(stream, options.threads, options.kernel);
   RunContext ctx{stream, scheduler, nullptr, options};
   RunResult result = entry->run(ctx);
   if (result.ok()) {

@@ -34,6 +34,7 @@
 #include "setsystem/cover.h"
 #include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -70,6 +71,12 @@ struct RunOptions {
   /// winner (never changes the winning cover; shaves physical scans and
   /// makes `passes` reflect passes actually consumed).
   bool early_exit = false;
+  /// Coverage-kernel twin for every solver's inner loop and the
+  /// scheduler's batch prefilter (util/cover_kernels.h). `word` is the
+  /// 64-elements-per-mask-word path; `scalar` is the per-element
+  /// reference loop. Covers, passes, and space are identical either
+  /// way — only throughput changes.
+  KernelPolicy kernel = KernelPolicy::kWord;
   /// Offline solver (algOfflineSC) for the sampling algorithms;
   /// null => greedy.
   const OfflineSolver* offline = nullptr;

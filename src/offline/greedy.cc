@@ -5,12 +5,13 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
 OfflineResult GreedySolver::Solve(const SetSystem& system) const {
   DynamicBitset all(system.num_elements(), true);
-  return SolveTargets(system, all);
+  return SolveTargets(system, all, kernel_);
 }
 
 double GreedySolver::Rho(uint32_t num_elements) const {
@@ -18,7 +19,8 @@ double GreedySolver::Rho(uint32_t num_elements) const {
 }
 
 OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
-                                         const DynamicBitset& targets) {
+                                         const DynamicBitset& targets,
+                                         KernelPolicy kernel) {
   SC_CHECK_EQ(targets.size(), system.num_elements());
   OfflineResult result;
   DynamicBitset uncovered = targets;
@@ -44,10 +46,7 @@ OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
   std::vector<uint64_t> heap;
   heap.reserve(system.num_sets());
   for (uint32_t s = 0; s < system.num_sets(); ++s) {
-    size_t gain = 0;
-    for (uint32_t e : system.GetSet(s)) {
-      if (uncovered.Test(e)) ++gain;
-    }
+    const size_t gain = CountUncovered(system.GetSet(s), uncovered, kernel);
     if (gain > 0) heap.push_back(pack(gain, s));
   }
   std::make_heap(heap.begin(), heap.end());
@@ -59,10 +58,7 @@ OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
     ++result.work;
     // Gains only decrease over time, so a popped entry whose recomputed
     // gain still beats the heap top is truly the best set right now.
-    size_t gain = 0;
-    for (uint32_t e : system.GetSet(s)) {
-      if (uncovered.Test(e)) ++gain;
-    }
+    const size_t gain = CountUncovered(system.GetSet(s), uncovered, kernel);
     if (gain == 0) continue;
     if (!heap.empty() && gain < (heap.front() >> 32)) {
       heap.push_back(pack(gain, s));  // stale; re-queue with fresh gain
@@ -70,7 +66,7 @@ OfflineResult GreedySolver::SolveTargets(const SetSystem& system,
       continue;
     }
     result.cover.set_ids.push_back(s);
-    for (uint32_t e : system.GetSet(s)) uncovered.Reset(e);
+    MarkCovered(system.GetSet(s), uncovered, kernel);
   }
   return result;
 }

@@ -9,12 +9,18 @@
 
 #include "offline/solver.h"
 #include "util/bitset.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
 /// Greedy offline solver (H_n <= ln n + 1 approximation).
 class GreedySolver : public OfflineSolver {
  public:
+  GreedySolver() = default;
+  /// Selects the coverage-kernel twin for gain recomputation; results
+  /// are identical either way.
+  explicit GreedySolver(KernelPolicy kernel) : kernel_(kernel) {}
+
   OfflineResult Solve(const SetSystem& system) const override;
 
   double Rho(uint32_t num_elements) const override;
@@ -23,8 +29,12 @@ class GreedySolver : public OfflineSolver {
 
   /// Greedy cover of only the elements flagged in `targets`.
   /// Shared by solvers and baselines that cover residual ground sets.
-  static OfflineResult SolveTargets(const SetSystem& system,
-                                    const DynamicBitset& targets);
+  static OfflineResult SolveTargets(
+      const SetSystem& system, const DynamicBitset& targets,
+      KernelPolicy kernel = KernelPolicy::kWord);
+
+ private:
+  KernelPolicy kernel_ = KernelPolicy::kWord;
 };
 
 }  // namespace streamcover

@@ -5,10 +5,12 @@
 
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
-MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget) {
+MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget,
+                              KernelPolicy kernel) {
   MaxCoverResult result;
   DynamicBitset uncovered(system.num_elements(), true);
 
@@ -22,10 +24,7 @@ MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget) {
   while (result.cover.size() < budget && !heap.empty()) {
     auto [stale_gain, s] = heap.top();
     heap.pop();
-    size_t gain = 0;
-    for (uint32_t e : system.GetSet(s)) {
-      if (uncovered.Test(e)) ++gain;
-    }
+    const size_t gain = CountUncovered(system.GetSet(s), uncovered, kernel);
     if (gain == 0) continue;
     if (!heap.empty() && gain < heap.top().first) {
       heap.push({gain, s});
@@ -33,7 +32,7 @@ MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget) {
     }
     result.cover.set_ids.push_back(s);
     result.covered += gain;
-    for (uint32_t e : system.GetSet(s)) uncovered.Reset(e);
+    MarkCovered(system.GetSet(s), uncovered, kernel);
   }
   return result;
 }

@@ -12,6 +12,7 @@
 
 #include "setsystem/cover.h"
 #include "setsystem/set_system.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -24,7 +25,8 @@ struct MaxCoverResult {
 /// Greedy Max k-Cover: picks up to `budget` sets, each maximizing the
 /// marginal coverage; stops early if coverage is complete.
 /// Guarantee: covered >= (1 - 1/e) * OPT_k.
-MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget);
+MaxCoverResult GreedyMaxCover(const SetSystem& system, uint32_t budget,
+                              KernelPolicy kernel = KernelPolicy::kWord);
 
 /// Exhaustive optimum for tests (m <= ~20).
 MaxCoverResult BruteForceMaxCover(const SetSystem& system, uint32_t budget);

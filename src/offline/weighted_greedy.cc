@@ -4,11 +4,13 @@
 
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
-WeightedCoverResult WeightedGreedyCover(
-    const SetSystem& system, const std::vector<double>& weights) {
+WeightedCoverResult WeightedGreedyCover(const SetSystem& system,
+                                        const std::vector<double>& weights,
+                                        KernelPolicy kernel) {
   SC_CHECK_EQ(weights.size(), system.num_sets());
   for (double w : weights) SC_CHECK_GT(w, 0.0);
 
@@ -25,10 +27,7 @@ WeightedCoverResult WeightedGreedyCover(
     uint32_t best = UINT32_MAX;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (uint32_t s = 0; s < system.num_sets(); ++s) {
-      size_t gain = 0;
-      for (uint32_t e : system.GetSet(s)) {
-        if (uncovered.Test(e)) ++gain;
-      }
+      const size_t gain = CountUncovered(system.GetSet(s), uncovered, kernel);
       if (gain == 0) continue;
       double ratio = weights[s] / static_cast<double>(gain);
       if (ratio < best_ratio) {
@@ -39,7 +38,7 @@ WeightedCoverResult WeightedGreedyCover(
     SC_CHECK_NE(best, UINT32_MAX);  // uncovered is restricted to coverable
     result.cover.set_ids.push_back(best);
     result.total_weight += weights[best];
-    for (uint32_t e : system.GetSet(best)) uncovered.Reset(e);
+    MarkCovered(system.GetSet(best), uncovered, kernel);
   }
   return result;
 }

@@ -13,6 +13,7 @@
 
 #include "setsystem/cover.h"
 #include "setsystem/set_system.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -25,8 +26,9 @@ struct WeightedCoverResult {
 /// Chvatal's greedy: repeatedly picks the set minimizing
 /// weight / marginal-coverage. `weights` must be positive, one per set.
 /// Elements no set contains are ignored.
-WeightedCoverResult WeightedGreedyCover(const SetSystem& system,
-                                        const std::vector<double>& weights);
+WeightedCoverResult WeightedGreedyCover(
+    const SetSystem& system, const std::vector<double>& weights,
+    KernelPolicy kernel = KernelPolicy::kWord);
 
 /// Exhaustive optimum for tests (m <= ~20).
 WeightedCoverResult BruteForceWeightedCover(

@@ -30,10 +30,7 @@ bool IsFullCover(const SetSystem& system, const Cover& cover) {
 bool CoversTargets(const SetSystem& system, const Cover& cover,
                    const DynamicBitset& targets) {
   SC_CHECK_EQ(targets.size(), system.num_elements());
-  DynamicBitset mask = CoverageMask(system, cover);
-  DynamicBitset residual = targets;
-  residual.AndNot(mask);
-  return residual.None();
+  return targets.AndNotCountWords(CoverageMask(system, cover)) == 0;
 }
 
 bool IsCoverable(const SetSystem& system) {

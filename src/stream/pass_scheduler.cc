@@ -17,8 +17,9 @@ constexpr size_t kBatchMaxWords = size_t{1} << 20;
 
 }  // namespace
 
-PassScheduler::PassScheduler(SetStream& stream, uint32_t threads)
-    : stream_(&stream), threads_(std::max(threads, 1u)) {}
+PassScheduler::PassScheduler(SetStream& stream, uint32_t threads,
+                             KernelPolicy kernel)
+    : stream_(&stream), threads_(std::max(threads, 1u)), kernel_(kernel) {}
 
 size_t PassScheduler::Register(ScanConsumer* consumer) {
   SC_CHECK(consumer != nullptr);
@@ -73,10 +74,26 @@ void PassScheduler::FlushBatch(const std::vector<ScanConsumer*>& live,
   // Static partition: worker w serves consumers w, w+workers, ... Each
   // consumer is touched by exactly one worker and receives the whole
   // batch in stream order, so no locks and no dispatch-order
-  // nondeterminism.
+  // nondeterminism. A consumer that publishes a live mask
+  // (batch_filter) gets the batch prefiltered: one word-parallel
+  // intersection test per set drops the no-op sets before they pay the
+  // consumer's per-set machinery. The filtered list is per-worker
+  // scratch; masks shrink monotonically within a pass, so a drop
+  // verdict never invalidates.
   auto serve = [&](uint32_t worker) {
+    std::vector<SetView> filtered;
     for (size_t c = worker; c < live.size(); c += workers) {
-      live[c]->OnBatch(views);
+      const LiveMask* mask = live[c]->batch_filter();
+      if (mask == nullptr) {
+        live[c]->OnBatch(views);
+        continue;
+      }
+      filtered.clear();
+      filtered.reserve(views.size());
+      for (const SetView& view : views) {
+        if (Intersects(view, *mask, kernel_)) filtered.push_back(view);
+      }
+      live[c]->OnBatch(std::span<const SetView>(filtered));
     }
   };
   std::vector<std::thread> pool;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "stream/set_stream.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -65,6 +66,19 @@ class ScanConsumer {
   /// belongs.
   virtual void OnPassEnd() = 0;
 
+  /// Optional batch prefilter. When non-null, the threaded scheduler
+  /// drops sets with no element in the mask before this consumer's
+  /// OnBatch dispatch (word-parallel intersection test, one check per
+  /// set). Returning a mask is a contract with two clauses:
+  ///   * a set with zero mask intersection must be a semantic no-op for
+  ///     the consumer in its current phase, and
+  ///   * the mask may only lose bits during a pass, so a zero verdict
+  ///     taken at batch-flush time can never become stale.
+  /// Called (and the mask read) only by the worker that owns this
+  /// consumer for the batch, between the consumer's own dispatches —
+  /// the same no-shared-state rule as OnSet/OnBatch.
+  virtual const LiveMask* batch_filter() const { return nullptr; }
+
   /// True once the consumer needs no further passes. A done consumer is
   /// never served again.
   virtual bool done() const = 0;
@@ -77,7 +91,11 @@ class PassScheduler {
  public:
   /// `threads` <= 1 dispatches inline on the calling thread; larger
   /// values fan consumers out over that many workers per batch.
-  explicit PassScheduler(SetStream& stream, uint32_t threads = 1);
+  /// `kernel` selects the coverage-kernel twin the batch prefilter
+  /// (ScanConsumer::batch_filter) runs; results are identical either
+  /// way.
+  explicit PassScheduler(SetStream& stream, uint32_t threads = 1,
+                         KernelPolicy kernel = KernelPolicy::kWord);
 
   /// Registers a consumer and returns its slot (index for passes()).
   size_t Register(ScanConsumer* consumer);
@@ -141,6 +159,7 @@ class PassScheduler {
 
   SetStream* stream_;
   uint32_t threads_;
+  KernelPolicy kernel_;
   std::vector<Slot> slots_;
   uint64_t physical_scans_ = 0;
 

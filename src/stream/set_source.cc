@@ -1,5 +1,6 @@
 #include "stream/set_source.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/check.h"
@@ -60,11 +61,28 @@ void FileSetSource::Scan(const SetVisitor& visit) {
     SC_CHECK_LE(size, num_elements_);
     scan_buffer_.clear();
     scan_buffer_.reserve(size);
+    bool sorted_unique = true;
     for (uint64_t i = 0; i < size; ++i) {
       uint64_t e = 0;
       SC_CHECK(static_cast<bool>(in >> e));
       SC_CHECK_LT(e, num_elements_);
+      if (!scan_buffer_.empty() && e <= scan_buffer_.back()) {
+        sorted_unique = false;
+      }
       scan_buffer_.push_back(static_cast<uint32_t>(e));
+    }
+    // Dispatched element spans are sorted and duplicate-free everywhere
+    // in the library: the CSR builder enforces it in memory
+    // (SetSystem::Builder::AddSet), and the word-parallel coverage
+    // kernels (util/cover_kernels.h) rely on it. Normalize a malformed
+    // file line here so streaming from disk sees exactly what loading
+    // the same file into memory would; well-formed files pay only the
+    // monotonicity check above.
+    if (!sorted_unique) {
+      std::sort(scan_buffer_.begin(), scan_buffer_.end());
+      scan_buffer_.erase(
+          std::unique(scan_buffer_.begin(), scan_buffer_.end()),
+          scan_buffer_.end());
     }
     visit(SetView{s, std::span<const uint32_t>(scan_buffer_)});
   }

@@ -46,5 +46,6 @@
 #include "stream/set_source.h"                // IWYU pragma: export
 #include "stream/set_stream.h"                // IWYU pragma: export
 #include "stream/space_tracker.h"             // IWYU pragma: export
+#include "util/cover_kernels.h"               // IWYU pragma: export
 
 #endif  // STREAMCOVER_STREAMCOVER_H_

@@ -35,6 +35,16 @@ class U32Arena {
   /// Appends one word at the tail.
   void Push(uint32_t word) { words_.push_back(word); }
 
+  /// Grows the tail by `count` words and returns a pointer to the first
+  /// new word — the bulk-staging entry the branch-free kernels write
+  /// through (store always, advance conditionally). Pair with
+  /// RewindTo(mark + kept) to drop the unused tail; the pointer is
+  /// valid until the next growth or reset.
+  uint32_t* Extend(size_t count) {
+    words_.resize(words_.size() + count);
+    return words_.data() + (words_.size() - count);
+  }
+
   /// Drops every word at or after `mark` (abandons a staged run).
   void RewindTo(size_t mark) {
     SC_DCHECK_LE(mark, words_.size());

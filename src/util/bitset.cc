@@ -91,6 +91,21 @@ DynamicBitset& DynamicBitset::AndNot(const DynamicBitset& other) {
   return *this;
 }
 
+size_t DynamicBitset::AndNotCountWords(const DynamicBitset& other) const {
+  SC_CHECK_EQ(size_, other.size_);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(
+        __builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return c;
+}
+
+void DynamicBitset::OrInto(DynamicBitset& dst) const {
+  SC_CHECK_EQ(size_, dst.size_);
+  for (size_t i = 0; i < words_.size(); ++i) dst.words_[i] |= words_[i];
+}
+
 bool DynamicBitset::operator==(const DynamicBitset& other) const {
   return size_ == other.size_ && words_ == other.words_;
 }

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace streamcover {
@@ -48,6 +49,21 @@ class DynamicBitset {
   DynamicBitset& operator&=(const DynamicBitset& other);
   DynamicBitset& operator|=(const DynamicBitset& other);
   DynamicBitset& AndNot(const DynamicBitset& other);
+
+  /// popcount(this & ~other) without materializing the intersection —
+  /// "how many of my bits does `other` not cover". Sizes must match.
+  size_t AndNotCountWords(const DynamicBitset& other) const;
+
+  /// dst |= *this, word-parallel. Sizes must match. The accumulate-into
+  /// twin of operator|= for call sites where the source is const.
+  void OrInto(DynamicBitset& dst) const;
+
+  /// Word-granular views of the backing storage, for the word-parallel
+  /// coverage kernels (util/cover_kernels.h). Bits at or above size() in
+  /// the last word are guaranteed zero and must stay zero through
+  /// MutableWords() writes.
+  std::span<const uint64_t> Words() const { return words_; }
+  std::span<uint64_t> MutableWords() { return words_; }
 
   bool operator==(const DynamicBitset& other) const;
 

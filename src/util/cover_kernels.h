@@ -1,0 +1,147 @@
+// Word-parallel coverage kernels — the shared inner loop of every
+// solver.
+//
+// Each streaming and offline algorithm in this library spends its hot
+// path asking one of three questions about a set against a mask of
+// still-uncovered elements: "how much would this set cover?"
+// (CountUncovered), "which elements would it cover?" (FilterInto), and
+// "cover them" (MarkCovered). This header centralizes those loops so
+// every consumer — iterSetCover's Size Test, DIMV14's base pass, the
+// [ER14]/[CW16] threshold sieve, the greedy baselines, the offline
+// solvers — runs the same kernels instead of a private Test()-per-element
+// loop.
+//
+// Each kernel has two twins selected by `KernelPolicy`:
+//
+//   * kScalar — the reference loop: one DynamicBitset::Test per element
+//     with a data-dependent branch. This is byte-for-byte the
+//     pre-kernel code shape; it exists as the differential-testing
+//     oracle and the A/B baseline.
+//   * kWord — the branch-free path over the mask's raw 64-bit words:
+//     membership is one aligned word load + shift/AND, filtering is
+//     masked compaction (store every element, advance the cursor only
+//     for survivors), marking is an unconditional read-modify-write.
+//     At mask density p the scalar twin mispredicts ~min(p, 1-p) of its
+//     branches; the word twin has none, and its straight-line loops are
+//     what the compiler can unroll and vectorize (the -O3 CI leg keeps
+//     them warnings-clean).
+//
+// Both twins produce bit-identical results element for element — same
+// counts, same output sequences, same final masks — for any span. The
+// stream layer additionally guarantees spans are sorted ascending and
+// duplicate-free (SetSystem::Builder::AddSet enforces it for CSR,
+// FileSetSource normalizes on parse), so downstream consumers may keep
+// relying on that invariant. tests/cover_kernels_test.cc fuzzes the
+// twins against each other across word-boundary sizes.
+
+#ifndef STREAMCOVER_UTIL_COVER_KERNELS_H_
+#define STREAMCOVER_UTIL_COVER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "setsystem/set_view.h"
+#include "util/arena.h"
+#include "util/bitset.h"
+
+namespace streamcover {
+
+/// Selects the kernel twin. Carried on RunOptions (and from there on
+/// every solver's options) so a whole sweep can be flipped to the
+/// scalar reference with `--kernel scalar`; results are identical
+/// either way, only the inner loop changes.
+enum class KernelPolicy : uint8_t {
+  kScalar,  ///< per-element Test() reference loop
+  kWord,    ///< 64-elements-per-mask-word popcount path (default)
+};
+
+/// "scalar" / "word".
+const char* KernelPolicyName(KernelPolicy policy);
+
+/// Inverse of KernelPolicyName; nullopt for unknown spellings.
+std::optional<KernelPolicy> ParseKernelPolicy(std::string_view name);
+
+/// The still-uncovered elements a consumer filters against: a
+/// DynamicBitset with the role made explicit. Every ScanConsumer owns
+/// one per residual it tracks (space-charged in logical words exactly
+/// like the raw bitset it replaces), the kernels read/update it, and
+/// PassScheduler's batched dispatch prefilters whole columnar batches
+/// against it (ScanConsumer::batch_filter).
+class LiveMask {
+ public:
+  LiveMask() = default;
+  explicit LiveMask(size_t size, bool value = false) : bits_(size, value) {}
+  explicit LiveMask(DynamicBitset bits) : bits_(std::move(bits)) {}
+
+  size_t size() const { return bits_.size(); }
+  size_t WordCount() const { return bits_.WordCount(); }
+  bool Test(size_t i) const { return bits_.Test(i); }
+  void Set(size_t i) { bits_.Set(i); }
+  void Reset(size_t i) { bits_.Reset(i); }
+  size_t Count() const { return bits_.Count(); }
+  bool Any() const { return bits_.Any(); }
+  bool None() const { return bits_.None(); }
+  std::vector<uint32_t> ToVector() const { return bits_.ToVector(); }
+
+  /// The underlying bitset, for APIs (sampling, kernels, set algebra)
+  /// that speak DynamicBitset.
+  const DynamicBitset& bits() const { return bits_; }
+  DynamicBitset& bits() { return bits_; }
+
+ private:
+  DynamicBitset bits_;
+};
+
+/// Number of elements of `elems` whose mask bit is set (the set's
+/// residual gain). Elements must be < mask.size().
+size_t CountUncovered(std::span<const uint32_t> elems,
+                      const DynamicBitset& mask, KernelPolicy policy);
+
+/// Appends the elements of `elems` whose mask bit is set to `arena` /
+/// `out`, in span order, and returns how many were appended. The vector
+/// overload appends (it does not clear).
+size_t FilterInto(std::span<const uint32_t> elems, const DynamicBitset& mask,
+                  U32Arena& arena, KernelPolicy policy);
+size_t FilterInto(std::span<const uint32_t> elems, const DynamicBitset& mask,
+                  std::vector<uint32_t>& out, KernelPolicy policy);
+
+/// Clears the mask bit of every element of `elems`; returns how many
+/// bits were set before the call (the gain the clear realized).
+size_t MarkCovered(std::span<const uint32_t> elems, DynamicBitset& mask,
+                   KernelPolicy policy);
+
+/// True iff any element of `elems` has its mask bit set. Early-exits on
+/// the first hit — the cheap pre-test the batch prefilter runs.
+bool Intersects(std::span<const uint32_t> elems, const DynamicBitset& mask,
+                KernelPolicy policy);
+
+// SetView / LiveMask conveniences: the spellings the consumers use.
+inline size_t CountUncovered(const SetView& set, const LiveMask& mask,
+                             KernelPolicy policy) {
+  return CountUncovered(set.elems, mask.bits(), policy);
+}
+inline size_t FilterInto(const SetView& set, const LiveMask& mask,
+                         U32Arena& arena, KernelPolicy policy) {
+  return FilterInto(set.elems, mask.bits(), arena, policy);
+}
+inline size_t FilterInto(const SetView& set, const LiveMask& mask,
+                         std::vector<uint32_t>& out, KernelPolicy policy) {
+  return FilterInto(set.elems, mask.bits(), out, policy);
+}
+inline size_t MarkCovered(const SetView& set, LiveMask& mask,
+                          KernelPolicy policy) {
+  return MarkCovered(set.elems, mask.bits(), policy);
+}
+inline bool Intersects(const SetView& set, const LiveMask& mask,
+                       KernelPolicy policy) {
+  return Intersects(set.elems, mask.bits(), policy);
+}
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_COVER_KERNELS_H_

@@ -15,7 +15,8 @@ const JsonValue& NullValue() {
 
 void EscapeString(const std::string& s, std::string& out) {
   out += '"';
-  for (unsigned char c : s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -29,6 +30,27 @@ void EscapeString(const std::string& s, std::string& out) {
           char buf[8];
           std::snprintf(buf, sizeof(buf), "\\u%04x", c);
           out += buf;
+        } else if (c >= 0xF0 && c <= 0xF4 && i + 3 < s.size() &&
+                   (static_cast<unsigned char>(s[i + 1]) & 0xC0) == 0x80 &&
+                   (static_cast<unsigned char>(s[i + 2]) & 0xC0) == 0x80 &&
+                   (static_cast<unsigned char>(s[i + 3]) & 0xC0) == 0x80) {
+          // A 4-byte UTF-8 sequence is a code point beyond the BMP,
+          // which \uXXXX can only express as a UTF-16 surrogate pair
+          // (RFC 8259 §7). BMP text still passes through as raw UTF-8.
+          unsigned code = (static_cast<unsigned>(c & 0x07) << 18) |
+                          (static_cast<unsigned>(s[i + 1]) & 0x3F) << 12 |
+                          (static_cast<unsigned>(s[i + 2]) & 0x3F) << 6 |
+                          (static_cast<unsigned>(s[i + 3]) & 0x3F);
+          if (code >= 0x10000 && code <= 0x10FFFF) {
+            code -= 0x10000;
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "\\u%04x\\u%04x",
+                          0xD800 + (code >> 10), 0xDC00 + (code & 0x3FF));
+            out += buf;
+            i += 3;
+          } else {
+            out += static_cast<char>(c);  // overlong/out-of-range: raw
+          }
         } else {
           out += static_cast<char>(c);
         }
@@ -168,6 +190,23 @@ class Parser {
     return JsonValue(std::move(*s));
   }
 
+  /// Reads 4 hex digits at `at` without consuming; false on truncation
+  /// or a non-hex digit.
+  bool PeekHex4(size_t at, unsigned* code) const {
+    if (at + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[at + static_cast<size_t>(i)];
+      value <<= 4;
+      if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+      else return false;
+    }
+    *code = value;
+    return true;
+  }
+
   std::optional<std::string> ParseRawString() {
     if (!Consume('"')) {
       Fail("expected '\"'");
@@ -193,32 +232,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            Fail("truncated \\u escape");
+          unsigned code = 0;
+          if (!PeekHex4(pos_, &code)) {
+            Fail(pos_ + 4 > text_.size() ? "truncated \\u escape"
+                                         : "bad hex digit in \\u escape");
             return std::nullopt;
           }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              Fail("bad hex digit in \\u escape");
-              return std::nullopt;
+          pos_ += 4;
+          // A high surrogate followed by \uDC00-\uDFFF is one code
+          // point beyond the BMP (RFC 8259 §7) — the pair the emitter
+          // writes for 4-byte UTF-8 input. A lone surrogate falls
+          // through to the legacy byte-for-byte 3-byte encoding.
+          if (code >= 0xD800 && code <= 0xDBFF && pos_ + 6 <= text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            unsigned low = 0;
+            if (PeekHex4(pos_ + 2, &low) && low >= 0xDC00 && low <= 0xDFFF) {
+              pos_ += 6;
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
             }
           }
-          // Encode the BMP code point as UTF-8 (surrogate pairs are out
-          // of scope for the reports we read back; emit the replacement
-          // pattern byte-for-byte instead of failing).
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }

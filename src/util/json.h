@@ -2,10 +2,11 @@
 //
 // RunReport (core/run_plan.h) and the bench --json flags serialize
 // through this value type; tests parse the emitted text back to verify
-// round-trips. Deliberately small: UTF-8 pass-through, doubles for all
-// numbers, no comments, no trailing commas — exactly RFC 8259 minus
-// \uXXXX escapes outside the BMP surrogate rules (non-BMP input is
-// passed through as raw UTF-8 bytes, which every JSON consumer accepts).
+// round-trips. Deliberately small: doubles for all numbers, no
+// comments, no trailing commas — RFC 8259. BMP text passes through as
+// raw UTF-8; characters beyond the BMP are emitted as \uXXXX surrogate
+// pairs (and surrogate-pair escapes parse back to UTF-8), so emitted
+// documents survive strict ASCII-only consumers too.
 
 #ifndef STREAMCOVER_UTIL_JSON_H_
 #define STREAMCOVER_UTIL_JSON_H_

@@ -1,0 +1,200 @@
+// Differential tests for the word-parallel coverage kernels: the word
+// twin of every kernel must agree with the scalar reference bit for bit
+// — same counts, same output sequences, same final masks — across
+// word-boundary universe sizes (0, 63, 64, 65, 127), mask densities
+// from empty to full, and random sorted set spans. The scalar twin IS
+// the pre-kernel code shape, so agreement here is what lets every
+// consumer switch paths with byte-identical covers/passes/space.
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/arena.h"
+#include "util/bitset.h"
+#include "util/cover_kernels.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+std::vector<uint32_t> RandomSortedSet(uint32_t n, size_t size, Rng& rng) {
+  if (n == 0 || size == 0) return {};
+  std::vector<uint32_t> elems = rng.SampleWithoutReplacement(
+      n, static_cast<uint32_t>(std::min<size_t>(size, n)));
+  std::sort(elems.begin(), elems.end());
+  return elems;
+}
+
+DynamicBitset RandomMask(uint32_t n, double density, Rng& rng) {
+  DynamicBitset mask(n);
+  for (uint32_t e = 0; e < n; ++e) {
+    if (rng.Bernoulli(density)) mask.Set(e);
+  }
+  return mask;
+}
+
+TEST(KernelPolicyTest, NamesRoundTrip) {
+  EXPECT_STREQ(KernelPolicyName(KernelPolicy::kScalar), "scalar");
+  EXPECT_STREQ(KernelPolicyName(KernelPolicy::kWord), "word");
+  EXPECT_EQ(ParseKernelPolicy("scalar"), KernelPolicy::kScalar);
+  EXPECT_EQ(ParseKernelPolicy("word"), KernelPolicy::kWord);
+  EXPECT_FALSE(ParseKernelPolicy("simd").has_value());
+  EXPECT_FALSE(ParseKernelPolicy("").has_value());
+  EXPECT_FALSE(ParseKernelPolicy("WORD").has_value());
+}
+
+TEST(LiveMaskTest, ForwardsToBitset) {
+  LiveMask mask(130);
+  EXPECT_EQ(mask.size(), 130u);
+  EXPECT_EQ(mask.WordCount(), 3u);
+  EXPECT_TRUE(mask.None());
+  mask.Set(0);
+  mask.Set(64);
+  mask.Set(129);
+  EXPECT_TRUE(mask.Test(64));
+  EXPECT_EQ(mask.Count(), 3u);
+  EXPECT_EQ(mask.ToVector(), (std::vector<uint32_t>{0, 64, 129}));
+  mask.Reset(64);
+  EXPECT_FALSE(mask.Test(64));
+  EXPECT_TRUE(mask.Any());
+
+  LiveMask full(65, true);
+  EXPECT_EQ(full.Count(), 65u);
+  EXPECT_EQ(full.bits().Count(), 65u);
+}
+
+// One (universe, mask, set) case run through every kernel, both twins.
+void ExpectTwinsAgree(const DynamicBitset& mask,
+                      const std::vector<uint32_t>& elems) {
+  const std::span<const uint32_t> span(elems);
+
+  EXPECT_EQ(CountUncovered(span, mask, KernelPolicy::kScalar),
+            CountUncovered(span, mask, KernelPolicy::kWord));
+
+  std::vector<uint32_t> scalar_vec{0xDEAD};  // non-empty: appends only
+  std::vector<uint32_t> word_vec{0xDEAD};
+  const size_t scalar_kept =
+      FilterInto(span, mask, scalar_vec, KernelPolicy::kScalar);
+  const size_t word_kept =
+      FilterInto(span, mask, word_vec, KernelPolicy::kWord);
+  EXPECT_EQ(scalar_kept, word_kept);
+  EXPECT_EQ(scalar_vec, word_vec);
+  EXPECT_EQ(scalar_vec.size(), 1 + scalar_kept);
+
+  U32Arena scalar_arena;
+  scalar_arena.Push(7);  // staged content before the filter must survive
+  U32Arena word_arena;
+  word_arena.Push(7);
+  EXPECT_EQ(FilterInto(span, mask, scalar_arena, KernelPolicy::kScalar),
+            scalar_kept);
+  EXPECT_EQ(FilterInto(span, mask, word_arena, KernelPolicy::kWord),
+            word_kept);
+  EXPECT_EQ(scalar_arena.size(), word_arena.size());
+  const auto scalar_tail = scalar_arena.TailFrom(0);
+  const auto word_tail = word_arena.TailFrom(0);
+  EXPECT_TRUE(std::equal(scalar_tail.begin(), scalar_tail.end(),
+                         word_tail.begin(), word_tail.end()));
+
+  EXPECT_EQ(Intersects(span, mask, KernelPolicy::kScalar),
+            Intersects(span, mask, KernelPolicy::kWord));
+
+  DynamicBitset scalar_mask = mask;
+  DynamicBitset word_mask = mask;
+  EXPECT_EQ(MarkCovered(span, scalar_mask, KernelPolicy::kScalar),
+            MarkCovered(span, word_mask, KernelPolicy::kWord));
+  EXPECT_TRUE(scalar_mask == word_mask);
+  // The mark count equals the pre-clear gain.
+  EXPECT_EQ(MarkCovered(span, scalar_mask, KernelPolicy::kScalar), 0u);
+}
+
+TEST(CoverKernelsTest, TwinsAgreeOnWordBoundarySizes) {
+  Rng rng(42);
+  // Word-boundary universes: empty, one-word, exact word, word + 1 bit,
+  // two words - 1 — the tail-handling cases — plus a multi-word size.
+  for (uint32_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    DynamicBitset empty(n);
+    DynamicBitset full(n, true);
+    for (double density : {0.0, 0.05, 0.5, 0.95, 1.0}) {
+      DynamicBitset mask = density == 0.0 ? empty
+                           : density == 1.0 ? full
+                                            : RandomMask(n, density, rng);
+      for (size_t set_size : {size_t{0}, size_t{1}, size_t{n / 2},
+                              static_cast<size_t>(n)}) {
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " density=" + std::to_string(density) +
+                     " set_size=" + std::to_string(set_size));
+        ExpectTwinsAgree(mask, RandomSortedSet(n, set_size, rng));
+      }
+      // Boundary-hugging set: first/last bit of every word.
+      std::vector<uint32_t> edges;
+      for (uint32_t e = 0; e < n; ++e) {
+        if (e % 64 == 0 || e % 64 == 63 || e + 1 == n) edges.push_back(e);
+      }
+      ExpectTwinsAgree(mask, edges);
+    }
+  }
+}
+
+TEST(CoverKernelsTest, FuzzTwinsAgree) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(300));
+    DynamicBitset mask = RandomMask(n, rng.Uniform(101) / 100.0, rng);
+    const size_t set_size = rng.Uniform(n + 1);
+    ExpectTwinsAgree(mask, RandomSortedSet(n, set_size, rng));
+  }
+}
+
+TEST(CoverKernelsTest, FilterPreservesSpanOrder) {
+  // The word twin must emit survivors in span order, exactly like the
+  // scalar loop — downstream projection stores depend on it.
+  DynamicBitset mask(200, true);
+  const std::vector<uint32_t> elems{3, 64, 65, 127, 128, 199};
+  std::vector<uint32_t> out;
+  FilterInto(std::span<const uint32_t>(elems), mask, out,
+             KernelPolicy::kWord);
+  EXPECT_EQ(out, elems);
+}
+
+TEST(CoverKernelsTest, MarkCoveredReturnsPreClearGain) {
+  DynamicBitset mask(128);
+  mask.Set(10);
+  mask.Set(63);
+  mask.Set(64);
+  const std::vector<uint32_t> elems{10, 11, 63, 64, 127};
+  for (KernelPolicy policy : {KernelPolicy::kScalar, KernelPolicy::kWord}) {
+    DynamicBitset scratch = mask;
+    EXPECT_EQ(MarkCovered(std::span<const uint32_t>(elems), scratch, policy),
+              3u);
+    EXPECT_TRUE(scratch.None());
+  }
+}
+
+TEST(CoverKernelsTest, SetViewAndLiveMaskWrappersMatchSpanKernels) {
+  Rng rng(11);
+  LiveMask live(RandomMask(150, 0.4, rng));
+  const std::vector<uint32_t> elems = RandomSortedSet(150, 60, rng);
+  const SetView view{5, std::span<const uint32_t>(elems)};
+
+  EXPECT_EQ(CountUncovered(view, live, KernelPolicy::kWord),
+            CountUncovered(view.elems, live.bits(), KernelPolicy::kScalar));
+  EXPECT_EQ(Intersects(view, live, KernelPolicy::kWord),
+            Intersects(view.elems, live.bits(), KernelPolicy::kScalar));
+
+  std::vector<uint32_t> via_view;
+  FilterInto(view, live, via_view, KernelPolicy::kWord);
+  std::vector<uint32_t> via_span;
+  FilterInto(view.elems, live.bits(), via_span, KernelPolicy::kScalar);
+  EXPECT_EQ(via_view, via_span);
+
+  LiveMask marked = live;
+  const size_t gain = MarkCovered(view, marked, KernelPolicy::kWord);
+  EXPECT_EQ(gain, via_view.size());
+  EXPECT_EQ(marked.Count() + gain, live.Count());
+}
+
+}  // namespace
+}  // namespace streamcover

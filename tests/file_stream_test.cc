@@ -64,6 +64,40 @@ TEST(FileSetSourceTest, ScanMatchesInMemorySource) {
   }
 }
 
+TEST(FileSetSourceTest, NormalizesUnsortedAndDuplicatedLines) {
+  // Loading a file into memory sorts/dedups through Builder::AddSet;
+  // streaming straight from disk must present the same sorted,
+  // duplicate-free spans (the coverage kernels' stream invariant), so a
+  // malformed line is normalized during the parse.
+  std::string path = ::testing::TempDir() + "/unsorted_sets.txt";
+  {
+    std::ofstream out(path);
+    out << "setcover 70 3\n"
+        << "4 65 3 65 0\n"   // unsorted + duplicate
+        << "3 10 20 30\n"    // already sorted: pass-through
+        << "0\n";            // empty set
+  }
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  std::vector<std::vector<uint32_t>> sets;
+  source->Scan([&](const SetView& set) {
+    sets.emplace_back(set.begin(), set.end());
+  });
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<uint32_t>{0, 3, 65}));
+  EXPECT_EQ(sets[1], (std::vector<uint32_t>{10, 20, 30}));
+  EXPECT_TRUE(sets[2].empty());
+
+  // And the streamed view agrees with the in-memory load of the file.
+  auto loaded = LoadSetSystemFromFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  for (uint32_t s = 0; s < loaded->num_sets(); ++s) {
+    const auto span = loaded->GetSet(s);
+    EXPECT_EQ(sets[s], std::vector<uint32_t>(span.begin(), span.end()));
+  }
+}
+
 TEST(FileSetSourceTest, RepeatedScansAreStable) {
   Rng rng(2);
   PlantedInstance inst = GeneratePlanted(

@@ -11,7 +11,12 @@
 //    watermarks Lemma 2.2 charges;
 //  * thread-count invariance through the registry: `iter` on planted,
 //    zipf, and file-backed workloads at --threads 1 and 4 must agree on
-//    covers, space_words, and projection_words_peak exactly.
+//    covers, space_words, and projection_words_peak exactly;
+//  * kernel-policy invariance: every streaming/offline solver run with
+//    --kernel scalar and --kernel word (the PR-5 coverage kernels) must
+//    agree on covers, passes, scans, and space exactly, serial and
+//    threaded (the threaded path additionally exercises the scheduler's
+//    batch prefilter).
 
 #include <cmath>
 #include <cstdio>
@@ -284,6 +289,45 @@ TEST(HotpathParityTest, ThreadedRegistryRunsAreByteIdentical) {
     SCOPED_TRACE(family);
     ExpectRunParity(a, b);
     EXPECT_GT(a.projection_words_peak, 0u);
+  }
+}
+
+TEST(HotpathParityTest, KernelPoliciesAreByteIdenticalAcrossSolvers) {
+  for (const char* family : {"planted", "zipf"}) {
+    Instance instance = MakeRegistered(family, 6);
+    for (const char* solver :
+         {"iter", "dimv14", "threshold_greedy", "progressive_greedy",
+          "iterative_greedy", "store_all_greedy", "streaming_max_cover",
+          "offline_greedy"}) {
+      RunOptions scalar;
+      scalar.sample_constant = 0.05;
+      scalar.kernel = KernelPolicy::kScalar;
+      RunOptions word = scalar;
+      word.kernel = KernelPolicy::kWord;
+      RunResult a = RunSolver(solver, instance, scalar);
+      RunResult b = RunSolver(solver, instance, word);
+      SCOPED_TRACE(std::string(family) + " x " + solver);
+      ExpectRunParity(a, b);
+    }
+  }
+}
+
+TEST(HotpathParityTest, KernelPoliciesAgreeUnderThreadedPrefilter) {
+  // threads=4 engages the scheduler's batched dispatch and hence the
+  // batch_filter prefilter; both kernels (and the serial baseline) must
+  // land on the same result. early_exit keeps the retire rule covered.
+  Instance instance = MakeRegistered("planted", 8);
+  RunOptions base;
+  base.sample_constant = 0.05;
+  base.early_exit = true;
+  RunResult serial = RunSolver("iter", instance, base);
+  for (KernelPolicy kernel : {KernelPolicy::kScalar, KernelPolicy::kWord}) {
+    RunOptions threaded = base;
+    threaded.threads = 4;
+    threaded.kernel = kernel;
+    RunResult run = RunSolver("iter", instance, threaded);
+    SCOPED_TRACE(KernelPolicyName(kernel));
+    ExpectRunParity(serial, run);
   }
 }
 

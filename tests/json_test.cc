@@ -99,6 +99,50 @@ TEST(JsonTest, UnicodeEscapeDecodesToUtf8) {
   EXPECT_EQ(parsed->AsString(), "\xC3\xA9\xE2\x9C\x93");
 }
 
+TEST(JsonTest, NonBmpEmitsSurrogatePairEscapes) {
+  // U+1F600 GRINNING FACE, 4-byte UTF-8 — must serialize as the
+  // \uD83D\uDE00 surrogate pair, not raw bytes (RFC 8259 §7).
+  const std::string emoji = "\xF0\x9F\x98\x80";
+  EXPECT_EQ(JsonValue(emoji).Dump(0), "\"\\ud83d\\ude00\"");
+  // BMP text keeps passing through as raw UTF-8.
+  EXPECT_EQ(JsonValue(std::string("caf\xC3\xA9 \xE2\x9C\x93")).Dump(0),
+            "\"caf\xC3\xA9 \xE2\x9C\x93\"");
+  // Mixed content escapes only the non-BMP character.
+  EXPECT_EQ(JsonValue(std::string("a") + emoji + "z").Dump(0),
+            "\"a\\ud83d\\ude00z\"");
+}
+
+TEST(JsonTest, SurrogatePairEscapesParseToUtf8) {
+  auto parsed = JsonValue::Parse("\"\\uD83D\\uDE00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(), "\xF0\x9F\x98\x80");
+  // Case-insensitive hex, and the highest plane (U+10FFFF).
+  auto top = JsonValue::Parse("\"\\udbff\\udfff\"");
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(top->AsString(), "\xF4\x8F\xBF\xBF");
+}
+
+TEST(JsonTest, NonBmpRoundTripsThroughDumpAndParse) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("note", std::string("ok \xF0\x9F\x91\x8D done"));  // U+1F44D
+  doc.Set("\xF0\x90\x80\x80key", 1);                         // U+10000
+  auto parsed = JsonValue::Parse(doc.Dump(2));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->At("note").AsString(), "ok \xF0\x9F\x91\x8D done");
+  EXPECT_DOUBLE_EQ(parsed->At("\xF0\x90\x80\x80key").AsDouble(), 1.0);
+}
+
+TEST(JsonTest, LoneSurrogateEscapeKeepsLegacyEncoding) {
+  // A high surrogate not followed by a low one falls back to the old
+  // byte-for-byte 3-byte encoding instead of failing.
+  auto lone = JsonValue::Parse("\"\\uD83Dx\"");
+  ASSERT_TRUE(lone.has_value());
+  EXPECT_EQ(lone->AsString(), "\xED\xA0\xBDx");
+  auto low_first = JsonValue::Parse("\"\\uDE00\\uD83D\"");
+  ASSERT_TRUE(low_first.has_value());
+  EXPECT_EQ(low_first->AsString(), "\xED\xB8\x80\xED\xA0\xBD");
+}
+
 TEST(JsonTest, MalformedInputFailsWithDiagnostic) {
   // One reused error string across calls: Parse must clear stale
   // content so each diagnostic reflects the current input.

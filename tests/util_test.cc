@@ -146,6 +146,54 @@ TEST(DynamicBitsetTest, AndNotAcrossWordBoundary) {
   EXPECT_EQ(a.Count(), 0u);
 }
 
+TEST(DynamicBitsetTest, AndNotCountWordsMatchesMaterializedAndNot) {
+  for (size_t n : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                   size_t{127}, size_t{300}}) {
+    DynamicBitset a(n);
+    DynamicBitset b(n);
+    for (size_t i = 0; i < n; i += 3) a.Set(i);
+    for (size_t i = 0; i < n; i += 2) b.Set(i);
+    DynamicBitset expect = a;
+    expect.AndNot(b);
+    EXPECT_EQ(a.AndNotCountWords(b), expect.Count()) << "n=" << n;
+    // Against itself: nothing survives. Against empty: everything does.
+    EXPECT_EQ(a.AndNotCountWords(a), 0u);
+    EXPECT_EQ(a.AndNotCountWords(DynamicBitset(n)), a.Count());
+  }
+}
+
+TEST(DynamicBitsetTest, OrIntoMatchesOrAssign) {
+  DynamicBitset src(130);
+  src.Set(0);
+  src.Set(64);
+  src.Set(129);
+  DynamicBitset dst(130);
+  dst.Set(1);
+  dst.Set(64);
+  DynamicBitset expect = dst;
+  expect |= src;
+  src.OrInto(dst);
+  EXPECT_TRUE(dst == expect);
+  EXPECT_EQ(dst.Count(), 4u);
+  // src is untouched.
+  EXPECT_EQ(src.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, WordsViewsExposeBackingStorage) {
+  DynamicBitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  const std::span<const uint64_t> words = b.Words();
+  ASSERT_EQ(words.size(), b.WordCount());
+  EXPECT_EQ(words[0], 1ULL);
+  EXPECT_EQ(words[1], 1ULL);
+  EXPECT_EQ(words[2], 2ULL);
+  // MutableWords writes are the bitset's bits.
+  b.MutableWords()[0] |= 1ULL << 5;
+  EXPECT_TRUE(b.Test(5));
+}
+
 TEST(DynamicBitsetTest, ForEachMatchesToVectorAcrossBoundaries) {
   DynamicBitset b(1000);
   for (size_t i : {size_t{0}, size_t{63}, size_t{64}, size_t{65},

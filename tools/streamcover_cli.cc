@@ -8,7 +8,8 @@
 //       Prints n, m, nnz, set-size distribution.
 //   solve    (--in FILE | --workload NAME) --algo ALGO [--n N --m M
 //            --k K] [--delta D] [--p P] [--seed SEED] [--coverage F]
-//            [--budget B] [--threads N] [--early-exit] [--from-disk]
+//            [--budget B] [--threads N] [--kernel scalar|word]
+//            [--early-exit] [--from-disk]
 //       ALGO: any name from `list-solvers` (plus the legacy aliases
 //       store-all / iterative / progressive / threshold); --workload
 //       takes any name from `list-workloads` and generates the
@@ -18,14 +19,17 @@
 //       RunSolver(name, Instance&, options). --from-disk keeps the
 //       repository on disk, re-parsed once per *physical* scan
 //       (FileSetSource); --threads N fans multiplexed consumers out
-//       over N workers of the shared-scan PassScheduler.
+//       over N workers of the shared-scan PassScheduler; --kernel
+//       selects the coverage-kernel twin (word-parallel by default;
+//       scalar is the reference loop — results are identical).
 //   list-solvers  (also: --list_solvers)
 //       Prints every registered solver with its kind and bounds.
 //   list-workloads
 //       Prints every registered workload family with its kind.
 //   sweep    [--solvers a,b,c] [--workloads x,y,z] [--seeds S]
 //            [--trials T] [--n N --m M --k K] [--delta D] [--c C]
-//            [--threads N] [--early-exit] [--json FILE]
+//            [--threads N] [--kernel scalar|word] [--early-exit]
+//            [--json FILE]
 //       Executes the (solvers × workloads × seeds × trials) grid
 //       through WorkloadRegistry/RunPlan, prints the summary table
 //       (passes vs sequential vs physical scans), and optionally
@@ -101,12 +105,13 @@ int Usage() {
       "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
       "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
       "[--p P] [--seed SEED] [--coverage F] [--budget B] [--threads N] "
-      "[--early-exit] [--from-disk]\n"
+      "[--kernel scalar|word] [--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
       "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
-      "[--threads N] [--early-exit] [--json FILE]\n"
+      "[--threads N] [--kernel scalar|word] [--early-exit] "
+      "[--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
       "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
@@ -122,6 +127,19 @@ std::vector<std::string> SplitCommaList(const std::string& list) {
     if (!token.empty()) out.push_back(token);
   }
   return out;
+}
+
+/// Resolves --kernel; unknown spellings fail with the alternatives.
+bool ResolveKernel(const Args& args, KernelPolicy* kernel) {
+  const std::string name = args.Get("kernel", "word");
+  std::optional<KernelPolicy> parsed = ParseKernelPolicy(name);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "unknown --kernel '%s'; available: scalar, word\n",
+                 name.c_str());
+    return false;
+  }
+  *kernel = *parsed;
+  return true;
 }
 
 int CmdGenerateGeom(const Args& args) {
@@ -293,6 +311,7 @@ int SolveOnInstance(Instance& instance, const Args& args) {
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
   options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
   options.early_exit = args.Has("early-exit");
+  if (!ResolveKernel(args, &options.kernel)) return 1;
 
   RunResult r = RunSolver(algo, instance, options);
   if (!r.ok()) {
@@ -349,6 +368,9 @@ int CmdSweep(const Args& args) {
     return Usage();
   }
 
+  KernelPolicy kernel = KernelPolicy::kWord;
+  if (!ResolveKernel(args, &kernel)) return 1;
+
   RunPlan plan;
   for (const std::string& solver : solvers) {
     SolverSpec spec;
@@ -360,6 +382,7 @@ int CmdSweep(const Args& args) {
     spec.options.coverage_fraction = args.GetDouble("coverage", 1.0);
     spec.options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
     spec.options.early_exit = args.Has("early-exit");
+    spec.options.kernel = kernel;
     plan.solvers.push_back(std::move(spec));
   }
   for (const std::string& workload : workloads) {
@@ -505,6 +528,17 @@ int CmdSelfTest() {
     if (CmdSolve(solve) != 1) return 1;
   }
   {
+    // Kernel policy: both twins dispatch; unknown spellings fail
+    // cleanly with the alternatives on stderr.
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "scalar"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "word"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "simd"}};
+    if (CmdSolve(solve) != 1) return 1;
+  }
+  {
     // Disk-streamed solve must agree with the in-memory one.
     Args solve;
     solve.flags = {{"in", path}, {"algo", "iter"}, {"from-disk", "1"}};
@@ -513,8 +547,9 @@ int CmdSelfTest() {
   if (CmdListWorkloads() != 0) return 1;
   {
     // A tiny sweep through WorkloadRegistry/RunPlan — multiplexed over
-    // 4 scheduler threads; its v2 JSON must parse back with the
-    // physical-scans column populated.
+    // 4 scheduler threads on the scalar reference kernel; its v2 JSON
+    // must parse back with the physical-scans column populated and the
+    // kernel policy recorded in the solver options.
     const std::string json_path = dir + "/streamcover_cli_selftest.json";
     Args sweep;
     sweep.flags = {{"solvers", "iter,store_all_greedy,progressive_greedy"},
@@ -524,6 +559,7 @@ int CmdSelfTest() {
                    {"m", "400"},
                    {"k", "5"},
                    {"threads", "4"},
+                   {"kernel", "scalar"},
                    {"json", json_path}};
     if (CmdSweep(sweep) != 0) return 1;
     std::ifstream is(json_path);
@@ -534,11 +570,18 @@ int CmdSelfTest() {
     if (!parsed.has_value() || !parsed->is_object() ||
         parsed->At("schema").AsString() != "streamcover.run_report.v2" ||
         parsed->At("cells").size() != 9 ||
-        !parsed->At("cells")[0].At("physical_scans").is_object()) {
+        !parsed->At("cells")[0].At("physical_scans").is_object() ||
+        parsed->At("solvers")[0].At("options").At("kernel").AsString() !=
+            "scalar") {
       std::fprintf(stderr, "selftest: sweep JSON invalid: %s\n",
                    error.c_str());
       return 1;
     }
+    // An unknown kernel spelling must fail cleanly, not abort.
+    Args bad;
+    bad.flags = {{"solvers", "iter"}, {"workloads", "planted"},
+                 {"kernel", "avx512"}};
+    if (CmdSweep(bad) != 1) return 1;
   }
   // Geometric pipeline.
   const std::string geom_path = dir + "/streamcover_cli_selftest_geom.txt";
