@@ -23,14 +23,24 @@
 // to do identical work, reported as elements/sec and a word-vs-scalar
 // speedup.
 //
+// A third stage measures the disk path end to end: a sparse instance
+// (--scan-m sets, default 200k; the acceptance run uses 10^7) is
+// streamed straight to disk in both formats via the streaming
+// generators, then scanned through each SetSource — text re-parse
+// (FileSetSource), binary mmap decode (MmapSetSource), and the
+// in-memory CSR (InMemorySetSource over the loaded system) — with a
+// checksum cross-check proving the three dispatch identical elements.
+// Reported as GB/s of underlying bytes and sets/sec per source.
+//
 // Reported: sets/sec dispatched, ns per element projected, the
-// view-vs-vector and word-vs-scalar speedups, peak RSS, and a timed
-// registry run of the full `iter` solver with its covers/passes/space
-// so the perf trajectory carries correctness context. `--json FILE`
-// (default BENCH_hotpath.json) writes schema
-// streamcover.bench_hotpath.v2; CI uploads it per PR so the numbers
+// view-vs-vector and word-vs-scalar speedups, the scan-stage GB/s,
+// peak RSS, and a timed registry run of the full `iter` solver with
+// its covers/passes/space so the perf trajectory carries correctness
+// context. `--json FILE` (default BENCH_hotpath.json) writes schema
+// streamcover.bench_hotpath.v3; CI uploads it per PR so the numbers
 // accumulate.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -42,7 +52,11 @@
 #include "core/instance.h"
 #include "core/solver_registry.h"
 #include "core/workload_registry.h"
+#include "setsystem/binary_io.h"
+#include "setsystem/stream_generators.h"
+#include "stream/mmap_set_source.h"
 #include "stream/pass_scheduler.h"
+#include "stream/set_source.h"
 #include "util/arena.h"
 #include "util/bitset.h"
 #include "util/cover_kernels.h"
@@ -289,6 +303,192 @@ JsonValue KernelAbJson(const KernelStats& scalar, const KernelStats& word) {
   return v;
 }
 
+// --- Scan stage: the disk path end to end. ---------------------------
+
+struct ScanStats {
+  double seconds = 0;
+  double gb_per_sec = 0;    ///< underlying bytes consumed per second
+  double sets_per_sec = 0;
+  uint64_t bytes = 0;       ///< bytes behind one full scan
+  uint64_t sets = 0;
+  uint64_t checksum = 0;    ///< sum of all dispatched element ids
+};
+
+/// One warmup scan (page cache / parse buffers), then one timed scan
+/// that folds every dispatched element into a checksum.
+bool MeasureScan(SetSource& source, uint64_t bytes, ScanStats* stats) {
+  auto scan_once = [&](ScanStats* out) {
+    uint64_t checksum = 0, sets = 0;
+    const bool ok = source.Scan([&](const SetView& view) {
+      ++sets;
+      for (uint32_t e : view.elems) checksum += e;
+    });
+    if (out != nullptr) {
+      out->checksum = checksum;
+      out->sets = sets;
+    }
+    return ok;
+  };
+  if (!scan_once(nullptr)) return false;
+  WallTimer timer;
+  if (!scan_once(stats)) return false;
+  stats->seconds = timer.ElapsedSeconds();
+  stats->bytes = bytes;
+  stats->gb_per_sec = static_cast<double>(bytes) / stats->seconds / 1e9;
+  stats->sets_per_sec = static_cast<double>(stats->sets) / stats->seconds;
+  return true;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<uint64_t>(is.tellg()) : 0;
+}
+
+JsonValue ScanStatsJson(const ScanStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seconds", stats.seconds);
+  v.Set("gb_per_sec", stats.gb_per_sec);
+  v.Set("sets_per_sec", stats.sets_per_sec);
+  v.Set("bytes", stats.bytes);
+  return v;
+}
+
+/// Streams a sparse instance (m sets, max size 16) to disk in both
+/// formats, scans it through every SetSource, cross-checks, and fills
+/// *scan_json. Returns false on any failure.
+bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = tmp != nullptr ? tmp : "/tmp";
+  const std::string bin_path = dir + "/bench_hotpath_scan.bin";
+  const std::string txt_path = dir + "/bench_hotpath_scan.txt";
+  const uint32_t n = static_cast<uint32_t>(
+      std::max<uint64_t>(1024, scan_m / 10));
+  const uint32_t max_set_size = 16;
+
+  // One generator pass feeds both files — never materialized.
+  std::string error;
+  std::optional<BinarySetWriter> writer =
+      BinarySetWriter::Create(bin_path, n, &error);
+  if (!writer.has_value()) {
+    std::fprintf(stderr, "scan stage: %s\n", error.c_str());
+    return false;
+  }
+  std::ofstream text(txt_path);
+  text << "setcover " << n << " " << scan_m << "\n";
+  std::vector<uint32_t> scratch;
+  SetSink sink = [&](std::span<const uint32_t> elements) {
+    if (!writer->AddSet(elements)) return false;
+    scratch.assign(elements.begin(), elements.end());
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+    text << scratch.size();
+    for (uint32_t e : scratch) text << " " << e;
+    text << "\n";
+    return text.good();
+  };
+  WallTimer gen_timer;
+  std::optional<StreamGenResult> gen = StreamSparse(
+      n, static_cast<uint32_t>(scan_m), max_set_size, seed, sink, &error);
+  if (!gen.has_value() || !writer->Finish(&error) ||
+      !text.flush().good()) {
+    std::fprintf(stderr, "scan stage: generation failed: %s\n",
+                 error.c_str());
+    return false;
+  }
+  const double gen_seconds = gen_timer.ElapsedSeconds();
+  const uint64_t nnz = writer->nnz();
+  const uint64_t bin_bytes = FileBytes(bin_path);
+  const uint64_t txt_bytes = FileBytes(txt_path);
+
+  ScanStats text_stats, mmap_stats, memory_stats;
+  {
+    std::optional<FileSetSource> source =
+        FileSetSource::Open(txt_path, &error);
+    if (!source.has_value() ||
+        !MeasureScan(*source, txt_bytes, &text_stats)) {
+      std::fprintf(stderr, "scan stage: text scan failed: %s\n",
+                   source.has_value() ? source->error().c_str()
+                                      : error.c_str());
+      return false;
+    }
+  }
+  {
+    std::optional<MmapSetSource> source =
+        MmapSetSource::Open(bin_path, &error);
+    if (!source.has_value() ||
+        !MeasureScan(*source, bin_bytes, &mmap_stats)) {
+      std::fprintf(stderr, "scan stage: mmap scan failed: %s\n",
+                   source.has_value() ? source->error().c_str()
+                                      : error.c_str());
+      return false;
+    }
+  }
+  std::optional<SetSystem> system =
+      LoadBinarySetSystemFromFile(bin_path, &error);
+  if (!system.has_value()) {
+    std::fprintf(stderr, "scan stage: load failed: %s\n", error.c_str());
+    return false;
+  }
+  {
+    InMemorySetSource source(&*system);
+    if (!MeasureScan(source, static_cast<uint64_t>(nnz) * sizeof(uint32_t),
+                     &memory_stats)) {
+      std::fprintf(stderr, "scan stage: in-memory scan failed\n");
+      return false;
+    }
+  }
+  if (text_stats.checksum != mmap_stats.checksum ||
+      text_stats.checksum != memory_stats.checksum ||
+      text_stats.sets != mmap_stats.sets ||
+      text_stats.sets != memory_stats.sets) {
+    std::fprintf(stderr,
+                 "scan stage: sources disagree (checksums %llu/%llu/%llu)\n",
+                 static_cast<unsigned long long>(text_stats.checksum),
+                 static_cast<unsigned long long>(mmap_stats.checksum),
+                 static_cast<unsigned long long>(memory_stats.checksum));
+    return false;
+  }
+
+  benchutil::Banner(
+      "Disk path — one scan over a streamed-to-disk sparse instance "
+      "(n=" + std::to_string(n) + ", m=" + std::to_string(scan_m) +
+      ", nnz=" + std::to_string(nnz) + ", gen " +
+      Table::Fmt(gen_seconds, 1) + "s)");
+  Table table({"source", "bytes", "GB/s", "sets/sec"});
+  table.AddRow({"text (FileSetSource)", Table::Fmt(txt_bytes),
+                Table::Fmt(text_stats.gb_per_sec, 3),
+                Table::Fmt(static_cast<uint64_t>(text_stats.sets_per_sec))});
+  table.AddRow({"binary (MmapSetSource)", Table::Fmt(bin_bytes),
+                Table::Fmt(mmap_stats.gb_per_sec, 3),
+                Table::Fmt(static_cast<uint64_t>(mmap_stats.sets_per_sec))});
+  table.AddRow({"in-memory CSR", Table::Fmt(memory_stats.bytes),
+                Table::Fmt(memory_stats.gb_per_sec, 3),
+                Table::Fmt(
+                    static_cast<uint64_t>(memory_stats.sets_per_sec))});
+  table.Print(std::cout);
+  benchutil::Note(
+      "mmap vs text: " +
+      Table::Fmt(mmap_stats.sets_per_sec / text_stats.sets_per_sec, 2) +
+      "x sets/sec; binary file is " +
+      Table::Fmt(static_cast<double>(txt_bytes) /
+                     static_cast<double>(bin_bytes),
+                 2) +
+      "x smaller than text");
+
+  *scan_json = JsonValue::Object();
+  scan_json->Set("m", scan_m);
+  scan_json->Set("n", static_cast<uint64_t>(n));
+  scan_json->Set("nnz", nnz);
+  scan_json->Set("generation_seconds", gen_seconds);
+  scan_json->Set("text", ScanStatsJson(text_stats));
+  scan_json->Set("mmap", ScanStatsJson(mmap_stats));
+  scan_json->Set("in_memory", ScanStatsJson(memory_stats));
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+  return true;
+}
+
 /// VmHWM from /proc/self/status, in KiB; 0 where unavailable.
 uint64_t PeakRssKb() {
   std::ifstream status("/proc/self/status");
@@ -311,7 +511,7 @@ JsonValue DispatchJson(const DispatchStats& stats) {
 }
 
 int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
-        uint32_t threads) {
+        uint32_t threads, uint64_t scan_m) {
   benchutil::Banner(
       "Hot path — SetView/arena dispatch vs the seed vector path "
       "(fig11 planted n=2000, m=4000, " +
@@ -427,6 +627,10 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
            "x"});
   kernel_table.Print(std::cout);
 
+  // --- Disk path: text vs binary-mmap vs in-memory scans. ---
+  JsonValue scan_json;
+  if (!RunScanStage(scan_m, kSeed, &scan_json)) return 1;
+
   // One timed full solver run for correctness context in the trajectory.
   RunOptions options;
   options.sample_constant = 0.05;
@@ -449,7 +653,7 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
 
   if (!json_path.empty()) {
     JsonValue doc = JsonValue::Object();
-    doc.Set("schema", "streamcover.bench_hotpath.v2");
+    doc.Set("schema", "streamcover.bench_hotpath.v3");
     JsonValue p = JsonValue::Object();
     p.Set("workload", "planted");
     p.Set("n", static_cast<uint64_t>(kN));
@@ -459,6 +663,7 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
     p.Set("consumers", static_cast<uint64_t>(consumers));
     p.Set("rounds", rounds);
     p.Set("threads", static_cast<uint64_t>(threads));
+    p.Set("scan_m", scan_m);
     doc.Set("params", std::move(p));
     JsonValue dispatch = JsonValue::Object();
     dispatch.Set("vector_path", DispatchJson(vector_stats));
@@ -471,6 +676,7 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
     kernels.Set("count", KernelAbJson(count_scalar, count_word));
     kernels.Set("mark", KernelAbJson(mark_scalar, mark_word));
     doc.Set("kernels", std::move(kernels));
+    doc.Set("scan", std::move(scan_json));
     JsonValue solver = JsonValue::Object();
     solver.Set("solver", "iter");
     solver.Set("success", iter.success);
@@ -504,13 +710,17 @@ int main(int argc, char** argv) {
   uint32_t consumers = 12;
   uint64_t rounds = 12;
   uint32_t threads = 1;
+  // Sets in the scan-stage instance; 10^7 is the paper-scale
+  // acceptance run, the default keeps CI fast.
+  uint64_t scan_m = 200000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: bench_hotpath [--json FILE] [--consumers N] "
-                     "[--rounds N] [--threads N]  (missing value for %s)\n",
+                     "[--rounds N] [--threads N] [--scan-m N]  "
+                     "(missing value for %s)\n",
                      flag);
         std::exit(1);
       }
@@ -524,12 +734,14 @@ int main(int argc, char** argv) {
       rounds = static_cast<uint64_t>(std::atoll(next("--rounds")));
     } else if (arg == "--threads") {
       threads = static_cast<uint32_t>(std::atoi(next("--threads")));
+    } else if (arg == "--scan-m") {
+      scan_m = static_cast<uint64_t>(std::atoll(next("--scan-m")));
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--json FILE] [--consumers N] "
-                   "[--rounds N] [--threads N]\n");
+                   "[--rounds N] [--threads N] [--scan-m N]\n");
       return 1;
     }
   }
-  return streamcover::Run(json_path, consumers, rounds, threads);
+  return streamcover::Run(json_path, consumers, rounds, threads, scan_m);
 }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "geometry/range_space.h"
+#include "stream/mmap_set_source.h"
 #include "util/check.h"
 
 namespace streamcover {
@@ -44,13 +45,12 @@ void Instance::EnsureMaterialized() {
 
 std::optional<Instance> Instance::FromFile(const std::string& path,
                                            std::string* error) {
-  std::optional<FileSetSource> source = FileSetSource::Open(path, error);
-  if (!source.has_value()) return std::nullopt;
+  std::unique_ptr<SetSource> source = OpenDiskSetSource(path, error);
+  if (source == nullptr) return std::nullopt;
   Instance instance;
   instance.info_.name = path;
   instance.info_.provenance = "file:" + path;
-  instance.file_source_ =
-      std::make_unique<FileSetSource>(std::move(*source));
+  instance.file_source_ = std::move(source);
   return instance;
 }
 
@@ -101,10 +101,12 @@ size_t Instance::CountCovered(const Cover& cover) {
     if (id < in_cover.size()) in_cover[id] = 1;
   }
   std::vector<char> covered(file_source_->num_elements(), 0);
-  file_source_->Scan([&](const SetView& set) {
+  bool ok = file_source_->Scan([&](const SetView& set) {
     if (set.id >= in_cover.size() || in_cover[set.id] == 0) return;
     for (uint32_t e : set.elems) covered[e] = 1;
   });
+  // A repository that fails mid-count verifies nothing.
+  if (!ok) return 0;
   size_t count = 0;
   for (char c : covered) count += static_cast<size_t>(c);
   return count;

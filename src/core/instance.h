@@ -64,10 +64,11 @@ class Instance {
   /// object the geometric algorithm exists to avoid).
   static Instance FromGeometry(GeomInstance geom, InstanceInfo info);
 
-  /// File-backed: the repository stays on disk and is re-parsed front to
-  /// back on every pass (the model's read-only repository, literally).
-  /// Returns std::nullopt and fills *error if the file is missing or
-  /// malformed.
+  /// File-backed: the repository stays on disk (the model's read-only
+  /// repository, literally) and is scanned through whichever source its
+  /// magic selects — MmapSetSource for the binary format, text re-parse
+  /// otherwise (stream/mmap_set_source.h). Returns std::nullopt and
+  /// fills *error if the file is missing or malformed.
   static std::optional<Instance> FromFile(const std::string& path,
                                           std::string* error);
 
@@ -131,7 +132,7 @@ class Instance {
 
   InstanceInfo info_;
   std::unique_ptr<SetSystem> owned_system_;
-  std::unique_ptr<FileSetSource> file_source_;
+  std::unique_ptr<SetSource> file_source_;  // disk-backed repositories
   const SetSystem* system_ = nullptr;  // owned_system_.get() or external
   std::optional<GeomDataset> geometry_;
   std::vector<uint32_t> planted_cover_;

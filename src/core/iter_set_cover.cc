@@ -453,7 +453,11 @@ StreamingResult IterSetCover(PassScheduler& scheduler,
     return false;
   };
   while (any_guess_live()) {
-    scheduler.RunRound();
+    // A 0 return with guesses still live means the stream failed
+    // mid-scan (scheduler.stream_failed()); the guesses can never
+    // finish, so stop driving — they surface as unsuccessful results
+    // and RunSolver reports the stream error.
+    if (scheduler.RunRound() == 0) break;
     if (options.early_exit) RetireHopelessGuesses(guesses);
   }
 

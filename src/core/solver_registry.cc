@@ -277,6 +277,18 @@ RunResult RunSolver(std::string_view name, Instance& instance,
     result.error = UnknownSolverError(name);
     return result;
   }
+  // Guard the shared partial-coverage knob here, at the one dispatch
+  // point every solver passes through: a fraction outside (0, 1] would
+  // underflow AllowedUncovered's unsigned arithmetic into a huge
+  // allowed-uncovered count (see util/mathutil.h) — reject it before
+  // any solver runs.
+  if (!(options.coverage_fraction > 0.0 &&
+        options.coverage_fraction <= 1.0)) {
+    RunResult result;
+    result.error = "coverage_fraction must be in (0, 1], got " +
+                   std::to_string(options.coverage_fraction);
+    return result;
+  }
   if (entry->kind == SolverRegistry::Kind::kGeometric) {
     if (!instance.has_geometry()) {
       RunResult result;
@@ -299,6 +311,14 @@ RunResult RunSolver(std::string_view name, Instance& instance,
   PassScheduler scheduler(stream, options.threads, options.kernel);
   RunContext ctx{stream, scheduler, nullptr, options};
   RunResult result = entry->run(ctx);
+  // A repository failure mid-run (file truncated or corrupted under the
+  // solver) leaves the stream with a sticky error; whatever partial
+  // result the solver produced is meaningless, so report the fault.
+  if (!stream.error().empty()) {
+    RunResult failed;
+    failed.error = "stream failed during solve: " + stream.error();
+    return failed;
+  }
   if (result.ok()) {
     result.solver = entry->name;
     result.instance = instance.name();

@@ -1,0 +1,173 @@
+// Binary on-disk CSR format for SetSystem repositories.
+//
+// The text format (setsystem/io.h) re-parses every number on every
+// physical scan, which caps disk-backed runs far below the m≈10^7–10^8
+// regime the paper targets. This format is the out-of-core counterpart:
+// compact enough that scans are bandwidth-bound, seekable enough that a
+// set can be located without decoding its predecessors, and validated
+// enough that a truncated or corrupt file fails at Open instead of
+// aborting mid-scan.
+//
+// Layout (all fixed-width fields little-endian):
+//
+//   header (64 bytes)
+//     [0,8)   magic "SCOVRB01"
+//     [8,12)  uint32 version (1)
+//     [12,16) uint32 header_bytes (64)
+//     [16,24) uint64 n  (|U|)
+//     [24,32) uint64 m  (|F|)
+//     [32,40) uint64 nnz (sum of set sizes after sort/dedup)
+//     [40,48) uint64 footer_offset (absolute byte offset of the footer)
+//     [48,56) uint64 body_checksum (FNV-1a 64 over the body bytes)
+//     [56,64) uint64 reserved (0)
+//   body (footer_offset - 64 bytes)
+//     m sets, each: varint(size), then `size` element ids delta-encoded
+//     as varints — the first id raw, each subsequent id as
+//     (id - previous - 1). Sets are sorted and duplicate-free, so the
+//     deltas are non-negative and decoding reproduces the sorted-unique
+//     dispatch invariant every kernel relies on.
+//   footer ((m+1) * 8 bytes)
+//     uint64 absolute byte offset of each set's encoding;
+//     offsets[0] == 64 and offsets[m] == footer_offset. This is what
+//     makes sets seekable and lets Open validate the body structurally
+//     without decoding it.
+//   trailer (8 bytes)
+//     end magic "SCOVREND" — a cheap truncation tripwire.
+//
+// Varints are LEB128 (7 bits per byte, high bit = continuation).
+
+#ifndef STREAMCOVER_SETSYSTEM_BINARY_IO_H_
+#define STREAMCOVER_SETSYSTEM_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "setsystem/set_system.h"
+
+namespace streamcover {
+
+namespace binfmt {
+
+inline constexpr char kMagic[8] = {'S', 'C', 'O', 'V', 'R', 'B', '0', '1'};
+inline constexpr char kEndMagic[8] = {'S', 'C', 'O', 'V', 'R', 'E', 'N',
+                                      'D'};
+inline constexpr uint32_t kVersion = 1;
+inline constexpr uint64_t kHeaderBytes = 64;
+/// n and m share the text format's 2^31 ceiling (ids are uint32).
+inline constexpr uint64_t kMaxDimension = uint64_t{1} << 31;
+
+/// FNV-1a 64 over `bytes`, continuing from `state` (seed with
+/// kFnvOffset). The writer folds body bytes in as it emits them; readers
+/// re-fold to verify.
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a(const uint8_t* bytes, size_t len, uint64_t state);
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void AppendVarint(uint64_t value, std::string& out);
+
+/// Decodes one LEB128 varint from [*cursor, end). Advances *cursor past
+/// it and returns the value; returns std::nullopt (cursor unspecified)
+/// on truncation or an encoding longer than 10 bytes.
+std::optional<uint64_t> DecodeVarint(const uint8_t** cursor,
+                                     const uint8_t* end);
+
+/// Validated view of a binary file's structure: header fields plus a
+/// pointer to the offsets footer. Produced by ValidateBinaryLayout.
+struct BinaryLayout {
+  uint64_t n = 0;
+  uint64_t m = 0;
+  uint64_t nnz = 0;
+  uint64_t footer_offset = 0;
+  uint64_t checksum = 0;
+  const uint8_t* footer = nullptr;  // (m+1) uint64 offsets, unaligned
+
+  /// Absolute byte offset of set s's encoding (s in [0, m]).
+  uint64_t SetOffset(uint64_t s) const;
+};
+
+/// Checks that [data, data+size) is a well-formed binary file: magic,
+/// version, dimension bounds, file size consistent with the footer
+/// offset, end magic present, and footer offsets monotone spanning
+/// exactly the body. Decodes NO set bodies — this is the cheap Open-time
+/// validation shared by the in-memory loader and MmapSetSource; the body
+/// checksum is verified separately by whoever reads the bytes.
+bool ValidateBinaryLayout(const uint8_t* data, uint64_t size,
+                          BinaryLayout* layout, std::string* error);
+
+}  // namespace binfmt
+
+/// True iff `path` starts with the binary magic. False for missing,
+/// short, or text files — callers fall back to the text parser.
+bool IsBinarySetSystemFile(const std::string& path);
+
+/// Streaming writer: sets go straight from the caller to disk, so
+/// multi-GB repositories are written in O(n + m) memory (one scratch
+/// set + the offsets footer), never O(nnz).
+class BinarySetWriter {
+ public:
+  /// Creates/truncates `path` and reserves the header. Returns
+  /// std::nullopt + *error if the file cannot be opened or
+  /// num_elements is out of range.
+  static std::optional<BinarySetWriter> Create(const std::string& path,
+                                               uint64_t num_elements,
+                                               std::string* error);
+
+  BinarySetWriter(BinarySetWriter&& other) noexcept;
+  BinarySetWriter& operator=(BinarySetWriter&& other) noexcept;
+  BinarySetWriter(const BinarySetWriter&) = delete;
+  BinarySetWriter& operator=(const BinarySetWriter&) = delete;
+  ~BinarySetWriter();
+
+  /// Appends one set. Elements are normalized to sorted-unique before
+  /// encoding (same contract as SetSystem::Builder::AddSet). Returns
+  /// false — with the diagnostic in error() — on an out-of-range
+  /// element or an IO failure.
+  bool AddSet(std::span<const uint32_t> elements);
+
+  /// Writes the footer + trailer and patches the header. The writer is
+  /// unusable afterwards. Returns false + *error on IO failure (or if
+  /// any AddSet had failed).
+  bool Finish(std::string* error);
+
+  uint64_t num_sets() const { return offsets_.size() - 1; }
+  uint64_t nnz() const { return nnz_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  BinarySetWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t num_elements_ = 0;
+  uint64_t nnz_ = 0;
+  uint64_t checksum_ = binfmt::kFnvOffset;
+  std::vector<uint64_t> offsets_;   // absolute; starts at kHeaderBytes
+  std::vector<uint32_t> scratch_;   // normalization buffer
+  std::string encode_buf_;          // per-set varint staging
+  std::string error_;
+  bool finished_ = false;
+};
+
+/// Writes `system` to `path` in the binary format. Returns false +
+/// *error on IO failure.
+bool WriteBinarySetSystem(const SetSystem& system, const std::string& path,
+                          std::string* error);
+
+/// Loads a binary file fully into memory. Returns std::nullopt + *error
+/// on a malformed, truncated, or corrupt file (structure AND checksum
+/// are verified — an in-memory load touches every byte anyway).
+std::optional<SetSystem> LoadBinarySetSystemFromFile(const std::string& path,
+                                                     std::string* error);
+
+/// Loads `path` in whichever format its magic announces — binary or the
+/// text format of setsystem/io.h.
+std::optional<SetSystem> LoadAnySetSystemFromFile(const std::string& path,
+                                                  std::string* error);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_BINARY_IO_H_

@@ -1,0 +1,75 @@
+// Generator-to-sink workload streaming.
+//
+// The in-memory generators (setsystem/generators.h) stage every set
+// before building the CSR, so a paper-scale instance (m ≈ 10^7–10^8,
+// multi-GB nnz) would have to fit in RAM just to be written out. The
+// streaming variants here emit each set to a caller-provided sink the
+// moment it is generated and keep only O(n + m) state (the universe
+// permutation and the stream-order permutation) — piping one into
+// BinarySetWriter produces an out-of-core instance file without ever
+// materializing the instance.
+//
+// Determinism: each family is a pure function of its parameters and
+// seed. Every set's content is drawn from a sub-generator keyed by
+// (seed, staged id), so the content of set i does not depend on the
+// emission order or on how many sets preceded it. The draw sequences
+// deliberately differ from the in-memory generators' shared-stream
+// draws — the two families produce different (equally distributed)
+// instances for the same seed.
+
+#ifndef STREAMCOVER_SETSYSTEM_STREAM_GENERATORS_H_
+#define STREAMCOVER_SETSYSTEM_STREAM_GENERATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "setsystem/generators.h"
+
+namespace streamcover {
+
+/// Receives one generated set per call, in stream order. Elements are
+/// NOT necessarily sorted or unique (sinks normalize, exactly like
+/// SetSystem::Builder::AddSet and BinarySetWriter::AddSet do). Return
+/// false to abort generation — e.g. on a disk write failure.
+using SetSink = std::function<bool(std::span<const uint32_t>)>;
+
+/// What the generator knows after streaming all sets.
+struct StreamGenResult {
+  uint64_t num_sets = 0;
+  /// Elements emitted (pre-normalization — an upper bound on the
+  /// written nnz; sinks that dedup report the exact count themselves).
+  uint64_t nnz = 0;
+  /// Stream positions of the planted cover, ascending.
+  std::vector<uint32_t> planted_positions;
+};
+
+/// Streaming twin of GeneratePlanted: same block structure, overlap and
+/// noise distribution, emitted set by set. Returns std::nullopt (and
+/// *error from the caller's context) only if the sink returned false.
+std::optional<StreamGenResult> StreamPlanted(const PlantedOptions& options,
+                                             uint64_t seed,
+                                             const SetSink& sink,
+                                             std::string* error);
+
+/// Streaming twin of GenerateSparse.
+std::optional<StreamGenResult> StreamSparse(uint32_t num_elements,
+                                            uint32_t num_sets,
+                                            uint32_t max_set_size,
+                                            uint64_t seed,
+                                            const SetSink& sink,
+                                            std::string* error);
+
+/// Streaming twin of GenerateZipf.
+std::optional<StreamGenResult> StreamZipf(uint32_t num_elements,
+                                          uint32_t num_sets, double alpha,
+                                          uint32_t max_set_size,
+                                          uint64_t seed, const SetSink& sink,
+                                          std::string* error);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SETSYSTEM_STREAM_GENERATORS_H_

@@ -1,0 +1,132 @@
+#include "stream/mmap_set_source.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace streamcover {
+
+std::optional<MmapSetSource> MmapSetSource::Open(const std::string& path,
+                                                 std::string* error) {
+  auto fail = [error](const std::string& msg) -> std::optional<MmapSetSource> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return fail("cannot stat " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return fail(path + ": empty file");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // no longer needed either way.
+  ::close(fd);
+  if (mapping == MAP_FAILED) return fail("mmap failed on " + path);
+  // Physical scans walk the body front to back; tell the kernel so
+  // readahead streams the file instead of demand-faulting page by page.
+  ::madvise(mapping, size, MADV_SEQUENTIAL);
+
+  MmapSetSource source;
+  source.path_ = path;
+  source.data_ = static_cast<const uint8_t*>(mapping);
+  source.size_ = size;
+  std::string layout_error;
+  if (!binfmt::ValidateBinaryLayout(source.data_, size, &source.layout_,
+                                    &layout_error)) {
+    return fail(path + ": " + layout_error);  // ~source unmaps
+  }
+  source.num_elements_ = static_cast<uint32_t>(source.layout_.n);
+  source.num_sets_ = static_cast<uint32_t>(source.layout_.m);
+  return source;
+}
+
+MmapSetSource::MmapSetSource(MmapSetSource&& other) noexcept {
+  *this = std::move(other);
+}
+
+MmapSetSource& MmapSetSource::operator=(MmapSetSource&& other) noexcept {
+  if (this == &other) return *this;
+  Unmap();
+  path_ = std::move(other.path_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  layout_ = other.layout_;
+  // The layout's footer pointer aims into the mapping, which this
+  // object now owns — it stays valid across the move.
+  num_elements_ = other.num_elements_;
+  num_sets_ = other.num_sets_;
+  scans_ = other.scans_;
+  scan_buffer_ = std::move(other.scan_buffer_);
+  error_ = std::move(other.error_);
+  return *this;
+}
+
+MmapSetSource::~MmapSetSource() { Unmap(); }
+
+void MmapSetSource::Unmap() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+bool MmapSetSource::Scan(const SetVisitor& visit) {
+  if (!error_.empty()) return false;  // sticky: the file is already bad
+  auto fail = [this](uint32_t set_id, const std::string& msg) {
+    error_ = path_ + ": corrupt set " + std::to_string(set_id) + ": " + msg;
+    return false;
+  };
+  ++scans_;
+  // Offsets were validated monotone within the file at Open, so every
+  // [cursor, end) below is a well-formed in-bounds window; only the
+  // varint contents inside it still need checking.
+  const uint8_t* cursor = data_ + binfmt::kHeaderBytes;
+  for (uint32_t s = 0; s < num_sets_; ++s) {
+    const uint8_t* end = data_ + layout_.SetOffset(s + 1);
+    auto size = binfmt::DecodeVarint(&cursor, end);
+    if (!size.has_value() || *size > num_elements_) {
+      return fail(s, "bad size varint");
+    }
+    scan_buffer_.clear();
+    scan_buffer_.reserve(*size);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < *size; ++i) {
+      auto delta = binfmt::DecodeVarint(&cursor, end);
+      if (!delta.has_value()) return fail(s, "truncated body");
+      // Delta-1 coding off a strictly increasing sequence: decoding
+      // reproduces the sorted-unique invariant by construction.
+      const uint64_t e = (i == 0) ? *delta : prev + *delta + 1;
+      if (e >= num_elements_) return fail(s, "element id out of range");
+      scan_buffer_.push_back(static_cast<uint32_t>(e));
+      prev = e;
+    }
+    if (cursor != end) return fail(s, "trailing bytes");
+    visit(SetView{s, std::span<const uint32_t>(scan_buffer_)});
+  }
+  return true;
+}
+
+std::unique_ptr<SetSource> OpenDiskSetSource(const std::string& path,
+                                             std::string* error) {
+  if (IsBinarySetSystemFile(path)) {
+    std::optional<MmapSetSource> source = MmapSetSource::Open(path, error);
+    if (!source.has_value()) return nullptr;
+    return std::make_unique<MmapSetSource>(std::move(*source));
+  }
+  std::optional<FileSetSource> source = FileSetSource::Open(path, error);
+  if (!source.has_value()) return nullptr;
+  return std::make_unique<FileSetSource>(std::move(*source));
+}
+
+}  // namespace streamcover

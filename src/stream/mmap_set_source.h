@@ -1,0 +1,89 @@
+// Out-of-core set repository over the binary format.
+//
+// MmapSetSource maps a binary set-system file (setsystem/binary_io.h)
+// read-only and decodes each set into a reused scan buffer during Scan,
+// dispatching the same sorted-unique SetViews every other source does.
+// The kernel is advised that scans are sequential (madvise), so repeated
+// physical passes over a file larger than RAM stay bandwidth-bound: the
+// page cache streams the file instead of thrashing, and no per-pass
+// parsing of ASCII numbers happens at all. This is the piece that makes
+// the paper's m≈10^7–10^8 regime reachable on a laptop.
+//
+// Open validates the whole file structure through the offsets footer
+// (a truncated or resized file is rejected up front — the failure mode
+// the text source can only discover mid-scan). Decode errors inside a
+// set body (corrupt varints, out-of-range ids) surface as graceful
+// Scan failures per the SetSource error contract, never aborts.
+
+#ifndef STREAMCOVER_STREAM_MMAP_SET_SOURCE_H_
+#define STREAMCOVER_STREAM_MMAP_SET_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "setsystem/binary_io.h"
+#include "stream/set_source.h"
+
+namespace streamcover {
+
+/// Scans a binary set-system file through a read-only memory mapping.
+/// Spans passed to the visitor are valid only for the duration of that
+/// callback (they point into the reused decode buffer). Scans share the
+/// buffer, so they are not concurrency-safe with each other;
+/// PassScheduler serializes them by construction.
+class MmapSetSource : public SetSource {
+ public:
+  /// Maps `path` and validates header + footer structure (magic,
+  /// version, dimensions, size consistency, monotone offsets). Returns
+  /// std::nullopt and fills *error on any mismatch. The body checksum
+  /// is NOT verified here — that would cost a full read of a file this
+  /// class exists to stream lazily; LoadBinarySetSystemFromFile checks
+  /// it, and structural corruption still fails cleanly during Scan.
+  static std::optional<MmapSetSource> Open(const std::string& path,
+                                           std::string* error);
+
+  MmapSetSource(MmapSetSource&& other) noexcept;
+  MmapSetSource& operator=(MmapSetSource&& other) noexcept;
+  MmapSetSource(const MmapSetSource&) = delete;
+  MmapSetSource& operator=(const MmapSetSource&) = delete;
+  ~MmapSetSource() override;
+
+  uint32_t num_elements() const override { return num_elements_; }
+  uint32_t num_sets() const override { return num_sets_; }
+  bool Scan(const SetVisitor& visit) override;
+
+  const std::string& path() const { return path_; }
+  uint64_t nnz() const { return layout_.nnz; }
+
+  /// Number of front-to-back decode scans so far — the mmap counterpart
+  /// of FileSetSource::parses(), and equally equal to *physical* scans
+  /// under the shared-scan scheduler.
+  uint64_t scans() const { return scans_; }
+
+ private:
+  MmapSetSource() = default;
+  void Unmap();
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;  // mapping base; nullptr when moved-from
+  uint64_t size_ = 0;
+  binfmt::BinaryLayout layout_;
+  uint32_t num_elements_ = 0;
+  uint32_t num_sets_ = 0;
+  uint64_t scans_ = 0;
+  std::vector<uint32_t> scan_buffer_;  // reused across sets and scans
+};
+
+/// Opens `path` as whichever source its magic announces: MmapSetSource
+/// for the binary format, FileSetSource for text. This is how
+/// Instance::FromFile / `solve --from-disk` pick the fast path
+/// automatically. Returns nullptr and fills *error on failure.
+std::unique_ptr<SetSource> OpenDiskSetSource(const std::string& path,
+                                             std::string* error);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_STREAM_MMAP_SET_SOURCE_H_

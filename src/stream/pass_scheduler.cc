@@ -117,16 +117,18 @@ size_t PassScheduler::RunRound() {
     }
   }
   if (live.empty()) return 0;
+  if (stream_failed_) return 0;  // sticky: the repository is gone
 
   ++physical_scans_;
   const uint32_t workers = static_cast<uint32_t>(
       std::min<size_t>(threads_, live.size()));
+  bool scan_ok = true;
   if (workers <= 1) {
-    stream_->ForEachSet([&](const SetView& set) {
+    scan_ok = stream_->ForEachSet([&](const SetView& set) {
       for (ScanConsumer* consumer : live) consumer->OnSet(set);
     });
   } else {
-    stream_->ForEachSet([&](const SetView& set) {
+    scan_ok = stream_->ForEachSet([&](const SetView& set) {
       batch_ids_.push_back(set.id);
       batch_elems_.insert(batch_elems_.end(), set.begin(), set.end());
       batch_offsets_.push_back(batch_elems_.size());
@@ -135,7 +137,22 @@ size_t PassScheduler::RunRound() {
         FlushBatch(live, workers);
       }
     });
-    FlushBatch(live, workers);
+    // Drop (don't dispatch) a partial tail batch from a failed scan:
+    // consumers must never act on a pass that didn't complete.
+    if (scan_ok) {
+      FlushBatch(live, workers);
+    } else {
+      batch_ids_.clear();
+      batch_offsets_.assign(1, 0);
+      batch_elems_.clear();
+    }
+  }
+  if (!scan_ok) {
+    // The round died mid-scan: no pass attribution, no OnPassEnd — the
+    // consumers saw a prefix, not a pass. Drivers observe the 0 return
+    // (and stream().error()) and unwind.
+    stream_failed_ = true;
+    return 0;
   }
   for (Slot* slot : live_slots) {
     ++slot->passes;
@@ -155,7 +172,10 @@ PassScheduler::SoloRun PassScheduler::DriveToCompletion(
     ScanConsumer& consumer) {
   const uint64_t physical_before = physical_scans_;
   const size_t slot = Register(&consumer);
-  while (!consumer.done()) RunRound();
+  // RunRound() == 0 with the consumer not done means the stream failed;
+  // looping further would spin forever on a dead repository.
+  while (!consumer.done() && RunRound() > 0) {
+  }
   SoloRun run;
   run.logical_passes = passes(slot);
   run.physical_scans = physical_scans_ - physical_before;

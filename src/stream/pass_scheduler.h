@@ -110,9 +110,15 @@ class PassScheduler {
 
   /// Runs one round: a single physical scan served to every live
   /// consumer, then OnPassEnd on each (in registration order). Returns
-  /// the number of consumers served; 0 means no live consumers and no
-  /// scan performed.
+  /// the number of consumers served; 0 means either no live consumers
+  /// (no scan performed) or a stream failure mid-scan — distinguish via
+  /// stream_failed() / stream().error(). After a failure the scheduler
+  /// is dead: the round's partial pass is not attributed, OnPassEnd is
+  /// not called, and every later RunRound returns 0 immediately.
   size_t RunRound();
+
+  /// True once a scan failed underneath a round (see SetSource::Scan).
+  bool stream_failed() const { return stream_failed_; }
 
   /// Rounds until every consumer is done. Returns the number of physical
   /// scans this call performed.
@@ -162,6 +168,7 @@ class PassScheduler {
   KernelPolicy kernel_;
   std::vector<Slot> slots_;
   uint64_t physical_scans_ = 0;
+  bool stream_failed_ = false;
 
   // Threaded dispatch buffers one batch of sets in columnar form — ids
   // + CSR-style offsets over one element arena, materialized as a

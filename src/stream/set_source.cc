@@ -18,11 +18,12 @@ uint32_t InMemorySetSource::num_elements() const {
 
 uint32_t InMemorySetSource::num_sets() const { return system_->num_sets(); }
 
-void InMemorySetSource::Scan(const SetVisitor& visit) {
+bool InMemorySetSource::Scan(const SetVisitor& visit) {
   const uint32_t m = system_->num_sets();
   for (uint32_t s = 0; s < m; ++s) {
     visit(system_->GetView(s));
   }
+  return true;
 }
 
 FileSetSource::FileSetSource(std::string path, uint32_t n, uint32_t m)
@@ -47,25 +48,42 @@ std::optional<FileSetSource> FileSetSource::Open(const std::string& path,
                        static_cast<uint32_t>(m));
 }
 
-void FileSetSource::Scan(const SetVisitor& visit) {
+bool FileSetSource::Scan(const SetVisitor& visit) {
+  if (!error_.empty()) return false;  // sticky: the file is already bad
+  auto fail = [this](const std::string& msg) {
+    error_ = path_ + ": " + msg;
+    return false;
+  };
   std::ifstream in(path_);
-  SC_CHECK(static_cast<bool>(in));  // validated by Open; must still exist
+  // Open validated the header, but the file can vanish or be truncated
+  // between passes — report that, don't abort.
+  if (!in) return fail("cannot reopen");
   ++parses_;
   std::string magic;
   uint64_t n = 0, m = 0;
-  in >> magic >> n >> m;
-  SC_CHECK_EQ(magic, std::string("setcover"));
+  if (!(in >> magic >> n >> m) || magic != "setcover") {
+    return fail("header changed since Open");
+  }
   for (uint32_t s = 0; s < num_sets_; ++s) {
     uint64_t size = 0;
-    SC_CHECK(static_cast<bool>(in >> size));
-    SC_CHECK_LE(size, num_elements_);
+    if (!(in >> size)) {
+      return fail("truncated set header at set " + std::to_string(s));
+    }
+    if (size > num_elements_) {
+      return fail("set " + std::to_string(s) + " larger than universe");
+    }
     scan_buffer_.clear();
     scan_buffer_.reserve(size);
     bool sorted_unique = true;
     for (uint64_t i = 0; i < size; ++i) {
       uint64_t e = 0;
-      SC_CHECK(static_cast<bool>(in >> e));
-      SC_CHECK_LT(e, num_elements_);
+      if (!(in >> e)) {
+        return fail("truncated set body at set " + std::to_string(s));
+      }
+      if (e >= num_elements_) {
+        return fail("element id " + std::to_string(e) +
+                    " out of range in set " + std::to_string(s));
+      }
       if (!scan_buffer_.empty() && e <= scan_buffer_.back()) {
         sorted_unique = false;
       }
@@ -86,6 +104,7 @@ void FileSetSource::Scan(const SetVisitor& visit) {
     }
     visit(SetView{s, std::span<const uint32_t>(scan_buffer_)});
   }
+  return true;
 }
 
 }  // namespace streamcover

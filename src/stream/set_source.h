@@ -39,7 +39,18 @@ class SetSource {
   virtual uint32_t num_sets() const = 0;
 
   /// One full sequential scan; calls `visit` for every set in order.
-  virtual void Scan(const SetVisitor& visit) = 0;
+  /// Returns false if the repository failed mid-scan (file truncated or
+  /// corrupted underneath us) — the scan stops, error() describes why,
+  /// and every later Scan fails immediately with the same error. A
+  /// failed scan is an environment fault, not a programming error, so it
+  /// surfaces as a value instead of an SC_CHECK abort.
+  virtual bool Scan(const SetVisitor& visit) = 0;
+
+  /// Empty until a Scan fails; sticky afterwards.
+  const std::string& error() const { return error_; }
+
+ protected:
+  std::string error_;
 };
 
 /// Scans an in-memory SetSystem (does not take ownership).
@@ -49,7 +60,7 @@ class InMemorySetSource : public SetSource {
 
   uint32_t num_elements() const override;
   uint32_t num_sets() const override;
-  void Scan(const SetVisitor& visit) override;
+  bool Scan(const SetVisitor& visit) override;
 
  private:
   const SetSystem* system_;
@@ -69,7 +80,12 @@ class FileSetSource : public SetSource {
 
   uint32_t num_elements() const override { return num_elements_; }
   uint32_t num_sets() const override { return num_sets_; }
-  void Scan(const SetVisitor& visit) override;
+
+  /// Re-parses the file front to back. Open only validates the header,
+  /// so a file truncated after it — or swapped out underneath us — is
+  /// first noticed here; that surfaces as a false return with error()
+  /// set, never an abort.
+  bool Scan(const SetVisitor& visit) override;
 
   const std::string& path() const { return path_; }
 

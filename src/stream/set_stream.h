@@ -38,12 +38,17 @@ class SetStream {
 
   /// Performs one pass: invokes fn(const SetView&) for every set in
   /// stream order. Counts as one pass even if the caller stops consuming
-  /// early (the scan cursor cannot be rewound mid-pass).
+  /// early (the scan cursor cannot be rewound mid-pass). Returns false
+  /// if the underlying repository failed mid-scan (see SetSource::Scan);
+  /// error() carries the diagnostic and further passes keep failing.
   template <typename Fn>
-  void ForEachSet(Fn&& fn) {
+  bool ForEachSet(Fn&& fn) {
     ++passes_;
-    source_->Scan(SetVisitor(std::forward<Fn>(fn)));
+    return source_->Scan(SetVisitor(std::forward<Fn>(fn)));
   }
+
+  /// The source's sticky scan error; empty while the stream is healthy.
+  const std::string& error() const { return source_->error(); }
 
   /// Number of passes performed so far. There is deliberately no reset:
   /// multi-trial drivers draw a fresh stream per trial from

@@ -36,11 +36,14 @@
 #include "offline/greedy.h"                   // IWYU pragma: export
 #include "offline/max_cover.h"                // IWYU pragma: export
 #include "offline/weighted_greedy.h"          // IWYU pragma: export
+#include "setsystem/binary_io.h"              // IWYU pragma: export
 #include "setsystem/cover.h"                  // IWYU pragma: export
 #include "setsystem/generators.h"             // IWYU pragma: export
 #include "setsystem/io.h"                     // IWYU pragma: export
 #include "setsystem/set_system.h"             // IWYU pragma: export
 #include "setsystem/set_view.h"               // IWYU pragma: export
+#include "setsystem/stream_generators.h"      // IWYU pragma: export
+#include "stream/mmap_set_source.h"           // IWYU pragma: export
 #include "stream/pass_scheduler.h"            // IWYU pragma: export
 #include "stream/sampling.h"                  // IWYU pragma: export
 #include "stream/set_source.h"                // IWYU pragma: export

@@ -1,9 +1,11 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cinttypes>
 
 namespace streamcover {
 namespace {
@@ -65,8 +67,11 @@ void FormatNumber(double d, std::string& out) {
     return;
   }
   // Integers (the common case for counts) print without an exponent or
-  // trailing zeros; everything else gets round-trippable %.17g.
-  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+  // trailing zeros, up to the last double whose integer value is exact
+  // (2^53 — past that the value wasn't the "same integer" to begin
+  // with, and exact-integer callers go through the int64/uint64
+  // constructors anyway); everything else gets round-trippable %.17g.
+  if (d == std::floor(d) && std::fabs(d) <= 9007199254740992.0) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", d);
     out += buf;
@@ -180,6 +185,25 @@ class Parser {
       pos_ = start;
       Fail("malformed number '" + token + "'");
       return std::nullopt;
+    }
+    // An undotted, unexponented token is an integer literal: keep its
+    // exact value when it fits, so counters past 2^53 round-trip
+    // through parse → dump with their digits intact.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0') {
+          return JsonValue(static_cast<int64_t>(v));
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0') {
+          return JsonValue(static_cast<uint64_t>(v));
+        }
+      }
+      // Out of 64-bit range: the double approximation is the best we
+      // can represent.
     }
     return JsonValue(d);
   }
@@ -341,6 +365,41 @@ void JsonValue::Set(std::string key, JsonValue v) {
   object_.emplace_back(std::move(key), std::move(v));
 }
 
+int64_t JsonValue::AsInt64(int64_t fallback) const {
+  if (!is_number()) return fallback;
+  switch (number_kind_) {
+    case NumberKind::kInt64:
+      return int_;
+    case NumberKind::kUint64:
+      return uint_ <= static_cast<uint64_t>(INT64_MAX)
+                 ? static_cast<int64_t>(uint_)
+                 : INT64_MAX;
+    case NumberKind::kDouble:
+      break;
+  }
+  if (!std::isfinite(number_)) return fallback;
+  if (number_ >= 9223372036854775808.0) return INT64_MAX;
+  if (number_ <= -9223372036854775808.0) return INT64_MIN;
+  return static_cast<int64_t>(number_);
+}
+
+uint64_t JsonValue::AsUint64(uint64_t fallback) const {
+  if (!is_number()) return fallback;
+  switch (number_kind_) {
+    case NumberKind::kInt64:
+      return int_ >= 0 ? static_cast<uint64_t>(int_) : 0;
+    case NumberKind::kUint64:
+      return uint_;
+    case NumberKind::kDouble:
+      break;
+  }
+  if (!std::isfinite(number_) || number_ <= 0.0) {
+    return std::isfinite(number_) ? 0 : fallback;
+  }
+  if (number_ >= 18446744073709551616.0) return UINT64_MAX;
+  return static_cast<uint64_t>(number_);
+}
+
 const JsonValue* JsonValue::Find(std::string_view key) const {
   if (!is_object()) return nullptr;
   for (const auto& [existing, value] : object_) {
@@ -369,9 +428,25 @@ void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
     case Type::kBool:
       out += bool_ ? "true" : "false";
       break;
-    case Type::kNumber:
-      FormatNumber(number_, out);
+    case Type::kNumber: {
+      // Integer-carried numbers print their exact decimal digits; only
+      // genuine doubles go through the float formatter.
+      char buf[32];
+      switch (number_kind_) {
+        case NumberKind::kInt64:
+          std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+          out += buf;
+          break;
+        case NumberKind::kUint64:
+          std::snprintf(buf, sizeof(buf), "%" PRIu64, uint_);
+          out += buf;
+          break;
+        case NumberKind::kDouble:
+          FormatNumber(number_, out);
+          break;
+      }
       break;
+    }
     case Type::kString:
       EscapeString(string_, out);
       break;

@@ -2,8 +2,10 @@
 //
 // RunReport (core/run_plan.h) and the bench --json flags serialize
 // through this value type; tests parse the emitted text back to verify
-// round-trips. Deliberately small: doubles for all numbers, no
-// comments, no trailing commas — RFC 8259. BMP text passes through as
+// round-trips. Deliberately small: numbers are doubles with an exact
+// int64/uint64 side-channel for integer-constructed values (counters
+// past 2^53 keep their digits), no comments, no trailing commas —
+// RFC 8259. BMP text passes through as
 // raw UTF-8; characters beyond the BMP are emitted as \uXXXX surrogate
 // pairs (and surrogate-pair escapes parse back to UTF-8), so emitted
 // documents survive strict ASCII-only consumers too.
@@ -30,9 +32,21 @@ class JsonValue {
   JsonValue() : type_(Type::kNull) {}
   JsonValue(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
   JsonValue(double d) : type_(Type::kNumber), number_(d) {}          // NOLINT
-  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}            // NOLINT
-  JsonValue(int64_t v) : JsonValue(static_cast<double>(v)) {}        // NOLINT
-  JsonValue(uint64_t v) : JsonValue(static_cast<double>(v)) {}       // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<int64_t>(v)) {}           // NOLINT
+  // Integers keep their exact value alongside the double mirror:
+  // multi-GB nnz/space counters exceed 2^53, where the double alone
+  // would silently round (the bug FormatNumber used to amplify into
+  // scientific notation). Dump emits the exact decimal digits.
+  JsonValue(int64_t v)                                               // NOLINT
+      : type_(Type::kNumber),
+        number_kind_(NumberKind::kInt64),
+        number_(static_cast<double>(v)),
+        int_(v) {}
+  JsonValue(uint64_t v)                                              // NOLINT
+      : type_(Type::kNumber),
+        number_kind_(NumberKind::kUint64),
+        number_(static_cast<double>(v)),
+        uint_(v) {}
   JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
   JsonValue(const char* s) : JsonValue(std::string(s)) {}            // NOLINT
 
@@ -63,6 +77,11 @@ class JsonValue {
   double AsDouble(double fallback = 0.0) const {
     return is_number() ? number_ : fallback;
   }
+  /// Exact value for numbers carried as integers (integer-constructed
+  /// or parsed from an undotted, unexponented token); doubles are
+  /// truncated toward zero. Out-of-range values saturate.
+  int64_t AsInt64(int64_t fallback = 0) const;
+  uint64_t AsUint64(uint64_t fallback = 0) const;
   const std::string& AsString() const { return string_; }
 
   /// Array access.
@@ -97,11 +116,19 @@ class JsonValue {
                                         std::string* error = nullptr);
 
  private:
+  /// How a kNumber was produced. The double mirror (number_) always
+  /// holds the nearest double; the integer payload is authoritative for
+  /// the integer kinds so Dump can reproduce exact digits past 2^53.
+  enum class NumberKind { kDouble, kInt64, kUint64 };
+
   void DumpTo(std::string& out, int indent, int depth) const;
 
   Type type_ = Type::kNull;
   bool bool_ = false;
+  NumberKind number_kind_ = NumberKind::kDouble;
   double number_ = 0.0;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
   std::string string_;
   std::vector<JsonValue> array_;
   std::vector<std::pair<std::string, JsonValue>> object_;

@@ -68,8 +68,14 @@ uint64_t GeomSampleSize(double c, double rho, uint64_t k, uint64_t n,
 }
 
 uint64_t AllowedUncovered(uint64_t n, double coverage_fraction) {
-  return n - static_cast<uint64_t>(std::ceil(
-                 coverage_fraction * static_cast<double>(n) - 1e-9));
+  // A fraction above 1 would make the subtraction below wrap to a huge
+  // unsigned allowance ("everything may stay uncovered"); callers
+  // validate user input, so out-of-range here is a programming error.
+  SC_CHECK(coverage_fraction > 0.0 && coverage_fraction <= 1.0);
+  uint64_t required = static_cast<uint64_t>(std::ceil(
+      coverage_fraction * static_cast<double>(n) - 1e-9));
+  required = std::min(required, n);  // float round-up guard at fraction 1
+  return n - required;
 }
 
 }  // namespace streamcover

@@ -113,6 +113,63 @@ TEST(FileSetSourceTest, RepeatedScansAreStable) {
   EXPECT_EQ(first, second);
 }
 
+TEST(FileSetSourceTest, TruncatedFileFailsScanGracefully) {
+  // Open only validates the header, so a file truncated mid-body is
+  // first noticed during Scan — which must return false with a
+  // diagnostic, stick, and never abort.
+  std::string path = ::testing::TempDir() + "/truncated_body.txt";
+  {
+    std::ofstream out(path);
+    out << "setcover 50 3\n"
+        << "2 1 2\n"
+        << "4 10 11\n";  // claims 4 elements, delivers 2, set 2 missing
+  }
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  size_t visited = 0;
+  EXPECT_FALSE(source->Scan([&](const SetView&) { ++visited; }));
+  EXPECT_EQ(visited, 1u);  // the intact first set was dispatched
+  EXPECT_FALSE(source->error().empty());
+  EXPECT_NE(source->error().find("truncated"), std::string::npos)
+      << source->error();
+  // Sticky: later scans fail immediately without dispatching anything.
+  visited = 0;
+  EXPECT_FALSE(source->Scan([&](const SetView&) { ++visited; }));
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(FileSetSourceTest, OutOfRangeElementFailsScanGracefully) {
+  std::string path = ::testing::TempDir() + "/oob_element.txt";
+  {
+    std::ofstream out(path);
+    out << "setcover 10 2\n"
+        << "1 3\n"
+        << "2 4 10\n";  // 10 == n is out of range
+  }
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  EXPECT_FALSE(source->Scan([](const SetView&) {}));
+  EXPECT_NE(source->error().find("out of range"), std::string::npos)
+      << source->error();
+}
+
+TEST(FileStreamTest, StreamErrorSurfacesThroughForEachSet) {
+  std::string path = ::testing::TempDir() + "/stream_error.txt";
+  {
+    std::ofstream out(path);
+    out << "setcover 20 2\n"
+        << "1 5\n";  // second set missing entirely
+  }
+  std::string error;
+  auto source = FileSetSource::Open(path, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  SetStream stream(&*source);
+  EXPECT_FALSE(stream.ForEachSet([](const SetView&) {}));
+  EXPECT_FALSE(stream.error().empty());
+}
+
 TEST(FileStreamTest, PassCountingThroughSetStream) {
   Rng rng(3);
   PlantedInstance inst = GeneratePlanted(

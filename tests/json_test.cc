@@ -165,5 +165,61 @@ TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
   EXPECT_EQ(value.Dump(0), "null");
 }
 
+TEST(JsonTest, LargeIntegersRoundTripExactly) {
+  // FormatNumber used to route every integer through %.17g, turning
+  // e.g. nnz counters above 10^15 into scientific notation. int64/uint64
+  // values must dump as exact decimals and parse back bit-identical.
+  const uint64_t u64_max = UINT64_MAX;  // 18446744073709551615
+  const int64_t i64_min = INT64_MIN;    // -9223372036854775808
+  const uint64_t beyond_double = (uint64_t{1} << 53) + 1;  // 2^53 + 1
+
+  JsonValue u(u64_max);
+  EXPECT_EQ(u.Dump(0), "18446744073709551615");
+  EXPECT_EQ(u.AsUint64(), u64_max);
+
+  JsonValue i(i64_min);
+  EXPECT_EQ(i.Dump(0), "-9223372036854775808");
+  EXPECT_EQ(i.AsInt64(), i64_min);
+
+  JsonValue b(beyond_double);
+  EXPECT_EQ(b.Dump(0), "9007199254740993");
+  EXPECT_EQ(b.AsUint64(), beyond_double);
+
+  // Through a document: dump then re-parse recovers the exact values.
+  JsonValue doc = JsonValue::Object();
+  doc.Set("nnz", u64_max);
+  doc.Set("offset", i64_min);
+  doc.Set("edge", beyond_double);
+  auto parsed = JsonValue::Parse(doc.Dump(0));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->At("nnz").AsUint64(), u64_max);
+  EXPECT_EQ(parsed->At("offset").AsInt64(), i64_min);
+  EXPECT_EQ(parsed->At("edge").AsUint64(), beyond_double);
+  // Dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(parsed->Dump(0), doc.Dump(0));
+}
+
+TEST(JsonTest, IntegerAccessorsSaturateAndDoublesStillFlow) {
+  // Plain doubles keep their old behavior.
+  JsonValue d(1.5);
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 1.5);
+  EXPECT_EQ(d.AsInt64(), 1);
+
+  // A uint64 too large for int64 saturates instead of wrapping.
+  JsonValue u(UINT64_MAX);
+  EXPECT_EQ(u.AsInt64(), INT64_MAX);
+  // A negative int64 clamps to 0 as uint64.
+  JsonValue n(int64_t{-5});
+  EXPECT_EQ(n.AsUint64(), 0u);
+  EXPECT_EQ(n.AsInt64(), -5);
+
+  // Fractional and exponent tokens still parse as doubles.
+  auto parsed = JsonValue::Parse("[1.25, 1e3, 42]");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ((*parsed)[0].AsDouble(), 1.25);
+  EXPECT_DOUBLE_EQ((*parsed)[1].AsDouble(), 1000.0);
+  EXPECT_EQ((*parsed)[2].AsUint64(), 42u);
+}
+
 }  // namespace
 }  // namespace streamcover

@@ -330,6 +330,43 @@ TEST(MathUtilTest, RelativeApproxSampleSizeMatchesFormula) {
             static_cast<uint64_t>(std::ceil(expect)));
 }
 
+TEST(MathUtilTest, AllowedUncoveredExactFractionsAndEdges) {
+  // Full cover allows nothing uncovered.
+  EXPECT_EQ(AllowedUncovered(100, 1.0), 0u);
+  EXPECT_EQ(AllowedUncovered(0, 1.0), 0u);
+  EXPECT_EQ(AllowedUncovered(1, 1.0), 0u);
+  // The epsilon guard: 0.9 * 100 must be exactly 90 required, 10
+  // allowed, despite 0.9 not being representable in binary.
+  EXPECT_EQ(AllowedUncovered(100, 0.9), 10u);
+  EXPECT_EQ(AllowedUncovered(10, 0.9), 1u);
+  EXPECT_EQ(AllowedUncovered(1000, 0.999), 1u);
+  // Fractions demanding "almost nothing" still require >= 1 element of
+  // a non-empty universe (ceil of a positive product).
+  EXPECT_EQ(AllowedUncovered(100, 0.001), 99u);
+  // Non-terminating fractions round the required count up.
+  EXPECT_EQ(AllowedUncovered(3, 0.5), 1u);   // ceil(1.5) = 2 required
+  EXPECT_EQ(AllowedUncovered(7, 1.0 / 3.0), 4u);  // ceil(2.33) = 3
+}
+
+TEST(MathUtilTest, AllowedUncoveredNeverUnderflows) {
+  // The seed computed n - ceil(...) in unsigned arithmetic with no
+  // clamp; a fraction whose product rounds above n would wrap to ~2^64.
+  // The result must stay <= n for every fraction in (0, 1].
+  const uint64_t kN[] = {1, 2, 3, 10, 97, 1000, 1u << 20};
+  const double kFractions[] = {1e-9, 0.1, 0.5, 0.9999999, 1.0};
+  for (uint64_t n : kN) {
+    for (double f : kFractions) {
+      const uint64_t allowed = AllowedUncovered(n, f);
+      EXPECT_LE(allowed, n) << "n=" << n << " f=" << f;
+    }
+  }
+  // The next double below 1.0 times a large n lands within a ULP of n;
+  // ceil must not push required past n and wrap the subtraction.
+  const double just_below_one = std::nextafter(1.0, 0.0);
+  EXPECT_LE(AllowedUncovered(uint64_t{1} << 31, just_below_one),
+            uint64_t{1} << 31);
+}
+
 TEST(TableTest, PrintsMarkdown) {
   Table t({"algo", "passes"});
   t.AddRow({"greedy", Table::Fmt(1)});

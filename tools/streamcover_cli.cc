@@ -2,10 +2,20 @@
 //
 // Subcommands:
 //   generate --type planted|sparse|zipf --n N --m M --k K [--s S]
-//            [--seed SEED] --out FILE
-//       Writes an instance in the text format of setsystem/io.h.
+//            [--seed SEED] --out FILE [--format text|binary]
+//       Generates in memory, then writes the instance in the text
+//       format of setsystem/io.h or the binary CSR format of
+//       setsystem/binary_io.h.
+//   generate-disk --type planted|sparse|zipf --n N --m M --k K [--s S]
+//            [--alpha A] [--seed SEED] --out FILE [--format binary|text]
+//       Streams the instance to disk set by set (O(n + m) memory) via
+//       setsystem/stream_generators.h — the way to produce paper-scale
+//       multi-GB files. Defaults to the binary format.
+//   convert  --in FILE --out FILE [--format binary|text]
+//       Streams an instance file (either format, sniffed by magic)
+//       into the other format in one pass without materializing it.
 //   stats    --in FILE
-//       Prints n, m, nnz, set-size distribution.
+//       Prints n, m, nnz, set-size distribution. Accepts both formats.
 //   solve    (--in FILE | --workload NAME) --algo ALGO [--n N --m M
 //            --k K] [--delta D] [--p P] [--seed SEED] [--coverage F]
 //            [--budget B] [--threads N] [--kernel scalar|word]
@@ -17,8 +27,10 @@
 //       with the full list of registered alternatives. The input
 //       becomes an Instance and dispatch goes through
 //       RunSolver(name, Instance&, options). --from-disk keeps the
-//       repository on disk, re-parsed once per *physical* scan
-//       (FileSetSource); --threads N fans multiplexed consumers out
+//       repository on disk — text files are re-parsed once per
+//       *physical* scan (FileSetSource); binary files are mmapped and
+//       decoded in place (MmapSetSource), picked by magic sniffing;
+//       --threads N fans multiplexed consumers out
 //       over N workers of the shared-scan PassScheduler; --kernel
 //       selects the coverage-kernel twin (word-parallel by default;
 //       scalar is the reference loop — results are identical).
@@ -45,10 +57,13 @@
 //
 // Exit code 0 on success; 1 on usage or runtime errors.
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -63,6 +78,12 @@ namespace {
 
 struct Args {
   std::map<std::string, std::string> flags;
+  /// Malformed numeric flag values, collected as the command reads its
+  /// flags (atoll/atof used to swallow these silently: `--n abc` became
+  /// 0 and `--n 20q0` became 20). Commands check BadFlags() after
+  /// reading and before acting.
+  mutable std::vector<std::string> parse_errors;
+
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
   std::string Get(const std::string& key,
                   const std::string& fallback = "") const {
@@ -71,11 +92,41 @@ struct Args {
   }
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    // Strict full-token parse: the whole value must be one in-range
+    // integer, not just start with one.
+    if (it->second.empty() || end == nullptr || *end != '\0' ||
+        errno == ERANGE) {
+      parse_errors.push_back("--" + key + " expects an integer, got '" +
+                             it->second + "'");
+      return fallback;
+    }
+    return v;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+    if (it == flags.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || end == nullptr || *end != '\0' ||
+        errno == ERANGE) {
+      parse_errors.push_back("--" + key + " expects a number, got '" +
+                             it->second + "'");
+      return fallback;
+    }
+    return v;
+  }
+
+  /// Prints every malformed flag seen so far to stderr; true if any.
+  bool BadFlags() const {
+    for (const std::string& e : parse_errors) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+    return !parse_errors.empty();
   }
 };
 
@@ -100,7 +151,12 @@ int Usage() {
       stderr,
       "usage:\n"
       "  streamcover_cli generate --type planted|sparse|zipf --n N --m M "
-      "--k K [--s S] [--seed SEED] --out FILE\n"
+      "--k K [--s S] [--seed SEED] --out FILE [--format text|binary]\n"
+      "  streamcover_cli generate-disk --type planted|sparse|zipf --n N "
+      "--m M --k K [--s S] [--alpha A] [--seed SEED] --out FILE "
+      "[--format binary|text]\n"
+      "  streamcover_cli convert --in FILE --out FILE "
+      "[--format binary|text]\n"
       "  streamcover_cli stats --in FILE\n"
       "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
       "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
@@ -149,6 +205,7 @@ int CmdGenerateGeom(const Args& args) {
   const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 8));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string out = args.Get("out");
+  if (args.BadFlags()) return 1;
   if (out.empty()) return Usage();
 
   GeomInstance instance;
@@ -204,6 +261,7 @@ int CmdSolveGeom(const Args& args) {
   options.delta = args.GetDouble("delta", 0.25);
   options.sample_constant = args.GetDouble("c", 0.05);
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  if (args.BadFlags()) return 1;
   RunResult r = RunSolver("geom", instance, options);
   if (!r.ok()) {
     std::fprintf(stderr, "%s\n", r.error.c_str());
@@ -227,7 +285,14 @@ int CmdGenerate(const Args& args) {
   const uint32_t s = static_cast<uint32_t>(args.GetInt("s", 32));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   const std::string out = args.Get("out");
+  const std::string format = args.Get("format", "text");
+  if (args.BadFlags()) return 1;
   if (out.empty()) return Usage();
+  if (format != "text" && format != "binary") {
+    std::fprintf(stderr, "unknown --format '%s'; available: text, binary\n",
+                 format.c_str());
+    return 1;
+  }
 
   Rng rng(seed);
   PlantedInstance instance;
@@ -246,14 +311,201 @@ int CmdGenerate(const Args& args) {
     std::fprintf(stderr, "unknown --type %s\n", type.c_str());
     return 1;
   }
-  if (!SaveSetSystemToFile(instance.system, out)) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+  std::string error;
+  const bool saved =
+      format == "binary"
+          ? WriteBinarySetSystem(instance.system, out, &error)
+          : SaveSetSystemToFile(instance.system, out);
+  if (!saved) {
+    std::fprintf(stderr, "cannot write %s%s%s\n", out.c_str(),
+                 error.empty() ? "" : ": ", error.c_str());
     return 1;
   }
-  std::printf("wrote %s: n=%u m=%u nnz=%zu planted_cover=%zu\n",
+  std::printf("wrote %s: n=%u m=%u nnz=%zu planted_cover=%zu format=%s\n",
               out.c_str(), instance.system.num_elements(),
               instance.system.num_sets(), instance.system.total_size(),
-              instance.planted_cover.size());
+              instance.planted_cover.size(), format.c_str());
+  return 0;
+}
+
+/// Streams one set to a text-format file. Normalizes exactly like
+/// BinarySetWriter so the two formats carry identical logical instances.
+class TextSetSink {
+ public:
+  TextSetSink(const std::string& path, uint32_t num_elements,
+              uint32_t num_sets)
+      : os_(path) {
+    os_ << "setcover " << num_elements << " " << num_sets << "\n";
+  }
+
+  bool Add(std::span<const uint32_t> elements) {
+    scratch_.assign(elements.begin(), elements.end());
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    os_ << scratch_.size();
+    for (uint32_t e : scratch_) os_ << " " << e;
+    os_ << "\n";
+    nnz_ += scratch_.size();
+    return os_.good();
+  }
+
+  bool Finish() { return os_.flush().good(); }
+  uint64_t nnz() const { return nnz_; }
+
+ private:
+  std::ofstream os_;
+  std::vector<uint32_t> scratch_;
+  uint64_t nnz_ = 0;
+};
+
+int CmdConvert(const Args& args) {
+  const std::string in = args.Get("in");
+  const std::string out = args.Get("out");
+  const std::string format = args.Get("format", "binary");
+  if (args.BadFlags()) return 1;
+  if (in.empty() || out.empty()) return Usage();
+  if (format != "text" && format != "binary") {
+    std::fprintf(stderr, "unknown --format '%s'; available: text, binary\n",
+                 format.c_str());
+    return 1;
+  }
+
+  // One streaming pass: never materializes the instance, so a multi-GB
+  // file converts in O(largest set) memory.
+  std::string error;
+  std::unique_ptr<SetSource> source = OpenDiskSetSource(in, &error);
+  if (source == nullptr) {
+    std::fprintf(stderr, "open failed: %s\n", error.c_str());
+    return 1;
+  }
+  uint64_t nnz = 0;
+  bool sink_ok = true;
+  if (format == "binary") {
+    auto writer = BinarySetWriter::Create(out, source->num_elements(),
+                                          &error);
+    if (!writer.has_value()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const bool scan_ok = source->Scan([&](const SetView& view) {
+      if (sink_ok) sink_ok = writer->AddSet(view.elems);
+    });
+    if (!scan_ok) {
+      std::fprintf(stderr, "scan failed: %s\n", source->error().c_str());
+      return 1;
+    }
+    if (!sink_ok || !writer->Finish(&error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   sink_ok ? error.c_str() : writer->error().c_str());
+      return 1;
+    }
+    nnz = writer->nnz();
+  } else {
+    TextSetSink sink(out, source->num_elements(), source->num_sets());
+    const bool scan_ok = source->Scan([&](const SetView& view) {
+      if (sink_ok) sink_ok = sink.Add(view.elems);
+    });
+    if (!scan_ok) {
+      std::fprintf(stderr, "scan failed: %s\n", source->error().c_str());
+      return 1;
+    }
+    if (!sink_ok || !sink.Finish()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    nnz = sink.nnz();
+  }
+  std::printf("converted %s -> %s: n=%u m=%u nnz=%llu format=%s\n",
+              in.c_str(), out.c_str(), source->num_elements(),
+              source->num_sets(), static_cast<unsigned long long>(nnz),
+              format.c_str());
+  return 0;
+}
+
+int CmdGenerateDisk(const Args& args) {
+  const std::string type = args.Get("type", "planted");
+  const uint32_t n = static_cast<uint32_t>(args.GetInt("n", 1000));
+  const uint32_t m = static_cast<uint32_t>(args.GetInt("m", 2000));
+  const uint32_t k = static_cast<uint32_t>(args.GetInt("k", 10));
+  const uint32_t s = static_cast<uint32_t>(args.GetInt("s", 32));
+  const double alpha = args.GetDouble("alpha", 1.1);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out");
+  const std::string format = args.Get("format", "binary");
+  if (args.BadFlags()) return 1;
+  if (out.empty()) return Usage();
+  if (format != "text" && format != "binary") {
+    std::fprintf(stderr, "unknown --format '%s'; available: text, binary\n",
+                 format.c_str());
+    return 1;
+  }
+
+  // Generator → sink, set by set: the instance is never materialized,
+  // so paper-scale files (m in the tens of millions) stream straight to
+  // disk in O(n + m) memory.
+  std::string error;
+  std::optional<BinarySetWriter> writer;
+  std::optional<TextSetSink> text_sink;
+  if (format == "binary") {
+    writer = BinarySetWriter::Create(out, n, &error);
+    if (!writer.has_value()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  } else {
+    text_sink.emplace(out, n, m);
+  }
+  SetSink sink = [&](std::span<const uint32_t> elements) {
+    return writer.has_value() ? writer->AddSet(elements)
+                              : text_sink->Add(elements);
+  };
+
+  std::optional<StreamGenResult> result;
+  if (type == "planted") {
+    PlantedOptions options;
+    options.num_elements = n;
+    options.num_sets = m;
+    options.cover_size = k;
+    options.noise_max_size = std::max(1u, n / 20);
+    result = StreamPlanted(options, seed, sink, &error);
+  } else if (type == "sparse") {
+    result = StreamSparse(n, m, s, seed, sink, &error);
+  } else if (type == "zipf") {
+    result = StreamZipf(n, m, alpha, s, seed, sink, &error);
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 1;
+  }
+  if (!result.has_value()) {
+    std::fprintf(stderr, "generation aborted: %s%s%s\n", error.c_str(),
+                 writer.has_value() && !writer->error().empty() ? ": " : "",
+                 writer.has_value() ? writer->error().c_str() : "");
+    return 1;
+  }
+  uint64_t nnz = 0;
+  if (writer.has_value()) {
+    if (!writer->Finish(&error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    nnz = writer->nnz();
+  } else {
+    if (!text_sink->Finish()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    nnz = text_sink->nnz();
+  }
+  std::printf("wrote %s: n=%u m=%llu nnz=%llu planted_cover=%zu "
+              "format=%s\n",
+              out.c_str(), n,
+              static_cast<unsigned long long>(result->num_sets),
+              static_cast<unsigned long long>(nnz),
+              result->planted_positions.size(), format.c_str());
   return 0;
 }
 
@@ -261,7 +513,7 @@ int CmdStats(const Args& args) {
   const std::string in = args.Get("in");
   if (in.empty()) return Usage();
   std::string error;
-  auto system = LoadSetSystemFromFile(in, &error);
+  auto system = LoadAnySetSystemFromFile(in, &error);
   if (!system) {
     std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
@@ -311,6 +563,13 @@ int SolveOnInstance(Instance& instance, const Args& args) {
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
   options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
   options.early_exit = args.Has("early-exit");
+  if (args.BadFlags()) return 1;
+  if (!(options.coverage_fraction > 0.0 &&
+        options.coverage_fraction <= 1.0)) {
+    std::fprintf(stderr, "--coverage must be in (0, 1], got %g\n",
+                 options.coverage_fraction);
+    return 1;
+  }
   if (!ResolveKernel(args, &options.kernel)) return 1;
 
   RunResult r = RunSolver(algo, instance, options);
@@ -401,6 +660,7 @@ int CmdSweep(const Args& args) {
     plan.seeds.push_back(static_cast<uint64_t>(seed));
   }
   plan.trials = static_cast<uint32_t>(num_trials);
+  if (args.BadFlags()) return 1;
 
   RunReport report = ExecutePlan(plan);
   std::printf("sweep: %zu solvers x %zu workloads x %zu seeds x %u "
@@ -449,6 +709,7 @@ int CmdSolve(const Args& args) {
     params.max_set_size = static_cast<uint32_t>(args.GetInt("s", 32));
     params.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
     params.path = args.Get("path");
+    if (args.BadFlags()) return 1;
     std::string error;
     std::optional<Instance> instance =
         MakeWorkload(workload, params, &error);
@@ -470,7 +731,7 @@ int CmdSolve(const Args& args) {
     }
     return SolveOnInstance(*instance, args);
   }
-  auto system = LoadSetSystemFromFile(in, &error);
+  auto system = LoadAnySetSystemFromFile(in, &error);
   if (!system) {
     std::fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
@@ -543,6 +804,70 @@ int CmdSelfTest() {
     Args solve;
     solve.flags = {{"in", path}, {"algo", "iter"}, {"from-disk", "1"}};
     if (CmdSolve(solve) != 0) return 1;
+  }
+  {
+    // Malformed numeric flags must be rejected with exit code 1, not
+    // silently coerced (atoll used to read `--n abc` as 0 and
+    // `--n 20q0` as 20).
+    Args gen;
+    gen.flags = {{"type", "planted"}, {"n", "abc"}, {"m", "900"},
+                 {"k", "8"},          {"out", path}};
+    if (CmdGenerate(gen) != 1) return 1;
+    gen.flags = {{"type", "planted"}, {"n", "20q0"}, {"m", "900"},
+                 {"k", "8"},          {"out", path}};
+    if (CmdGenerate(gen) != 1) return 1;
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"delta", "0.5x"}};
+    if (CmdSolve(solve) != 1) return 1;
+    // Out-of-range coverage targets fail at the CLI boundary instead of
+    // underflowing AllowedUncovered.
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"coverage", "1.5"}};
+    if (CmdSolve(solve) != 1) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"coverage", "0"}};
+    if (CmdSolve(solve) != 1) return 1;
+  }
+  {
+    // Binary pipeline: convert text -> binary, mmap-solve it, convert
+    // back to text; stats must accept every produced file.
+    const std::string bin_path = dir + "/streamcover_cli_selftest.bin";
+    const std::string rt_path = dir + "/streamcover_cli_selftest_rt.txt";
+    Args convert;
+    convert.flags = {{"in", path}, {"out", bin_path},
+                     {"format", "binary"}};
+    if (CmdConvert(convert) != 0) return 1;
+    Args stats;
+    stats.flags = {{"in", bin_path}};
+    if (CmdStats(stats) != 0) return 1;
+    Args solve;
+    solve.flags = {{"in", bin_path}, {"algo", "iter"}, {"from-disk", "1"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", bin_path}, {"algo", "iter"}};
+    if (CmdSolve(solve) != 0) return 1;
+    convert.flags = {{"in", bin_path}, {"out", rt_path},
+                     {"format", "text"}};
+    if (CmdConvert(convert) != 0) return 1;
+    stats.flags = {{"in", rt_path}};
+    if (CmdStats(stats) != 0) return 1;
+  }
+  {
+    // Streamed generation to disk, both formats, then a mmap solve.
+    const std::string disk_bin = dir + "/streamcover_cli_selftest_gd.bin";
+    const std::string disk_txt = dir + "/streamcover_cli_selftest_gd.txt";
+    Args gen;
+    gen.flags = {{"type", "planted"}, {"n", "300"},  {"m", "700"},
+                 {"k", "6"},          {"seed", "5"}, {"out", disk_bin},
+                 {"format", "binary"}};
+    if (CmdGenerateDisk(gen) != 0) return 1;
+    gen.flags = {{"type", "zipf"}, {"n", "300"},  {"m", "700"},
+                 {"s", "24"},      {"seed", "5"}, {"out", disk_txt},
+                 {"format", "text"}};
+    if (CmdGenerateDisk(gen) != 0) return 1;
+    Args solve;
+    solve.flags = {{"in", disk_bin}, {"algo", "iter"}, {"from-disk", "1"}};
+    if (CmdSolve(solve) != 0) return 1;
+    Args stats;
+    stats.flags = {{"in", disk_txt}};
+    if (CmdStats(stats) != 0) return 1;
   }
   if (CmdListWorkloads() != 0) return 1;
   {
@@ -617,6 +942,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "sweep") return CmdSweep(args);
   if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "generate-disk") return CmdGenerateDisk(args);
+  if (cmd == "convert") return CmdConvert(args);
   if (cmd == "generate-geom") return CmdGenerateGeom(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "solve") return CmdSolve(args);
