@@ -1,0 +1,266 @@
+// bench_serve — closed-loop load generator for the serving layer.
+//
+// Drives an in-process CoverageServer (the same core streamcover_serve
+// wraps in sockets) with C concurrent closed-loop clients: each client
+// issues a solve request, waits for its response, records the
+// end-to-end latency, and immediately issues the next — the classic
+// closed-loop harness, so offered load scales with concurrency and the
+// queue never overflows by construction. Traffic is a mixed
+// solver × instance matrix (three solvers with different pass/space
+// profiles over two resident instances), exercising the instance
+// cache, the bounded queue, and the per-request fork path under real
+// contention.
+//
+// Reported per concurrency level (default 1, 4, 16): throughput
+// (req/s), exact p50/p90/p99/max/mean latency (sorted samples, not
+// histogram buckets), and error counts. `--json FILE` (default
+// BENCH_serve.json) writes schema streamcover.bench_serve.v1 — the
+// serving latency trajectory CI validates per PR, alongside the
+// solver-side duration_ms cells the sweep reports carry.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace streamcover {
+namespace {
+
+struct TrafficCell {
+  const char* solver;
+  const char* instance;
+};
+
+// Two resident instances × three solvers with different pass/space
+// profiles: the multi-pass paper algorithm, the one-pass store-all
+// greedy, and the few-pass threshold sieve.
+constexpr TrafficCell kTraffic[] = {
+    {"iter", "planted:n=2000,m=4000,k=20"},
+    {"store_all_greedy", "planted:n=2000,m=4000,k=20"},
+    {"threshold_greedy", "planted:n=2000,m=4000,k=20"},
+    {"iter", "sparse:n=4096,m=8192,max_set_size=64"},
+    {"store_all_greedy", "sparse:n=4096,m=8192,max_set_size=64"},
+    {"threshold_greedy", "sparse:n=4096,m=8192,max_set_size=64"},
+};
+constexpr size_t kTrafficCells = sizeof(kTraffic) / sizeof(kTraffic[0]);
+
+/// Issues one request and blocks for its response line.
+std::string CallBlocking(CoverageServer& server, const std::string& line) {
+  std::promise<std::string> done;
+  std::future<std::string> response = done.get_future();
+  server.HandleLine(line, [&done](const std::string& text) {
+    done.set_value(text);
+  });
+  return response.get();
+}
+
+struct LevelResult {
+  uint32_t concurrency = 0;
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  double elapsed_s = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0, p90_ms = 0, p99_ms = 0, max_ms = 0, mean_ms = 0;
+};
+
+std::string Fmt(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+LevelResult RunLevel(CoverageServer& server, uint32_t concurrency,
+                     uint64_t requests_per_client) {
+  std::vector<std::vector<double>> latencies(concurrency);
+  std::vector<uint64_t> oks(concurrency, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(concurrency);
+  WallTimer wall;
+  for (uint32_t c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      latencies[c].reserve(requests_per_client);
+      for (uint64_t i = 0; i < requests_per_client; ++i) {
+        const TrafficCell& cell =
+            kTraffic[(c + i) % kTrafficCells];
+        const std::string line =
+            std::string("{\"op\":\"solve\",\"instance\":\"") +
+            cell.instance + "\",\"solver\":\"" + cell.solver +
+            "\",\"seed\":" + std::to_string(1 + (c + i) % 5) + "}";
+        WallTimer request;
+        const std::string response = CallBlocking(server, line);
+        latencies[c].push_back(request.ElapsedMillis());
+        if (response.find("\"ok\":true") != std::string::npos) ++oks[c];
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  LevelResult result;
+  result.concurrency = concurrency;
+  result.elapsed_s = wall.ElapsedSeconds();
+  std::vector<double> all;
+  for (uint32_t c = 0; c < concurrency; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    result.ok += oks[c];
+  }
+  result.requests = all.size();
+  result.errors = result.requests - result.ok;
+  result.throughput_rps =
+      result.elapsed_s > 0
+          ? static_cast<double>(result.requests) / result.elapsed_s
+          : 0;
+  std::sort(all.begin(), all.end());
+  result.p50_ms = Percentile(all, 0.50);
+  result.p90_ms = Percentile(all, 0.90);
+  result.p99_ms = Percentile(all, 0.99);
+  result.max_ms = all.empty() ? 0 : all.back();
+  double sum = 0;
+  for (double v : all) sum += v;
+  result.mean_ms =
+      all.empty() ? 0 : sum / static_cast<double>(all.size());
+  return result;
+}
+
+int Run(const std::string& json_path, uint32_t workers,
+        uint64_t requests_per_client,
+        const std::vector<uint32_t>& levels) {
+  benchutil::Banner(
+      "bench_serve — closed-loop serving latency/throughput "
+      "(mixed solver × instance traffic, " +
+      std::to_string(workers) + " workers)");
+
+  ServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = 1024;  // closed loop never fills it
+  CoverageServer server(options);
+  server.Start();
+  // Warm the cache outside the measured window so level 1 doesn't pay
+  // the generation cost in its percentiles.
+  for (const TrafficCell& cell : kTraffic) {
+    std::string error;
+    if (!server.Preload(cell.instance, &error)) {
+      std::fprintf(stderr, "preload %s failed: %s\n", cell.instance,
+                   error.c_str());
+      return 1;
+    }
+  }
+
+  Table table({"concurrency", "requests", "ok", "req/s", "p50 ms",
+               "p90 ms", "p99 ms", "max ms"});
+  std::vector<LevelResult> results;
+  for (uint32_t level : levels) {
+    LevelResult r = RunLevel(server, level, requests_per_client);
+    table.AddRow({std::to_string(r.concurrency),
+                  std::to_string(r.requests), std::to_string(r.ok),
+                  Fmt(r.throughput_rps),
+                  Fmt(r.p50_ms), Fmt(r.p90_ms),
+                  Fmt(r.p99_ms), Fmt(r.max_ms)});
+    results.push_back(r);
+  }
+  table.Print(std::cout);
+  server.Shutdown();
+
+  if (json_path.empty()) return 0;
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema", "streamcover.bench_serve.v1");
+  JsonValue params = JsonValue::Object();
+  params.Set("workers", static_cast<uint64_t>(workers));
+  params.Set("queue_capacity",
+             static_cast<uint64_t>(options.queue_capacity));
+  params.Set("requests_per_client", requests_per_client);
+  JsonValue traffic = JsonValue::Array();
+  for (const TrafficCell& cell : kTraffic) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("solver", cell.solver);
+    entry.Set("instance", cell.instance);
+    traffic.Append(std::move(entry));
+  }
+  params.Set("traffic", std::move(traffic));
+  doc.Set("params", std::move(params));
+  JsonValue level_rows = JsonValue::Array();
+  for (const LevelResult& r : results) {
+    JsonValue row = JsonValue::Object();
+    row.Set("concurrency", static_cast<uint64_t>(r.concurrency));
+    row.Set("requests", r.requests);
+    row.Set("ok", r.ok);
+    row.Set("errors", r.errors);
+    row.Set("elapsed_s", r.elapsed_s);
+    row.Set("throughput_rps", r.throughput_rps);
+    JsonValue latency = JsonValue::Object();
+    latency.Set("p50_ms", r.p50_ms);
+    latency.Set("p90_ms", r.p90_ms);
+    latency.Set("p99_ms", r.p99_ms);
+    latency.Set("max_ms", r.max_ms);
+    latency.Set("mean_ms", r.mean_ms);
+    row.Set("latency", std::move(latency));
+    level_rows.Append(std::move(row));
+  }
+  doc.Set("levels", std::move(level_rows));
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << doc.Dump(2) << "\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  uint32_t workers = 4;
+  uint64_t requests = 60;
+  std::vector<uint32_t> levels = {1, 4, 16};
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (flag == "--workers" && i + 1 < argc) {
+      workers = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (flag == "--requests" && i + 1 < argc) {
+      requests = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (flag == "--levels" && i + 1 < argc) {
+      levels.clear();
+      std::string spec = argv[++i];
+      size_t pos = 0;
+      while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        levels.push_back(static_cast<uint32_t>(
+            std::atoi(spec.substr(pos, comma - pos).c_str())));
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--json FILE] [--workers N] "
+                   "[--requests N] [--levels 1,4,16]\n");
+      return 2;
+    }
+  }
+  if (levels.empty() || workers == 0 || requests == 0) {
+    std::fprintf(stderr, "bench_serve: bad parameters\n");
+    return 2;
+  }
+  return streamcover::Run(json_path, workers, requests, levels);
+}

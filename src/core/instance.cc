@@ -87,6 +87,43 @@ SetStream Instance::NewStream() {
   return SetStream(system_);
 }
 
+std::optional<SetStream> Instance::NewConcurrentStream(
+    std::string* error) const {
+  if (file_source_ != nullptr) {
+    std::unique_ptr<SetSource> fork = file_source_->Fork(error);
+    if (fork == nullptr) return std::nullopt;
+    return SetStream(std::move(fork));
+  }
+  if (system_ == nullptr) {
+    // Deliberately no lazy materialization here: this accessor is const
+    // so concurrent callers never race on it. Prepare() first.
+    if (error != nullptr) {
+      *error = "instance not prepared for concurrent streaming";
+    }
+    return std::nullopt;
+  }
+  return SetStream(std::make_unique<InMemorySetSource>(system_));
+}
+
+uint64_t Instance::resident_bytes() const {
+  uint64_t bytes = 0;
+  if (system_ != nullptr) bytes += system_->MemoryBytes();
+  if (const auto* mmap_source =
+          dynamic_cast<const MmapSetSource*>(file_source_.get())) {
+    bytes += mmap_source->repository_bytes();
+  } else if (const auto* file_source =
+                 dynamic_cast<const FileSetSource*>(file_source_.get())) {
+    bytes += file_source->repository_bytes();
+  }
+  if (geometry_.has_value()) {
+    bytes += static_cast<uint64_t>(geometry_->points.size()) *
+                 sizeof(geometry_->points[0]) +
+             static_cast<uint64_t>(geometry_->shapes.size()) *
+                 sizeof(geometry_->shapes[0]);
+  }
+  return bytes;
+}
+
 size_t Instance::CountCovered(const Cover& cover) {
   if (file_source_ == nullptr) {
     EnsureMaterialized();

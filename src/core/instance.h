@@ -114,6 +114,26 @@ class Instance {
   /// For geometric instances this materializes the range space.
   SetStream NewStream();
 
+  /// A fresh stream that is also safe to scan concurrently with other
+  /// streams over this instance: file-backed repositories hand out a
+  /// forked scanner (own decode buffer over the same mapped pages or
+  /// file), in-memory systems an independent cursor over the shared
+  /// CSR. The serving layer draws one per in-flight request. Requires
+  /// Prepare() first (it is const — it will not materialize lazily).
+  /// Returns std::nullopt with *error set if the repository cannot be
+  /// forked.
+  std::optional<SetStream> NewConcurrentStream(std::string* error) const;
+
+  /// Forces any lazy materialization (geometric range space) so later
+  /// const/concurrent access never mutates the instance. Idempotent;
+  /// NewStream does this implicitly.
+  void Prepare() { EnsureMaterialized(); }
+
+  /// Resident footprint for cache byte accounting: CSR bytes when
+  /// materialized in memory, plus the repository bytes (mapping or
+  /// on-disk size) when file-backed.
+  uint64_t resident_bytes() const;
+
   /// Number of elements of U covered by `cover`, via the materialized
   /// system when present, else one (uncounted) scan of the file source.
   size_t CountCovered(const Cover& cover);

@@ -62,7 +62,7 @@ std::string FmtMean(const RunningStats& stats, int precision) {
 
 }  // namespace
 
-RunReport ExecutePlan(const RunPlan& plan) {
+RunReport ExecutePlan(const RunPlan& plan, const CancelToken* cancel) {
   RunReport report;
   report.plan = plan;
   report.cells.resize(plan.workloads.size() * plan.solvers.size());
@@ -94,8 +94,12 @@ RunReport ExecutePlan(const RunPlan& plan) {
         const SolverSpec& solver = plan.solvers[i];
         RunCell& cell = report.cells[j * plan.solvers.size() + i];
         for (uint32_t trial = 0; trial < trials; ++trial) {
+          // A fired token (the CLI's SIGINT path) stops the sweep at
+          // the next run boundary; the partial report is still valid.
+          if (cancel != nullptr && cancel->cancelled()) return report;
           RunOptions options = solver.options;
           options.seed = seed * trials + trial;
+          options.cancel = cancel;
           // Each trial draws a fresh pass-counted stream inside
           // RunSolver(Instance&) — this is the structural fix for the
           // old shared-SetStream / ResetPassCount pattern.
@@ -123,6 +127,7 @@ RunReport ExecutePlan(const RunPlan& plan) {
             cell.projection_words.Add(
                 static_cast<double>(r.projection_words_peak));
           }
+          cell.duration_ms.Add(r.duration_ms);
         }
       }
     }
@@ -142,7 +147,7 @@ const RunCell* RunReport::FindCell(std::string_view solver_label,
 
 JsonValue RunReport::ToJson() const {
   JsonValue out = JsonValue::Object();
-  out.Set("schema", "streamcover.run_report.v2");
+  out.Set("schema", "streamcover.run_report.v3");
 
   JsonValue solvers = JsonValue::Array();
   for (const SolverSpec& spec : plan.solvers) {
@@ -184,6 +189,7 @@ JsonValue RunReport::ToJson() const {
     c.Set("physical_scans", StatsJson(cell.physical_scans));
     c.Set("space_words", StatsJson(cell.space_words));
     c.Set("projection_words", StatsJson(cell.projection_words));
+    c.Set("duration_ms", StatsJson(cell.duration_ms));
     if (!cell.errors.empty()) {
       JsonValue errors = JsonValue::Array();
       for (const std::string& error : cell.errors) errors.Append(error);

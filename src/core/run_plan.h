@@ -8,15 +8,16 @@
 // pass-counted stream per trial from the Instance (no shared or
 // manually reset counters), and aggregates mean/min/max of cover size,
 // cover/OPT ratio (when the workload plants a bound), passes,
-// sequential_scans, physical_scans, and space words into a RunReport
-// that serializes to JSON (util/json.h, schema
-// streamcover.run_report.v2) for the perf trajectory and external
-// tooling.
+// sequential_scans, physical_scans, space words, and wall-clock
+// duration_ms into a RunReport that serializes to JSON (util/json.h,
+// schema streamcover.run_report.v3) for the perf trajectory and
+// external tooling.
 //
 // Determinism: instances are generated once per (workload, seed) with
 // the plan seed; trial t of plan seed s runs the solver with seed
-// s * trials + t. Re-executing the same plan reproduces the report
-// bit-for-bit.
+// s * trials + t. Re-executing the same plan reproduces every
+// algorithmic cell bit-for-bit; only the measured duration_ms stats
+// vary between executions.
 
 #ifndef STREAMCOVER_CORE_RUN_PLAN_H_
 #define STREAMCOVER_CORE_RUN_PLAN_H_
@@ -90,6 +91,9 @@ struct RunCell {
   RunningStats space_words;
   /// Peak stored-projection words (iterSetCover-family solvers only).
   RunningStats projection_words;
+  /// Wall-clock run time (RunResult::duration_ms) — the same field the
+  /// serve histograms and bench_serve consume.
+  RunningStats duration_ms;
   /// Distinct error strings seen (dispatch failures, build failures).
   std::vector<std::string> errors;
 };
@@ -105,8 +109,7 @@ struct RunReport {
                           std::string_view workload_label) const;
 
   /// Full report as a JSON document (schema
-  /// "streamcover.run_report.v2": v1 + per-cell "physical_scans" stats
-  /// and per-solver "threads" in options).
+  /// "streamcover.run_report.v3": v2 + per-cell "duration_ms" stats).
   JsonValue ToJson() const;
 
   /// Pretty-printed ToJson().
@@ -124,8 +127,11 @@ struct RunReport {
 
 /// Executes the grid. Workload build failures and solver dispatch
 /// failures are recorded per cell (the grid always completes; nothing
-/// aborts).
-RunReport ExecutePlan(const RunPlan& plan);
+/// aborts). `cancel`, when non-null, is polled between runs AND threaded
+/// into each run's RunOptions — a fired token (SIGINT in the CLI) stops
+/// the sweep at the next run boundary and returns the partial report.
+RunReport ExecutePlan(const RunPlan& plan,
+                      const CancelToken* cancel = nullptr);
 
 }  // namespace streamcover
 

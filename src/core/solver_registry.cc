@@ -16,6 +16,7 @@
 #include "offline/exact.h"
 #include "offline/greedy.h"
 #include "stream/space_tracker.h"
+#include "util/timer.h"
 
 namespace streamcover {
 namespace {
@@ -263,8 +264,17 @@ std::vector<const SolverRegistry::Entry*> SolverRegistry::Entries() const {
   return entries;
 }
 
-RunResult RunSolver(std::string_view name, Instance& instance,
-                    const RunOptions& options) {
+namespace {
+
+/// Shared dispatch body behind RunSolver / RunSolverShared; the two
+/// differ only in where the stream comes from (`make_stream`), so every
+/// validation, accounting, and failure-mapping rule below is guaranteed
+/// identical between the batch CLI and the serving layer.
+RunResult DispatchSolver(
+    std::string_view name, const Instance& instance,
+    const RunOptions& options,
+    const std::function<std::optional<SetStream>(std::string*)>&
+        make_stream) {
   // Shared by the paths that must not touch the instance's repository:
   // unknown names (diagnose without side effects) and geometric runs
   // (they read only the payload — never materialize the possibly
@@ -297,6 +307,7 @@ RunResult RunSolver(std::string_view name, Instance& instance,
                      "' carries no points/shapes payload";
       return result;
     }
+    WallTimer timer;
     SetStream stream(kEmptySystem);
     PassScheduler scheduler(stream, options.threads, options.kernel);
     RunContext ctx{stream, scheduler, instance.geometry(), options};
@@ -305,25 +316,63 @@ RunResult RunSolver(std::string_view name, Instance& instance,
       result.solver = entry->name;
       result.instance = instance.name();
     }
+    result.duration_ms = timer.ElapsedMillis();
     return result;
   }
-  SetStream stream = instance.NewStream();
-  PassScheduler scheduler(stream, options.threads, options.kernel);
-  RunContext ctx{stream, scheduler, nullptr, options};
+  std::string stream_error;
+  std::optional<SetStream> stream = make_stream(&stream_error);
+  if (!stream.has_value()) {
+    RunResult result;
+    result.error = "cannot stream instance '" + instance.name() +
+                   "': " + stream_error;
+    return result;
+  }
+  WallTimer timer;
+  stream->set_cancel(options.cancel);
+  PassScheduler scheduler(*stream, options.threads, options.kernel);
+  RunContext ctx{*stream, scheduler, nullptr, options};
   RunResult result = entry->run(ctx);
   // A repository failure mid-run (file truncated or corrupted under the
   // solver) leaves the stream with a sticky error; whatever partial
-  // result the solver produced is meaningless, so report the fault.
-  if (!stream.error().empty()) {
+  // result the solver produced is meaningless, so report the fault. A
+  // fired deadline takes the same unwind path but keeps its bare error
+  // code — dispatchers and serve clients match on it.
+  if (!stream->error().empty()) {
     RunResult failed;
-    failed.error = "stream failed during solve: " + stream.error();
+    failed.solver = entry->name;
+    failed.instance = instance.name();
+    failed.error = stream->error() == kDeadlineExceededError
+                       ? std::string(kDeadlineExceededError)
+                       : "stream failed during solve: " + stream->error();
+    failed.duration_ms = timer.ElapsedMillis();
     return failed;
   }
   if (result.ok()) {
     result.solver = entry->name;
     result.instance = instance.name();
   }
+  result.duration_ms = timer.ElapsedMillis();
   return result;
+}
+
+}  // namespace
+
+RunResult RunSolver(std::string_view name, Instance& instance,
+                    const RunOptions& options) {
+  return DispatchSolver(
+      name, instance, options,
+      [&instance](std::string*) -> std::optional<SetStream> {
+        return instance.NewStream();
+      });
+}
+
+RunResult RunSolverShared(std::string_view name, const Instance& instance,
+                          const RunOptions& options) {
+  return DispatchSolver(
+      name, instance, options,
+      [&instance](std::string* error) -> std::optional<SetStream> {
+        return instance.NewConcurrentStream(error);
+      });
 }
 
 }  // namespace streamcover

@@ -34,6 +34,7 @@
 #include "setsystem/cover.h"
 #include "stream/pass_scheduler.h"
 #include "stream/set_stream.h"
+#include "util/cancel_token.h"
 #include "util/cover_kernels.h"
 
 namespace streamcover {
@@ -80,6 +81,14 @@ struct RunOptions {
   /// Offline solver (algOfflineSC) for the sampling algorithms;
   /// null => greedy.
   const OfflineSolver* offline = nullptr;
+  /// Cooperative cancellation for deadline-bounded serving: when set,
+  /// every scan of the run's stream polls it at batch granularity and a
+  /// fired token unwinds the run through the stream-failure contract,
+  /// surfacing RunResult.error == kDeadlineExceededError. Must outlive
+  /// the run. nullptr (default) = uncancellable. Geometric solvers
+  /// stream the shape payload, not a SetSource, and are not yet
+  /// covered.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Everything a runner needs for one dispatch. Built by
@@ -122,6 +131,10 @@ struct RunResult {
   /// O~(m n^delta) object). Only iterSetCover-family solvers report it;
   /// 0 elsewhere.
   uint64_t projection_words_peak = 0;
+  /// Wall-clock time of the dispatched run in milliseconds (util/timer).
+  /// Filled for every dispatched run, successful or not; 0 only when
+  /// dispatch itself failed (unknown solver, bad options).
+  double duration_ms = 0;
   /// Non-empty iff the run could not be dispatched (unknown solver,
   /// missing geometry payload, ...). When set, all other fields are
   /// default-initialized.
@@ -182,6 +195,16 @@ class SolverRegistry {
 /// come back with ok() == false and a diagnostic in `error`.
 RunResult RunSolver(std::string_view name, Instance& instance,
                     const RunOptions& options = {});
+
+/// Concurrency-safe variant for the serving layer: identical dispatch,
+/// but the stream comes from Instance::NewConcurrentStream — an
+/// independent forked scanner over the shared immutable repository — so
+/// any number of RunSolverShared calls may execute simultaneously
+/// against one Instance. The instance must be Prepare()d (RunSolver and
+/// NewStream do this implicitly; a cache does it at load). Never
+/// mutates the instance.
+RunResult RunSolverShared(std::string_view name, const Instance& instance,
+                          const RunOptions& options = {});
 
 }  // namespace streamcover
 

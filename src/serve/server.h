@@ -1,0 +1,135 @@
+// The serve core: bounded queue, worker pool, deadlines, stats.
+//
+// CoverageServer is transport-agnostic — the stdio and TCP front ends
+// in tools/streamcover_serve.cc (and the in-process tests) feed it one
+// request line at a time via HandleLine together with a responder
+// callback, and it emits exactly one response line per request, from
+// whatever thread completes the work.
+//
+// Overload semantics (the tentpole contract):
+//   * control ops (ping/stats/list) answer inline — never queued, so
+//     observability survives overload;
+//   * work ops (solve/sleep) go through a BOUNDED queue; when it is
+//     full the request is rejected immediately with `queue_full`
+//     instead of buffering unboundedly (the tarantool/overload-shedding
+//     idiom: fail fast, keep tail latency bounded);
+//   * a request's deadline covers queue wait + execution: the
+//     CancelToken is armed at admission, a request whose deadline fires
+//     while still queued is answered `deadline_exceeded` without
+//     running, and one that expires mid-solve unwinds cooperatively
+//     through the stream layer (RunOptions::cancel) with the same code;
+//   * Shutdown() drains: no new work is admitted (`shutting_down`),
+//     queued and running requests finish, workers join.
+
+#ifndef STREAMCOVER_SERVE_SERVER_H_
+#define STREAMCOVER_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/instance_cache.h"
+#include "serve/protocol.h"
+#include "util/cancel_token.h"
+#include "util/json.h"
+#include "util/latency_histogram.h"
+#include "util/timer.h"
+
+namespace streamcover {
+
+struct ServerOptions {
+  uint32_t workers = 4;        ///< solver worker threads
+  size_t queue_capacity = 64;  ///< admitted-but-unstarted request cap
+  uint64_t cache_bytes = 0;    ///< instance cache budget; 0 = unlimited
+  /// Deadline applied to work requests that carry none; 0 = none.
+  int64_t default_deadline_ms = 0;
+};
+
+class CoverageServer {
+ public:
+  /// Receives one serialized response line (no trailing newline). May
+  /// be called from any worker thread; front ends serialize their own
+  /// writes.
+  using Responder = std::function<void(const std::string& line)>;
+
+  explicit CoverageServer(ServerOptions options);
+  ~CoverageServer();
+
+  CoverageServer(const CoverageServer&) = delete;
+  CoverageServer& operator=(const CoverageServer&) = delete;
+
+  /// Spawns the worker pool. Call once before the first HandleLine.
+  void Start();
+
+  /// Graceful drain: rejects new work, finishes admitted work, joins
+  /// workers. Idempotent. HandleLine after Shutdown answers
+  /// `shutting_down`.
+  void Shutdown();
+
+  /// Processes one request line; `respond` receives exactly one
+  /// response line, inline (control ops, rejections) or later from a
+  /// worker (admitted work).
+  void HandleLine(const std::string& line, Responder respond);
+
+  /// The `{"op":"stats"}` payload.
+  JsonValue StatsJson() const;
+
+  /// Loads an instance into the cache before serving (fails soft:
+  /// returns false with *error, the server still runs).
+  bool Preload(const std::string& name, std::string* error);
+
+ private:
+  struct Job {
+    ServeRequest request;
+    Responder respond;
+    std::shared_ptr<CancelToken> cancel;  // null = uncancellable
+    WallTimer admitted;  // full-request latency starts at admission
+  };
+
+  void WorkerLoop();
+  void Execute(Job& job);
+  void RunSolve(Job& job);
+  void RunSleep(Job& job);
+  void CountOutcome(const ServeRequest& request, const char* outcome);
+
+  const ServerOptions options_;
+  InstanceCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable drained_;
+  std::deque<Job> queue_;
+  size_t in_flight_ = 0;
+  bool accepting_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Counters under mu_; the histogram is internally atomic.
+  struct Counters {
+    uint64_t received = 0;
+    uint64_t ok = 0;
+    uint64_t bad_request = 0;
+    uint64_t not_found = 0;
+    uint64_t queue_full = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t solve_failed = 0;
+    uint64_t shutting_down = 0;
+    std::map<std::string, uint64_t> per_solver;
+    std::map<std::string, uint64_t> per_instance;
+  };
+  Counters counters_;
+  LatencyHistogram solve_latency_;   // full request: queue + execution
+  LatencyHistogram run_latency_;     // solver execution only
+  WallTimer uptime_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SERVE_SERVER_H_

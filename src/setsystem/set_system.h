@@ -67,6 +67,13 @@ class SetSystem {
   /// Sum of set sizes (the "input size" mn in the worst case).
   size_t total_size() const { return elements_.size(); }
 
+  /// CSR heap footprint in bytes (offsets + elements arrays). The
+  /// serving layer's instance cache charges residents with this.
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(offsets_.size()) * sizeof(size_t) +
+           static_cast<uint64_t>(elements_.size()) * sizeof(uint32_t);
+  }
+
   /// The elements of set `set_id`, sorted ascending.
   std::span<const uint32_t> GetSet(uint32_t set_id) const;
 

@@ -9,6 +9,17 @@
 
 namespace streamcover {
 
+MmapSetSource::Mapping::~Mapping() {
+  if (data != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data), size);
+  }
+}
+
+MmapSetSource::MmapSetSource(std::shared_ptr<const Mapping> map)
+    : map_(std::move(map)),
+      num_elements_(static_cast<uint32_t>(map_->layout.n)),
+      num_sets_(static_cast<uint32_t>(map_->layout.m)) {}
+
 std::optional<MmapSetSource> MmapSetSource::Open(const std::string& path,
                                                  std::string* error) {
   auto fail = [error](const std::string& msg) -> std::optional<MmapSetSource> {
@@ -36,64 +47,42 @@ std::optional<MmapSetSource> MmapSetSource::Open(const std::string& path,
   // readahead streams the file instead of demand-faulting page by page.
   ::madvise(mapping, size, MADV_SEQUENTIAL);
 
-  MmapSetSource source;
-  source.path_ = path;
-  source.data_ = static_cast<const uint8_t*>(mapping);
-  source.size_ = size;
+  auto map = std::make_shared<Mapping>();
+  map->path = path;
+  map->data = static_cast<const uint8_t*>(mapping);
+  map->size = size;
   std::string layout_error;
-  if (!binfmt::ValidateBinaryLayout(source.data_, size, &source.layout_,
+  if (!binfmt::ValidateBinaryLayout(map->data, size, &map->layout,
                                     &layout_error)) {
-    return fail(path + ": " + layout_error);  // ~source unmaps
+    return fail(path + ": " + layout_error);  // ~Mapping unmaps
   }
-  source.num_elements_ = static_cast<uint32_t>(source.layout_.n);
-  source.num_sets_ = static_cast<uint32_t>(source.layout_.m);
-  return source;
+  return MmapSetSource(std::move(map));
 }
 
-MmapSetSource::MmapSetSource(MmapSetSource&& other) noexcept {
-  *this = std::move(other);
-}
-
-MmapSetSource& MmapSetSource::operator=(MmapSetSource&& other) noexcept {
-  if (this == &other) return *this;
-  Unmap();
-  path_ = std::move(other.path_);
-  data_ = std::exchange(other.data_, nullptr);
-  size_ = std::exchange(other.size_, 0);
-  layout_ = other.layout_;
-  // The layout's footer pointer aims into the mapping, which this
-  // object now owns — it stays valid across the move.
-  num_elements_ = other.num_elements_;
-  num_sets_ = other.num_sets_;
-  scans_ = other.scans_;
-  scan_buffer_ = std::move(other.scan_buffer_);
-  error_ = std::move(other.error_);
-  return *this;
-}
-
-MmapSetSource::~MmapSetSource() { Unmap(); }
-
-void MmapSetSource::Unmap() {
-  if (data_ != nullptr) {
-    ::munmap(const_cast<uint8_t*>(data_), size_);
-    data_ = nullptr;
-    size_ = 0;
-  }
+std::unique_ptr<SetSource> MmapSetSource::Fork(std::string* error) const {
+  (void)error;
+  // Shares map_; everything mutable (decode buffer, sticky error, scan
+  // counter, cancel hook) starts fresh in the fork.
+  return std::unique_ptr<SetSource>(new MmapSetSource(map_));
 }
 
 bool MmapSetSource::Scan(const SetVisitor& visit) {
   if (!error_.empty()) return false;  // sticky: the file is already bad
   auto fail = [this](uint32_t set_id, const std::string& msg) {
-    error_ = path_ + ": corrupt set " + std::to_string(set_id) + ": " + msg;
+    error_ =
+        map_->path + ": corrupt set " + std::to_string(set_id) + ": " + msg;
     return false;
   };
   ++scans_;
   // Offsets were validated monotone within the file at Open, so every
   // [cursor, end) below is a well-formed in-bounds window; only the
   // varint contents inside it still need checking.
-  const uint8_t* cursor = data_ + binfmt::kHeaderBytes;
+  const uint8_t* data = map_->data;
+  const binfmt::BinaryLayout& layout = map_->layout;
+  const uint8_t* cursor = data + binfmt::kHeaderBytes;
   for (uint32_t s = 0; s < num_sets_; ++s) {
-    const uint8_t* end = data_ + layout_.SetOffset(s + 1);
+    if (s % kCancelStride == 0 && CancelFired()) return false;
+    const uint8_t* end = data + layout.SetOffset(s + 1);
     auto size = binfmt::DecodeVarint(&cursor, end);
     if (!size.has_value() || *size > num_elements_) {
       return fail(s, "bad size varint");

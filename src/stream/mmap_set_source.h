@@ -32,8 +32,11 @@ namespace streamcover {
 /// Scans a binary set-system file through a read-only memory mapping.
 /// Spans passed to the visitor are valid only for the duration of that
 /// callback (they point into the reused decode buffer). Scans share the
-/// buffer, so they are not concurrency-safe with each other;
-/// PassScheduler serializes them by construction.
+/// buffer, so one MmapSetSource's scans are not concurrency-safe with
+/// each other (PassScheduler serializes them by construction) — but
+/// Fork() hands out independent scanners over the *same* mapped pages,
+/// which is how the serving layer runs concurrent requests against one
+/// resident file without remapping it per request.
 class MmapSetSource : public SetSource {
  public:
   /// Maps `path` and validates header + footer structure (magic,
@@ -45,32 +48,46 @@ class MmapSetSource : public SetSource {
   static std::optional<MmapSetSource> Open(const std::string& path,
                                            std::string* error);
 
-  MmapSetSource(MmapSetSource&& other) noexcept;
-  MmapSetSource& operator=(MmapSetSource&& other) noexcept;
+  MmapSetSource(MmapSetSource&&) noexcept = default;
+  MmapSetSource& operator=(MmapSetSource&&) noexcept = default;
   MmapSetSource(const MmapSetSource&) = delete;
   MmapSetSource& operator=(const MmapSetSource&) = delete;
-  ~MmapSetSource() override;
 
   uint32_t num_elements() const override { return num_elements_; }
   uint32_t num_sets() const override { return num_sets_; }
   bool Scan(const SetVisitor& visit) override;
 
-  const std::string& path() const { return path_; }
-  uint64_t nnz() const { return layout_.nnz; }
+  /// Shares the mapping (one mmap, refcounted) but owns a fresh decode
+  /// buffer and error state, so fork and parent may scan concurrently.
+  /// The pages stay mapped until the last fork drops them.
+  std::unique_ptr<SetSource> Fork(std::string* error) const override;
+
+  const std::string& path() const { return map_->path; }
+  uint64_t nnz() const { return map_->layout.nnz; }
+
+  /// Bytes of the underlying mapping, for cache byte accounting.
+  uint64_t repository_bytes() const { return map_->size; }
 
   /// Number of front-to-back decode scans so far — the mmap counterpart
   /// of FileSetSource::parses(), and equally equal to *physical* scans
-  /// under the shared-scan scheduler.
+  /// under the shared-scan scheduler. Per scanner: forks count their
+  /// own.
   uint64_t scans() const { return scans_; }
 
  private:
-  MmapSetSource() = default;
-  void Unmap();
+  /// The refcounted immutable mapping every fork shares. munmap happens
+  /// exactly once, when the last scanner over it is destroyed.
+  struct Mapping {
+    ~Mapping();
+    std::string path;
+    const uint8_t* data = nullptr;
+    uint64_t size = 0;
+    binfmt::BinaryLayout layout;
+  };
 
-  std::string path_;
-  const uint8_t* data_ = nullptr;  // mapping base; nullptr when moved-from
-  uint64_t size_ = 0;
-  binfmt::BinaryLayout layout_;
+  explicit MmapSetSource(std::shared_ptr<const Mapping> map);
+
+  std::shared_ptr<const Mapping> map_;
   uint32_t num_elements_ = 0;
   uint32_t num_sets_ = 0;
   uint64_t scans_ = 0;

@@ -7,6 +7,11 @@
 
 namespace streamcover {
 
+std::unique_ptr<SetSource> SetSource::Fork(std::string* error) const {
+  if (error != nullptr) *error = "source does not support forking";
+  return nullptr;
+}
+
 InMemorySetSource::InMemorySetSource(const SetSystem* system)
     : system_(system) {
   SC_CHECK(system != nullptr);
@@ -19,11 +24,19 @@ uint32_t InMemorySetSource::num_elements() const {
 uint32_t InMemorySetSource::num_sets() const { return system_->num_sets(); }
 
 bool InMemorySetSource::Scan(const SetVisitor& visit) {
+  if (!error_.empty()) return false;  // sticky (a fired deadline stays fired)
   const uint32_t m = system_->num_sets();
   for (uint32_t s = 0; s < m; ++s) {
+    if (s % kCancelStride == 0 && CancelFired()) return false;
     visit(system_->GetView(s));
   }
   return true;
+}
+
+std::unique_ptr<SetSource> InMemorySetSource::Fork(
+    std::string* error) const {
+  (void)error;
+  return std::make_unique<InMemorySetSource>(system_);
 }
 
 FileSetSource::FileSetSource(std::string path, uint32_t n, uint32_t m)
@@ -44,8 +57,24 @@ std::optional<FileSetSource> FileSetSource::Open(const std::string& path,
   }
   if (!(in >> n >> m)) return fail("missing n/m header in " + path);
   if (n > (1ULL << 31) || m > (1ULL << 31)) return fail("n/m out of range");
-  return FileSetSource(path, static_cast<uint32_t>(n),
+  FileSetSource source(path, static_cast<uint32_t>(n),
                        static_cast<uint32_t>(m));
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end > 0) source.file_bytes_ = static_cast<uint64_t>(end);
+  return source;
+}
+
+std::unique_ptr<SetSource> FileSetSource::Fork(std::string* error) const {
+  std::optional<FileSetSource> fork = Open(path_, error);
+  if (!fork.has_value()) return nullptr;
+  if (fork->num_elements_ != num_elements_ || fork->num_sets_ != num_sets_) {
+    if (error != nullptr) {
+      *error = path_ + ": dimensions changed since Open";
+    }
+    return nullptr;
+  }
+  return std::make_unique<FileSetSource>(std::move(*fork));
 }
 
 bool FileSetSource::Scan(const SetVisitor& visit) {
@@ -65,6 +94,7 @@ bool FileSetSource::Scan(const SetVisitor& visit) {
     return fail("header changed since Open");
   }
   for (uint32_t s = 0; s < num_sets_; ++s) {
+    if (s % kCancelStride == 0 && CancelFired()) return false;
     uint64_t size = 0;
     if (!(in >> size)) {
       return fail("truncated set header at set " + std::to_string(s));

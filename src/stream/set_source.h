@@ -23,6 +23,7 @@
 
 #include "setsystem/set_system.h"
 #include "setsystem/set_view.h"
+#include "util/cancel_token.h"
 
 namespace streamcover {
 
@@ -46,11 +47,47 @@ class SetSource {
   /// surfaces as a value instead of an SC_CHECK abort.
   virtual bool Scan(const SetVisitor& visit) = 0;
 
+  /// An independent scanner over the same repository: fresh cursor,
+  /// fresh decode buffer, fresh (empty) sticky-error state, sharing only
+  /// the immutable bytes underneath (in-memory CSR, mmap pages, or the
+  /// on-disk file). Forks may Scan concurrently with the parent and each
+  /// other — the serving layer draws one per in-flight request over a
+  /// shared resident instance. Returns nullptr with *error set when the
+  /// repository cannot be reattached (file vanished) or the source does
+  /// not support forking (the default).
+  virtual std::unique_ptr<SetSource> Fork(std::string* error) const;
+
+  /// Arms cooperative cancellation: every Scan polls `cancel` at batch
+  /// granularity (a few hundred sets) and fails with the sticky error
+  /// kDeadlineExceededError once it fires — the same graceful unwind
+  /// path as a mid-scan repository fault. Pass nullptr to disarm. The
+  /// token must outlive the scans it guards; one cancelled source stays
+  /// dead (sticky), so per-request forks each arm their own token.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// Empty until a Scan fails; sticky afterwards.
   const std::string& error() const { return error_; }
 
  protected:
+  /// Scan-loop poll stride: sets between cancellation checks. Small
+  /// enough that a deadline lands within microseconds of firing, large
+  /// enough that the steady_clock read never shows up in a profile.
+  static constexpr uint32_t kCancelStride = 256;
+
+  /// True — and latches error_ = kDeadlineExceededError — once the armed
+  /// token has fired. Scan loops call this every kCancelStride sets
+  /// (including set 0, so an already-expired deadline never starts a
+  /// scan).
+  bool CancelFired() {
+    if (cancel_ == nullptr || !cancel_->cancelled()) return false;
+    error_ = kDeadlineExceededError;
+    return true;
+  }
+
   std::string error_;
+
+ private:
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Scans an in-memory SetSystem (does not take ownership).
@@ -61,6 +98,9 @@ class InMemorySetSource : public SetSource {
   uint32_t num_elements() const override;
   uint32_t num_sets() const override;
   bool Scan(const SetVisitor& visit) override;
+
+  /// Trivially forkable: the CSR is immutable and borrowed.
+  std::unique_ptr<SetSource> Fork(std::string* error) const override;
 
  private:
   const SetSystem* system_;
@@ -87,7 +127,15 @@ class FileSetSource : public SetSource {
   /// set, never an abort.
   bool Scan(const SetVisitor& visit) override;
 
+  /// Re-opens the file with a fresh parse buffer; scans of the fork and
+  /// the parent are independent (each re-reads the file per pass
+  /// anyway). Fails if the file has vanished or its header changed.
+  std::unique_ptr<SetSource> Fork(std::string* error) const override;
+
   const std::string& path() const { return path_; }
+
+  /// On-disk size of the repository, for cache byte accounting.
+  uint64_t repository_bytes() const { return file_bytes_; }
 
   /// Number of front-to-back parses of the file so far. With the
   /// shared-scan scheduler this equals *physical* scans — one parse
@@ -101,6 +149,7 @@ class FileSetSource : public SetSource {
   std::string path_;
   uint32_t num_elements_ = 0;
   uint32_t num_sets_ = 0;
+  uint64_t file_bytes_ = 0;
   uint64_t parses_ = 0;
   std::vector<uint32_t> scan_buffer_;  // reused across sets and scans
 };

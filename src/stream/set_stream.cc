@@ -10,4 +10,9 @@ SetStream::SetStream(SetSource* source) : source_(source) {
   SC_CHECK(source != nullptr);
 }
 
+SetStream::SetStream(std::unique_ptr<SetSource> source)
+    : owned_(std::move(source)), source_(owned_.get()) {
+  SC_CHECK(source_ != nullptr);
+}
+
 }  // namespace streamcover

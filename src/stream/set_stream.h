@@ -32,6 +32,11 @@ class SetStream {
   /// must outlive the stream.
   explicit SetStream(SetSource* source);
 
+  /// Streams a source the stream owns — the shape every per-request
+  /// fork takes (Instance::NewConcurrentStream): the fork has no other
+  /// owner, so the stream carries it.
+  explicit SetStream(std::unique_ptr<SetSource> source);
+
   /// Metadata the streaming model grants for free.
   uint32_t num_elements() const { return source_->num_elements(); }
   uint32_t num_sets() const { return source_->num_sets(); }
@@ -50,6 +55,10 @@ class SetStream {
   /// The source's sticky scan error; empty while the stream is healthy.
   const std::string& error() const { return source_->error(); }
 
+  /// Arms (or disarms, with nullptr) cooperative cancellation on the
+  /// underlying source; see SetSource::set_cancel.
+  void set_cancel(const CancelToken* cancel) { source_->set_cancel(cancel); }
+
   /// Number of passes performed so far. There is deliberately no reset:
   /// multi-trial drivers draw a fresh stream per trial from
   /// Instance::NewStream() (core/instance.h) — RunPlan does this
@@ -58,7 +67,7 @@ class SetStream {
   uint64_t passes() const { return passes_; }
 
  private:
-  std::unique_ptr<InMemorySetSource> owned_;  // set for the SetSystem ctor
+  std::unique_ptr<SetSource> owned_;  // set for the owning ctors
   SetSource* source_;
   uint64_t passes_ = 0;
 };

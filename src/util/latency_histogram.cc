@@ -1,0 +1,67 @@
+#include "util/latency_histogram.h"
+
+#include <cmath>
+
+namespace streamcover {
+
+int LatencyHistogram::BucketFor(double micros) {
+  if (!(micros > 1.0)) return 0;  // also catches NaN
+  // log2(us) * sub-buckets, floored: geometric boundaries at
+  // 2^(i / kSubBucketsPerOctave) microseconds.
+  const double idx =
+      std::floor(std::log2(micros) * kSubBucketsPerOctave);
+  if (idx >= kNumBuckets - 1) return kNumBuckets - 1;
+  return static_cast<int>(idx) + 1;
+}
+
+double LatencyHistogram::BucketUpperMillis(int bucket) {
+  if (bucket <= 0) return 1e-3;  // the 1us floor
+  return std::exp2(static_cast<double>(bucket) / kSubBucketsPerOctave) *
+         1e-3;
+}
+
+void LatencyHistogram::Record(double millis) {
+  const double micros = millis > 0 ? millis * 1e3 : 0.0;
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto whole = static_cast<uint64_t>(micros);
+  total_micros_.fetch_add(whole, std::memory_order_relaxed);
+  uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (whole > seen && !max_micros_.compare_exchange_weak(
+                             seen, whole, std::memory_order_relaxed)) {
+  }
+}
+
+LatencySnapshot LatencyHistogram::TakeSnapshot() const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  LatencySnapshot snap;
+  snap.count = total;
+  if (total == 0) return snap;
+  snap.max_ms =
+      static_cast<double>(max_micros_.load(std::memory_order_relaxed)) *
+      1e-3;
+  snap.mean_ms = static_cast<double>(
+                     total_micros_.load(std::memory_order_relaxed)) *
+                 1e-3 / static_cast<double>(total);
+  // Walk the cumulative distribution once for all three quantiles.
+  const double targets[3] = {0.50, 0.90, 0.99};
+  double* cells[3] = {&snap.p50_ms, &snap.p90_ms, &snap.p99_ms};
+  uint64_t cumulative = 0;
+  int t = 0;
+  for (int i = 0; i < kNumBuckets && t < 3; ++i) {
+    cumulative += counts[i];
+    while (t < 3 && static_cast<double>(cumulative) >=
+                        targets[t] * static_cast<double>(total)) {
+      *cells[t] = BucketUpperMillis(i);
+      ++t;
+    }
+  }
+  return snap;
+}
+
+}  // namespace streamcover

@@ -199,6 +199,44 @@ TEST(JsonTest, LargeIntegersRoundTripExactly) {
   EXPECT_EQ(parsed->Dump(0), doc.Dump(0));
 }
 
+TEST(JsonTest, RecursionDepthLimit) {
+  // The parser is recursive-descent; without a depth cap a hostile
+  // request line like "[[[[..." would overflow the stack. The serve
+  // layer feeds network input straight into Parse, so the cap is a
+  // security boundary, not a style choice.
+  auto nested = [](int depth, char open, char close) {
+    std::string text(static_cast<size_t>(depth), open);
+    text.append(static_cast<size_t>(depth), close);
+    return text;
+  };
+
+  // Exactly at the cap still parses: the top level is depth 0, so the
+  // depth counter reaches kMaxDepth=64 at the 65th bracket.
+  auto ok = JsonValue::Parse(nested(65, '[', ']'));
+  EXPECT_TRUE(ok.has_value());
+
+  // One past the cap is rejected with a clear reason, for arrays and
+  // for objects alike.
+  std::string error;
+  auto deep = JsonValue::Parse(nested(66, '[', ']'), &error);
+  EXPECT_FALSE(deep.has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  std::string object_text;
+  for (int i = 0; i < 66; ++i) object_text += "{\"a\":";
+  object_text += "1";
+  for (int i = 0; i < 66; ++i) object_text += "}";
+  error.clear();
+  auto deep_obj = JsonValue::Parse(object_text, &error);
+  EXPECT_FALSE(deep_obj.has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  // Way past the cap must fail cleanly too — this is the case that
+  // would actually smash the stack without the guard.
+  auto huge = JsonValue::Parse(nested(100000, '[', ']'), &error);
+  EXPECT_FALSE(huge.has_value());
+}
+
 TEST(JsonTest, IntegerAccessorsSaturateAndDoublesStillFlow) {
   // Plain doubles keep their old behavior.
   JsonValue d(1.5);

@@ -1,0 +1,85 @@
+// Tests for the log-bucketed latency histogram: quantile error bounds,
+// exact max/count/mean, edge values (sub-microsecond, beyond-ceiling),
+// and concurrent recording.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/latency_histogram.h"
+
+namespace streamcover {
+namespace {
+
+// Bucket boundaries grow by 2^(1/8), so a reported quantile is the
+// upper bound of the true value's bucket: within a factor of 2^(1/8)
+// (~9%) above the true value, never below it.
+constexpr double kBucketFactor = 1.0905077326652577;  // 2^(1/8)
+
+TEST(LatencyHistogramTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram hist;
+  LatencySnapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.p50_ms, 0);
+  EXPECT_EQ(snap.p99_ms, 0);
+  EXPECT_EQ(snap.max_ms, 0);
+  EXPECT_EQ(snap.mean_ms, 0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinBucketErrorBound) {
+  LatencyHistogram hist;
+  // 1..1000 ms uniformly: true p50 = 500, p90 = 900, p99 = 990.
+  for (int v = 1; v <= 1000; ++v) hist.Record(static_cast<double>(v));
+  LatencySnapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+
+  EXPECT_GE(snap.p50_ms, 500.0 * 0.999);
+  EXPECT_LE(snap.p50_ms, 500.0 * kBucketFactor * 1.001);
+  EXPECT_GE(snap.p90_ms, 900.0 * 0.999);
+  EXPECT_LE(snap.p90_ms, 900.0 * kBucketFactor * 1.001);
+  EXPECT_GE(snap.p99_ms, 990.0 * 0.999);
+  EXPECT_LE(snap.p99_ms, 990.0 * kBucketFactor * 1.001);
+
+  // Max and mean are exact, not bucketed.
+  EXPECT_DOUBLE_EQ(snap.max_ms, 1000.0);
+  EXPECT_NEAR(snap.mean_ms, 500.5, 0.01);
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesClampButMaxStaysExact) {
+  LatencyHistogram hist;
+  hist.Record(0.0);        // below the 1us floor -> bucket 0
+  hist.Record(0.0001);     // 0.1us, still bucket 0
+  hist.Record(5.0e6);      // ~83 minutes, beyond the table ceiling
+  LatencySnapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.max_ms, 5.0e6);
+  // p50 lands in the clamped region but must be finite and ordered.
+  EXPECT_GE(snap.p99_ms, snap.p50_ms);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(0.5 + static_cast<double>((t * 31 + i) % 100));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  LatencySnapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(snap.p50_ms, 0);
+  EXPECT_LE(snap.p50_ms, snap.p90_ms);
+  EXPECT_LE(snap.p90_ms, snap.p99_ms);
+  EXPECT_LE(snap.p99_ms, snap.max_ms * kBucketFactor);
+}
+
+}  // namespace
+}  // namespace streamcover

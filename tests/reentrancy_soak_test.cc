@@ -1,0 +1,136 @@
+// Re-entrancy soak: many threads solving over ONE shared Instance.
+//
+// The serving layer's core claim is that a prepared Instance is an
+// immutable repository: any number of concurrent RunSolverShared calls
+// may scan it simultaneously through forked sources without racing and
+// without perturbing each other's results. This test is the claim's
+// enforcement — N threads × M solvers against one shared Instance,
+// for BOTH backings the serve path uses (in-memory CSR and an
+// mmap-backed binary file), with every concurrent cover required to be
+// byte-identical to the serial run of the same (solver, seed) pair.
+//
+// Run it under TSan (the CI serve job does): any unsynchronized access
+// on the shared scan path — source state, pass counters, live-mask
+// words — shows up as a data race here long before it corrupts a
+// result.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver_registry.h"
+#include "geometry/geom_generators.h"
+#include "setsystem/binary_io.h"
+#include "setsystem/generators.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+constexpr const char* kSolvers[] = {"iter", "store_all_greedy",
+                                    "threshold_greedy"};
+constexpr size_t kNumSolvers = sizeof(kSolvers) / sizeof(kSolvers[0]);
+constexpr uint32_t kThreads = 8;
+constexpr uint32_t kRoundsPerThread = 4;
+
+RunOptions OptionsFor(uint32_t thread, uint32_t round) {
+  RunOptions options;
+  options.delta = 0.5;
+  options.seed = 1 + (thread * kRoundsPerThread + round) % 5;
+  return options;
+}
+
+/// Runs the soak against `instance` and checks every concurrent result
+/// against its serial twin.
+void Soak(const Instance& instance) {
+  // Serial reference: one result per (solver, seed) pair, computed
+  // before any concurrency starts.
+  std::vector<std::vector<RunResult>> reference(kNumSolvers);
+  for (size_t s = 0; s < kNumSolvers; ++s) {
+    for (uint32_t seed = 1; seed <= 5; ++seed) {
+      RunOptions options;
+      options.delta = 0.5;
+      options.seed = seed;
+      RunResult r = RunSolverShared(kSolvers[s], instance, options);
+      ASSERT_TRUE(r.ok()) << kSolvers[s] << ": " << r.error;
+      ASSERT_TRUE(r.success);
+      reference[s].push_back(std::move(r));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint32_t round = 0; round < kRoundsPerThread; ++round) {
+        const size_t s = (t + round) % kNumSolvers;
+        RunOptions options = OptionsFor(t, round);
+        RunResult r = RunSolverShared(kSolvers[s], instance, options);
+        if (!r.ok()) {
+          failures[t] = std::string(kSolvers[s]) + ": " + r.error;
+          return;
+        }
+        const RunResult& want = reference[s][options.seed - 1];
+        // Byte-identical cover AND identical accounting: concurrency
+        // must be invisible to the algorithm.
+        if (r.cover.set_ids != want.cover.set_ids ||
+            r.passes != want.passes ||
+            r.sequential_scans != want.sequential_scans) {
+          failures[t] = std::string(kSolvers[s]) +
+                        ": concurrent result diverged from serial";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": "
+                                     << failures[t];
+  }
+}
+
+PlantedInstance MakePlanted() {
+  Rng rng(7);
+  PlantedOptions options;
+  options.num_elements = 400;
+  options.num_sets = 900;
+  options.cover_size = 10;
+  return GeneratePlanted(options, rng);
+}
+
+TEST(ReentrancySoakTest, SharedMemoryBackedInstance) {
+  Instance instance =
+      Instance::FromPlanted(MakePlanted(), {"soak-mem", "generated"});
+  instance.Prepare();
+  Soak(instance);
+}
+
+TEST(ReentrancySoakTest, SharedMmapBackedInstance) {
+  PlantedInstance planted = MakePlanted();
+  const std::string path = ::testing::TempDir() + "/soak_shared.bin";
+  std::string error;
+  ASSERT_TRUE(WriteBinarySetSystem(planted.system, path, &error)) << error;
+  std::optional<Instance> instance = Instance::FromFile(path, &error);
+  ASSERT_TRUE(instance.has_value()) << error;
+  instance->Prepare();
+  Soak(*instance);
+}
+
+TEST(ReentrancySoakTest, UnpreparedOrUnforkableInstanceFailsSoft) {
+  // NewConcurrentStream on a never-prepared geometric instance must
+  // refuse with an error, not materialize lazily under const.
+  Instance instance = Instance::FromGeometry(GenerateFigure12(20),
+                                             {"soak-geom", "generated"});
+  std::string error;
+  const Instance& shared = instance;
+  EXPECT_FALSE(shared.NewConcurrentStream(&error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace streamcover

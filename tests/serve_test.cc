@@ -1,0 +1,347 @@
+// In-process tests for the serve core: request parsing, the bounded
+// queue's queue_full rejection, deadline semantics (expired-in-queue
+// and fired-mid-solve), cooperative cancellation through RunSolver,
+// stats accounting, and graceful shutdown.
+//
+// Everything runs against CoverageServer directly — the same object
+// tools/streamcover_serve.cc wraps in sockets — so these tests cover
+// the tentpole contract without touching the network.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver_registry.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "setsystem/generators.h"
+#include "util/cancel_token.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace streamcover {
+namespace {
+
+constexpr const char kSmallInstance[] = "planted:n=300,m=600,k=8";
+
+/// Blocks for the single response line of one request.
+std::string Call(CoverageServer& server, const std::string& line) {
+  std::promise<std::string> done;
+  std::future<std::string> response = done.get_future();
+  server.HandleLine(line,
+                    [&done](const std::string& text) { done.set_value(text); });
+  return response.get();
+}
+
+JsonValue ParseResponse(const std::string& line) {
+  std::string error;
+  auto value = JsonValue::Parse(line, &error);
+  EXPECT_TRUE(value.has_value()) << error << " in: " << line;
+  return value.has_value() ? std::move(*value) : JsonValue();
+}
+
+std::string ErrorCode(const JsonValue& response) {
+  return response.At("error").At("code").AsString();
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken semantics (the deadline primitive under everything else).
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, ManualCancelLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.cancelled());  // monotonic
+}
+
+TEST(CancelTokenTest, ZeroBudgetIsAlreadyExpired) {
+  CancelToken token = CancelToken::AfterMillis(0);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, FutureDeadlineFiresAfterElapsing) {
+  CancelToken token = CancelToken::AfterMillis(30);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_GT(token.RemainingMillis(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_LT(token.RemainingMillis(), 0);
+}
+
+TEST(CancelTokenTest, FiredTokenUnwindsRunSolverWithDeadlineError) {
+  // The integration the serve layer depends on: a pre-fired token makes
+  // any streaming solver return exactly kDeadlineExceededError.
+  Rng rng(11);
+  PlantedOptions options;
+  options.num_elements = 200;
+  options.num_sets = 400;
+  options.cover_size = 6;
+  Instance instance = Instance::FromPlanted(GeneratePlanted(options, rng),
+                                            {"cancel-test", "generated"});
+  CancelToken token;
+  token.Cancel();
+  RunOptions run_options;
+  run_options.cancel = &token;
+  RunResult result = RunSolver("iter", instance, run_options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, kDeadlineExceededError);
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocolTest, ParsesFullSolveRequest) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","id":"r7","instance":"planted:n=100",)"
+      R"("solver":"iter","deadline_ms":250,"seed":3,"delta":0.25,)"
+      R"("include_cover":true,"threads":2})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.op, "solve");
+  EXPECT_EQ(request.id, "r7");
+  EXPECT_EQ(request.instance, "planted:n=100");
+  EXPECT_EQ(request.solver, "iter");
+  ASSERT_TRUE(request.deadline_ms.has_value());
+  EXPECT_EQ(*request.deadline_ms, 250);
+  EXPECT_EQ(request.seed, 3u);
+  EXPECT_DOUBLE_EQ(request.delta, 0.25);
+  EXPECT_TRUE(request.include_cover);
+  EXPECT_EQ(request.threads, 2u);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedAndWrongTypes) {
+  ServeRequest request;
+  std::string error;
+  // Not JSON at all.
+  EXPECT_FALSE(ParseServeRequest("solve please", &request, &error));
+  // A string where a number belongs is a hard error, not a default.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","seed":"three"})",
+      &request, &error));
+  // solve without instance/solver is incomplete.
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"solve"})", &request, &error));
+  // Unknown op.
+  EXPECT_FALSE(ParseServeRequest(R"({"op":"dance"})", &request, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Server behavior.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTest, SolveRoundTripAndStats) {
+  ServerOptions options;
+  options.workers = 2;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue ping = ParseResponse(Call(server, R"({"op":"ping"})"));
+  EXPECT_TRUE(ping.At("ok").AsBool());
+
+  JsonValue solve = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","id":"s1","instance":")") +
+                  kSmallInstance + R"(","solver":"iter"})"));
+  EXPECT_TRUE(solve.At("ok").AsBool()) << solve.Dump(0);
+  EXPECT_EQ(solve.At("id").AsString(), "s1");
+  EXPECT_GT(solve.At("cover_size").AsUint64(), 0u);
+  EXPECT_GT(solve.At("duration_ms").AsDouble(), 0);
+
+  // A second solve on the same instance hits the cache.
+  ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") +
+                  kSmallInstance + R"(","solver":"store_all_greedy"})"));
+
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.At("ok").AsBool());
+  const JsonValue& requests = stats.At("requests");
+  EXPECT_GE(requests.At("ok").AsUint64(), 2u);  // the two solves
+  EXPECT_GE(requests.At("received").AsUint64(), 4u);
+  EXPECT_EQ(stats.At("cache").At("misses").AsUint64(), 1u);
+  EXPECT_GE(stats.At("cache").At("hits").AsUint64(), 1u);
+  EXPECT_GE(stats.At("latency").At("count").AsUint64(), 2u);
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, UnknownInstanceAndSolverAreDistinctErrors) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue not_found = ParseResponse(Call(
+      server, R"({"op":"solve","instance":"nope:n=1","solver":"iter"})"));
+  EXPECT_FALSE(not_found.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(not_found), kErrNotFound);
+
+  JsonValue bad_solver = ParseResponse(
+      Call(server, std::string(R"({"op":"solve","instance":")") +
+                       kSmallInstance + R"(","solver":"nope"})"));
+  EXPECT_FALSE(bad_solver.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(bad_solver), kErrSolveFailed);
+
+  JsonValue bad = ParseResponse(Call(server, "not json"));
+  EXPECT_EQ(ErrorCode(bad), kErrBadRequest);
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, ExpiredInQueueDeadlineAnswersWithoutRunning) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  // deadline_ms:0 means the budget was spent before admission; the
+  // request must be answered deadline_exceeded without solving.
+  JsonValue response = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") +
+                  kSmallInstance +
+                  R"(","solver":"iter","deadline_ms":0})"));
+  EXPECT_FALSE(response.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(response), kErrDeadlineExceeded);
+
+  // Nothing ran: no cache entry was ever loaded.
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  EXPECT_EQ(stats.At("cache").At("misses").AsUint64(), 0u);
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, DeadlineFiresMidSleepCooperatively) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  // A 5s sleep under a 50ms deadline must come back deadline_exceeded
+  // in far less than 5s — the worker polls the token between slices.
+  const auto start = std::chrono::steady_clock::now();
+  JsonValue response = ParseResponse(
+      Call(server, R"({"op":"sleep","sleep_ms":5000,"deadline_ms":50})"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(response.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(response), kErrDeadlineExceeded);
+  EXPECT_LT(elapsed_ms, 2000) << "cancellation was not cooperative";
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, FullQueueRejectsImmediately) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  CoverageServer server(options);
+  server.Start();
+
+  // One request occupies the worker, two fill the queue; the rest must
+  // be rejected queue_full inline (not buffered, not blocked).
+  constexpr int kBlockers = 3;
+  constexpr int kOverflow = 4;
+  std::vector<std::future<std::string>> slow;
+  std::vector<std::promise<std::string>> slow_done(kBlockers);
+  auto post_blocker = [&](int i) {
+    slow.push_back(slow_done[i].get_future());
+    auto* promise = &slow_done[i];
+    server.HandleLine(R"({"op":"sleep","sleep_ms":400})",
+                      [promise](const std::string& text) {
+                        promise->set_value(text);
+                      });
+  };
+  // First blocker, then wait for the worker to dequeue it so the two
+  // that follow sit in the queue and fill it exactly.
+  post_blocker(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  post_blocker(1);
+  post_blocker(2);
+
+  // The worker is busy for another ~300ms and the queue is full: every
+  // overflow request must come back queue_full inline, in microseconds.
+  int rejected = 0;
+  for (int i = 0; i < kOverflow; ++i) {
+    JsonValue response =
+        ParseResponse(Call(server, R"({"op":"sleep","sleep_ms":400})"));
+    if (!response.At("ok").AsBool() &&
+        ErrorCode(response) == kErrQueueFull) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, kOverflow - 1) << "queue did not shed load";
+
+  // Control ops bypass the queue even while it is full.
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.At("ok").AsBool());
+  EXPECT_GE(stats.At("requests").At("queue_full").AsUint64(),
+            static_cast<uint64_t>(rejected));
+
+  for (auto& f : slow) {
+    JsonValue done = ParseResponse(f.get());
+    EXPECT_TRUE(done.At("ok").AsBool());
+  }
+  server.Shutdown();
+}
+
+TEST(ServeTest, ShutdownDrainsAdmittedWorkThenRejects) {
+  ServerOptions options;
+  options.workers = 2;
+  CoverageServer server(options);
+  server.Start();
+
+  // Admit work, then shut down while it is still running: the admitted
+  // requests must complete, not be dropped.
+  std::vector<std::future<std::string>> admitted;
+  std::vector<std::promise<std::string>> done(4);
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(done[i].get_future());
+    auto* promise = &done[i];
+    server.HandleLine(R"({"op":"sleep","sleep_ms":100})",
+                      [promise](const std::string& text) {
+                        promise->set_value(text);
+                      });
+  }
+  server.Shutdown();
+  for (auto& f : admitted) {
+    JsonValue response = ParseResponse(f.get());
+    EXPECT_TRUE(response.At("ok").AsBool()) << response.Dump(0);
+  }
+
+  // After the drain, new work is refused with shutting_down.
+  JsonValue refused =
+      ParseResponse(Call(server, R"({"op":"sleep","sleep_ms":1})"));
+  EXPECT_FALSE(refused.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(refused), kErrShuttingDown);
+}
+
+TEST(ServeTest, DefaultDeadlineAppliesToBareRequests) {
+  ServerOptions options;
+  options.workers = 1;
+  options.default_deadline_ms = 40;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue response = ParseResponse(
+      Call(server, R"({"op":"sleep","sleep_ms":5000})"));
+  EXPECT_FALSE(response.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(response), kErrDeadlineExceeded);
+
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace streamcover

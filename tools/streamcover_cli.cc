@@ -45,7 +45,7 @@
 //       Executes the (solvers × workloads × seeds × trials) grid
 //       through WorkloadRegistry/RunPlan, prints the summary table
 //       (passes vs sequential vs physical scans), and optionally
-//       writes the RunReport JSON (schema streamcover.run_report.v2).
+//       writes the RunReport JSON (schema streamcover.run_report.v3).
 //   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
 //            [--seed SEED] --out FILE
 //       Writes a geometric instance (geometry/geom_io.h format).
@@ -59,6 +59,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +76,32 @@
 
 namespace streamcover {
 namespace {
+
+// -----------------------------------------------------------------------
+// SIGINT/SIGTERM for the long-running commands (generate-disk, sweep):
+// the handler only fires a CancelToken (one relaxed atomic store —
+// async-signal-safe); the command's inner loop polls it, stops cleanly,
+// and removes any partially written output instead of leaving a
+// truncated file behind.
+
+CancelToken& InterruptToken() {
+  static CancelToken* token = new CancelToken();
+  return *token;
+}
+
+void OnInterrupt(int /*signo*/) { InterruptToken().Cancel(); }
+
+void InstallInterruptHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnInterrupt;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// 128 + SIGINT, the conventional "killed by signal" exit code.
+constexpr int kInterruptExit = 130;
 
 struct Args {
   std::map<std::string, std::string> flags;
@@ -444,7 +471,10 @@ int CmdGenerateDisk(const Args& args) {
 
   // Generator → sink, set by set: the instance is never materialized,
   // so paper-scale files (m in the tens of millions) stream straight to
-  // disk in O(n + m) memory.
+  // disk in O(n + m) memory. Ctrl-C mid-generation aborts via the sink
+  // (a multi-GB file takes minutes) and removes the partial output —
+  // never leaves a truncated SCOVRB01 file behind.
+  InstallInterruptHandler();
   std::string error;
   std::optional<BinarySetWriter> writer;
   std::optional<TextSetSink> text_sink;
@@ -459,6 +489,7 @@ int CmdGenerateDisk(const Args& args) {
     text_sink.emplace(out, n, m);
   }
   SetSink sink = [&](std::span<const uint32_t> elements) {
+    if (InterruptToken().cancelled()) return false;
     return writer.has_value() ? writer->AddSet(elements)
                               : text_sink->Add(elements);
   };
@@ -480,6 +511,17 @@ int CmdGenerateDisk(const Args& args) {
     return 1;
   }
   if (!result.has_value()) {
+    if (InterruptToken().cancelled()) {
+      // The sink refused the next set because SIGINT/SIGTERM fired.
+      // Drop the writer (closing the half-written file) and remove it:
+      // a truncated SCOVRB01 file would fail validation downstream.
+      writer.reset();
+      text_sink.reset();
+      std::remove(out.c_str());
+      std::fprintf(stderr, "interrupted; removed partial %s\n",
+                   out.c_str());
+      return kInterruptExit;
+    }
     std::fprintf(stderr, "generation aborted: %s%s%s\n", error.c_str(),
                  writer.has_value() && !writer->error().empty() ? ": " : "",
                  writer.has_value() ? writer->error().c_str() : "");
@@ -662,12 +704,21 @@ int CmdSweep(const Args& args) {
   plan.trials = static_cast<uint32_t>(num_trials);
   if (args.BadFlags()) return 1;
 
-  RunReport report = ExecutePlan(plan);
+  // SIGINT/SIGTERM stop the grid at the next run boundary: the partial
+  // table is printed but the --json report is suppressed (a half-grid
+  // report would be indistinguishable from a complete one downstream).
+  InstallInterruptHandler();
+  RunReport report = ExecutePlan(plan, &InterruptToken());
   std::printf("sweep: %zu solvers x %zu workloads x %zu seeds x %u "
               "trials\n\n",
               plan.solvers.size(), plan.workloads.size(),
               plan.seeds.size(), plan.trials);
   report.SummaryTable().Print(std::cout);
+  if (InterruptToken().cancelled()) {
+    std::fprintf(stderr,
+                 "\ninterrupted; partial results above, no JSON written\n");
+    return kInterruptExit;
+  }
 
   bool any_failure = false;
   for (const RunCell& cell : report.cells) {
@@ -893,7 +944,7 @@ int CmdSelfTest() {
     std::string error;
     auto parsed = JsonValue::Parse(buffer.str(), &error);
     if (!parsed.has_value() || !parsed->is_object() ||
-        parsed->At("schema").AsString() != "streamcover.run_report.v2" ||
+        parsed->At("schema").AsString() != "streamcover.run_report.v3" ||
         parsed->At("cells").size() != 9 ||
         !parsed->At("cells")[0].At("physical_scans").is_object() ||
         parsed->At("solvers")[0].At("options").At("kernel").AsString() !=
