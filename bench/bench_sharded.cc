@@ -1,0 +1,404 @@
+// Sharded-solve bench: the RandGreeDI-style partition/merge engine
+// (src/shard/) on a disk-resident planted instance, across a ladder of
+// shard counts.
+//
+// For each S in --shards the instance is solved by `sharded_greedi`
+// with S shards and S scheduler threads, all shards sharing ONE
+// physical scan. The bench reports two speedups against the S=1 level:
+//
+//   * speedup_wall  = wall(S=1) / wall(S) — honest wall clock, which on
+//     a single-core host stays near 1 by construction;
+//   * speedup_work  = work_total(S=1) / work_max(S) — the critical-path
+//     scaling a parallel host realizes: total bucket-kernel work at S=1
+//     over the heaviest single shard's work at S. Hash partitioning
+//     balances the substreams, so this is the near-linear curve the
+//     paper's distributed model predicts, measurable on any host.
+//
+// Sanity pinned here (and gated in CI): the S=1 cover is byte-identical
+// to the unsharded `greedi` reference, every level covers, and no
+// level's cover exceeds 3x the reference.
+//
+// The acceptance-scale run behind the committed BENCH_sharded.json:
+//   bench_sharded --n 100000 --m 10000000
+// The defaults keep CI fast.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/instance.h"
+#include "core/solver_registry.h"
+#include "setsystem/binary_io.h"
+#include "setsystem/generators.h"
+#include "setsystem/stream_generators.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace streamcover {
+namespace {
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  return is ? static_cast<uint64_t>(is.tellg()) : 0;
+}
+
+/// VmHWM from /proc/self/status, in KiB; 0 where unavailable.
+uint64_t PeakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<uint64_t>(std::atoll(line.c_str() + 6));
+    }
+  }
+  return 0;
+}
+
+struct GenOutcome {
+  uint64_t nnz = 0;
+  double seconds = 0;
+};
+
+/// Streams a planted instance straight to the binary on-disk format —
+/// never materialized, exactly the PR-6 generate-disk path.
+bool GenerateToDisk(uint32_t n, uint32_t m, uint32_t k, uint32_t noise_max,
+                    uint64_t seed, const std::string& path,
+                    GenOutcome* out) {
+  std::string error;
+  std::optional<BinarySetWriter> writer =
+      BinarySetWriter::Create(path, n, &error);
+  if (!writer.has_value()) {
+    std::fprintf(stderr, "bench_sharded: %s\n", error.c_str());
+    return false;
+  }
+  SetSink sink = [&](std::span<const uint32_t> elements) {
+    return writer->AddSet(elements);
+  };
+  PlantedOptions options;
+  options.num_elements = n;
+  options.num_sets = m;
+  options.cover_size = k;
+  options.noise_min_size = 1;
+  options.noise_max_size = noise_max;
+  WallTimer timer;
+  std::optional<StreamGenResult> gen =
+      StreamPlanted(options, seed, sink, &error);
+  if (!gen.has_value() || !writer->Finish(&error)) {
+    std::fprintf(stderr, "bench_sharded: generation failed: %s\n",
+                 error.c_str());
+    return false;
+  }
+  out->nnz = writer->nnz();
+  out->seconds = timer.ElapsedSeconds();
+  return true;
+}
+
+struct LevelStats {
+  uint32_t shards = 0;
+  double wall_ms = 0;
+  uint64_t cover = 0;
+  bool success = false;
+  uint64_t passes = 0;
+  uint64_t sequential_scans = 0;
+  uint64_t physical_scans = 0;
+  uint64_t space_words = 0;
+  uint64_t candidates = 0;   ///< per-shard candidates, summed
+  uint64_t work_total = 0;   ///< bucket-kernel elements, all shards
+  uint64_t work_max = 0;     ///< heaviest single shard
+  MergeStat merge;
+  std::vector<uint32_t> cover_ids;  // for the S=1 parity pin
+};
+
+JsonValue LevelJson(const LevelStats& level, const LevelStats& base) {
+  JsonValue v = JsonValue::Object();
+  v.Set("shards", static_cast<uint64_t>(level.shards));
+  v.Set("threads", static_cast<uint64_t>(level.shards));
+  v.Set("wall_ms", level.wall_ms);
+  v.Set("cover", level.cover);
+  v.Set("success", level.success);
+  v.Set("passes", level.passes);
+  v.Set("sequential_scans", level.sequential_scans);
+  v.Set("physical_scans", level.physical_scans);
+  v.Set("space_words", level.space_words);
+  v.Set("candidates", level.candidates);
+  v.Set("work_total", level.work_total);
+  v.Set("work_max", level.work_max);
+  JsonValue merge = JsonValue::Object();
+  merge.Set("candidates", level.merge.candidates);
+  merge.Set("duplicates_dropped", level.merge.duplicates_dropped);
+  merge.Set("picked", level.merge.picked);
+  merge.Set("duration_ms", level.merge.duration_ms);
+  v.Set("merge", std::move(merge));
+  v.Set("speedup_wall", level.wall_ms > 0 ? base.wall_ms / level.wall_ms : 0);
+  v.Set("speedup_work",
+        level.work_max > 0
+            ? static_cast<double>(base.work_total) /
+                  static_cast<double>(level.work_max)
+            : 0);
+  return v;
+}
+
+int Run(const std::string& json_path, uint32_t n, uint32_t m, uint32_t k,
+        uint32_t noise_max, uint64_t seed,
+        const std::vector<uint32_t>& shard_levels, std::string file,
+        bool keep_file) {
+  benchutil::Banner("Sharded solve — hash partition + bucket engines + "
+                    "greedy merge (planted n=" + std::to_string(n) +
+                    ", m=" + std::to_string(m) + ", k=" + std::to_string(k) +
+                    ")");
+  if (shard_levels.empty() || shard_levels.front() != 1) {
+    std::fprintf(stderr,
+                 "bench_sharded: --shards must start with 1 (the speedup "
+                 "baseline)\n");
+    return 1;
+  }
+
+  // --- Stage the repository on disk (or reuse --file). ---
+  GenOutcome gen;
+  const bool generated = file.empty();
+  if (generated) {
+    const char* tmp = std::getenv("TMPDIR");
+    file = std::string(tmp != nullptr ? tmp : "/tmp") +
+           "/bench_sharded_instance.bin";
+    if (!GenerateToDisk(n, m, k, noise_max, seed, file, &gen)) return 1;
+    benchutil::Note("generated " + file + ": nnz=" + std::to_string(gen.nnz) +
+                    " in " + Table::Fmt(gen.seconds, 1) + "s");
+  }
+  const uint64_t file_bytes = FileBytes(file);
+
+  std::string error;
+  std::optional<Instance> instance = Instance::FromFile(file, &error);
+  if (!instance.has_value()) {
+    std::fprintf(stderr, "bench_sharded: %s\n", error.c_str());
+    return 1;
+  }
+  benchutil::Note("repository: " + std::to_string(file_bytes) + " bytes, n=" +
+                  std::to_string(instance->num_elements()) + ", m=" +
+                  std::to_string(instance->num_sets()));
+
+  RunOptions options;
+  options.seed = seed;
+
+  // --- Unsharded reference: the `greedi` family with one engine. ---
+  RunResult reference = RunSolver("greedi", *instance, options);
+  if (!reference.ok() || !reference.success) {
+    std::fprintf(stderr, "bench_sharded: greedi reference failed: %s\n",
+                 reference.error.c_str());
+    return 1;
+  }
+  benchutil::Note("greedi reference: cover=" +
+                  std::to_string(reference.cover.size()) + " wall_ms=" +
+                  Table::Fmt(reference.duration_ms, 1));
+
+  // --- Shard ladder, S scheduler threads per level S. ---
+  std::vector<LevelStats> levels;
+  for (uint32_t shards : shard_levels) {
+    options.shards = shards;
+    options.threads = shards;
+    RunResult result = RunSolver("sharded_greedi", *instance, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_sharded: shards=%u failed: %s\n", shards,
+                   result.error.c_str());
+      return 1;
+    }
+    if (!result.success) {
+      std::fprintf(stderr, "bench_sharded: shards=%u did not cover\n",
+                   shards);
+      return 1;
+    }
+    LevelStats level;
+    level.shards = shards;
+    level.wall_ms = result.duration_ms;
+    level.cover = result.cover.size();
+    level.success = result.success;
+    level.passes = result.passes;
+    level.sequential_scans = result.sequential_scans;
+    level.physical_scans = result.physical_scans;
+    level.space_words = result.space_words;
+    for (const ShardStat& s : result.shard_stats) {
+      level.candidates += s.candidates;
+      level.work_total += s.work_items;
+      level.work_max = std::max(level.work_max, s.work_items);
+    }
+    level.merge = result.merge_stats;
+    level.cover_ids = result.cover.set_ids;
+    levels.push_back(std::move(level));
+  }
+
+  // --- Sanity pins: S=1 parity with greedi, bounded cover ratio. ---
+  if (levels.front().cover_ids != reference.cover.set_ids) {
+    std::fprintf(stderr,
+                 "bench_sharded: shards=1 cover differs from the greedi "
+                 "reference — shard invariance broken\n");
+    return 1;
+  }
+  for (const LevelStats& level : levels) {
+    if (level.cover > 3 * reference.cover.size()) {
+      std::fprintf(stderr,
+                   "bench_sharded: shards=%u cover %llu exceeds 3x the "
+                   "reference %zu\n",
+                   level.shards,
+                   static_cast<unsigned long long>(level.cover),
+                   reference.cover.size());
+      return 1;
+    }
+  }
+
+  const LevelStats& base = levels.front();
+  Table table({"shards", "wall_ms", "cover", "candidates", "work_total",
+               "work_max", "speedup_wall", "speedup_work"});
+  for (const LevelStats& level : levels) {
+    table.AddRow(
+        {Table::Fmt(level.shards), Table::Fmt(level.wall_ms, 1),
+         Table::Fmt(level.cover), Table::Fmt(level.candidates),
+         Table::Fmt(level.work_total), Table::Fmt(level.work_max),
+         Table::Fmt(level.wall_ms > 0 ? base.wall_ms / level.wall_ms : 0, 2) +
+             "x",
+         Table::Fmt(level.work_max > 0
+                        ? static_cast<double>(base.work_total) /
+                              static_cast<double>(level.work_max)
+                        : 0,
+                    2) +
+             "x"});
+  }
+  table.Print(std::cout);
+  benchutil::Note("shards=1 cover is byte-identical to greedi (" +
+                  std::to_string(reference.cover.size()) + " sets)");
+  const uint64_t rss_kb = PeakRssKb();
+  benchutil::Note("peak RSS: " + std::to_string(rss_kb) + " KiB");
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", "streamcover.bench_sharded.v1");
+    JsonValue p = JsonValue::Object();
+    p.Set("workload", "planted");
+    p.Set("n", static_cast<uint64_t>(n));
+    p.Set("m", static_cast<uint64_t>(m));
+    p.Set("k", static_cast<uint64_t>(k));
+    p.Set("noise_max", static_cast<uint64_t>(noise_max));
+    p.Set("seed", seed);
+    JsonValue shard_list = JsonValue::Array();
+    for (uint32_t shards : shard_levels) {
+      shard_list.Append(static_cast<uint64_t>(shards));
+    }
+    p.Set("shards", std::move(shard_list));
+    doc.Set("params", std::move(p));
+    JsonValue host = JsonValue::Object();
+    host.Set("hardware_concurrency",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    doc.Set("host", std::move(host));
+    JsonValue repo = JsonValue::Object();
+    repo.Set("bytes", file_bytes);
+    repo.Set("generated", generated);
+    if (generated) {
+      repo.Set("nnz", gen.nnz);
+      repo.Set("generation_seconds", gen.seconds);
+    }
+    doc.Set("repository", std::move(repo));
+    JsonValue ref = JsonValue::Object();
+    ref.Set("solver", "greedi");
+    ref.Set("cover", static_cast<uint64_t>(reference.cover.size()));
+    ref.Set("success", reference.success);
+    ref.Set("wall_ms", reference.duration_ms);
+    ref.Set("space_words", reference.space_words);
+    doc.Set("reference", std::move(ref));
+    JsonValue level_json = JsonValue::Array();
+    for (const LevelStats& level : levels) {
+      level_json.Append(LevelJson(level, base));
+    }
+    doc.Set("levels", std::move(level_json));
+    doc.Set("shard1_matches_reference", true);
+    doc.Set("peak_rss_kb", rss_kb);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << doc.Dump(2) << '\n';
+    benchutil::Note("wrote " + json_path);
+  }
+
+  if (generated && !keep_file) std::remove(file.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace streamcover
+
+int main(int argc, char** argv) {
+  // Stable default path so the committed trajectory accumulates in one
+  // place (CI uploads the release run as an artifact).
+  std::string json_path = "BENCH_sharded.json";
+  uint32_t n = 20000;
+  uint32_t m = 200000;
+  uint32_t k = 50;
+  uint32_t noise_max = 64;
+  uint64_t seed = 1;
+  std::vector<uint32_t> shard_levels = {1, 2, 4, 8};
+  std::string file;
+  bool keep_file = false;
+  const char* usage =
+      "usage: bench_sharded [--json FILE] [--n N] [--m N] [--k N] "
+      "[--noise-max N] [--seed N] [--shards L1,L2,...] [--file BIN] "
+      "[--keep]\n";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s  (missing value for %s)\n", usage, flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--n") {
+      n = static_cast<uint32_t>(std::atoll(next("--n")));
+    } else if (arg == "--m") {
+      m = static_cast<uint32_t>(std::atoll(next("--m")));
+    } else if (arg == "--k") {
+      k = static_cast<uint32_t>(std::atoi(next("--k")));
+    } else if (arg == "--noise-max") {
+      noise_max = static_cast<uint32_t>(std::atoi(next("--noise-max")));
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--shards") {
+      shard_levels.clear();
+      std::string list = next("--shards");
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const long value = std::atol(tok.c_str());
+        if (value < 1) {
+          std::fprintf(stderr, "bench_sharded: bad --shards entry '%s'\n",
+                       tok.c_str());
+          return 1;
+        }
+        shard_levels.push_back(static_cast<uint32_t>(value));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--file") {
+      file = next("--file");
+    } else if (arg == "--keep") {
+      keep_file = true;
+    } else {
+      std::fprintf(stderr, "%s", usage);
+      return 1;
+    }
+  }
+  return streamcover::Run(json_path, n, m, k, noise_max, seed, shard_levels,
+                          file, keep_file);
+}

@@ -15,6 +15,7 @@
 #include "geometry/range_space.h"
 #include "offline/exact.h"
 #include "offline/greedy.h"
+#include "shard/sharded_greedi.h"
 #include "stream/space_tracker.h"
 #include "util/timer.h"
 
@@ -203,6 +204,14 @@ void RegisterBuiltins(SolverRegistry& registry) {
   add("streaming_max_cover",
       "[SG09]-style Max k-Cover: thresholded picks under a set budget",
       Kind::kStreaming, RunStreamingMaxCover);
+  add("greedi",
+      "distributed-greedy reference: 1 pass, geometric gain buckets + "
+      "greedy merge (sharded_greedi with one unpartitioned shard)",
+      Kind::kStreaming, RunGreediReference);
+  add("sharded_greedi",
+      "RandGreeDI-style sharded solve: hash-partition into S substreams "
+      "on one shared scan, bucket candidates per shard, greedy merge",
+      Kind::kStreaming, RunShardedGreedi);
   add("offline_greedy",
       "offline greedy via store-all buffering: rho = ln n",
       Kind::kOffline, RunOffline<GreedySolver>);

@@ -72,6 +72,12 @@ struct RunOptions {
   /// winner (never changes the winning cover; shaves physical scans and
   /// makes `passes` reflect passes actually consumed).
   bool early_exit = false;
+  /// Shard count for the sharded_greedi family: the stream is
+  /// hash-partitioned into this many substreams, each solved by its own
+  /// bucket engine on the shared scan, then merged (src/shard/). Other
+  /// solvers ignore it. Must be >= 1; shards == 1 is byte-identical to
+  /// the unsharded `greedi` reference.
+  uint32_t shards = 1;
   /// Coverage-kernel twin for every solver's inner loop and the
   /// scheduler's batch prefilter (util/cover_kernels.h). `word` is the
   /// 64-elements-per-mask-word path; `scalar` is the per-element
@@ -102,6 +108,24 @@ struct RunContext {
   /// Points/shapes payload for kGeometric solvers; nullptr otherwise.
   const GeomDataset* geometry = nullptr;
   const RunOptions& options;
+};
+
+/// Per-shard accounting from a sharded_greedi run (src/shard/). One row
+/// per shard engine, in shard order.
+struct ShardStat {
+  uint32_t shard = 0;
+  uint64_t sets_seen = 0;   ///< substream size the partitioner routed here
+  uint64_t candidates = 0;  ///< unique candidate sets handed to the merge
+  uint64_t inserts = 0;     ///< bucket acceptances (>= candidates)
+  uint64_t work_items = 0;  ///< elements pushed through the bucket kernels
+};
+
+/// Merge-stage accounting from a sharded_greedi run.
+struct MergeStat {
+  uint64_t candidates = 0;          ///< candidate union size after dedup
+  uint64_t duplicates_dropped = 0;  ///< repeated ids dropped at insertion
+  uint64_t picked = 0;              ///< sets the greedy merge selected
+  double duration_ms = 0;           ///< merge wall-clock (excl. the scan)
 };
 
 /// Uniform outcome: the cover plus the accounting columns of Figure 1.1.
@@ -135,6 +159,9 @@ struct RunResult {
   /// Filled for every dispatched run, successful or not; 0 only when
   /// dispatch itself failed (unknown solver, bad options).
   double duration_ms = 0;
+  /// Sharded-solver extras: empty for every other solver family.
+  std::vector<ShardStat> shard_stats;
+  MergeStat merge_stats;
   /// Non-empty iff the run could not be dispatched (unknown solver,
   /// missing geometry payload, ...). When set, all other fields are
   /// default-initialized.

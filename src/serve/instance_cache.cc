@@ -1,5 +1,6 @@
 #include "serve/instance_cache.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -48,8 +49,12 @@ bool ParseDouble(const std::string& text, double* out) {
 }
 
 /// Parses the "k=v,k=v" suffix of a workload name into WorkloadParams.
+/// Repeated keys are rejected: a spec like "n=300,n=400" is almost
+/// always a caller bug, and silently keeping the last value would make
+/// two different spec strings name the same cache entry's twin.
 bool ParseWorkloadParams(const std::string& spec, WorkloadParams* params,
                          std::string* error) {
+  std::vector<std::string> seen_keys;
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t comma = spec.find(',', pos);
@@ -63,6 +68,12 @@ bool ParseWorkloadParams(const std::string& spec, WorkloadParams* params,
     }
     const std::string key = pair.substr(0, eq);
     const std::string value = pair.substr(eq + 1);
+    if (std::find(seen_keys.begin(), seen_keys.end(), key) !=
+        seen_keys.end()) {
+      *error = "duplicate workload param '" + key + "'";
+      return false;
+    }
+    seen_keys.push_back(key);
     bool ok = true;
     if (key == "n") {
       ok = ParseUint32(value, &params->n);
@@ -93,6 +104,22 @@ bool ParseWorkloadParams(const std::string& spec, WorkloadParams* params,
 }
 
 }  // namespace
+
+bool IsMalformedInstanceSpec(const std::string& name, std::string* error) {
+  // A real file resolves regardless of what its name looks like, and a
+  // bare name (no params) can only fail as unknown — both are the
+  // caller naming something that does not exist, not a syntax error.
+  if (FileExists(name)) return false;
+  const size_t colon = name.find(':');
+  if (colon == std::string::npos) return false;
+  WorkloadParams scratch;
+  std::string param_error;
+  if (ParseWorkloadParams(name.substr(colon + 1), &scratch, &param_error)) {
+    return false;
+  }
+  if (error != nullptr) *error = name + ": " + param_error;
+  return true;
+}
 
 InstanceCache::InstanceCache(uint64_t byte_budget)
     : byte_budget_(byte_budget) {}

@@ -94,6 +94,13 @@ bool ParseServeRequest(const std::string& line, ServeRequest* request,
     return false;
   }
   req.threads = static_cast<uint32_t>(threads);
+  int64_t shards = req.shards;
+  if (!ReadInt64(*doc, "shards", &shards, error)) return false;
+  if (shards <= 0 || shards > 1024) {
+    *error = "field 'shards' out of range [1, 1024]";
+    return false;
+  }
+  req.shards = static_cast<uint32_t>(shards);
   if (const JsonValue* v = doc->Find("deadline_ms")) {
     if (!v->is_number() || v->AsDouble() != std::floor(v->AsDouble())) {
       *error = "field 'deadline_ms' must be an integer";
@@ -155,6 +162,25 @@ JsonValue SolveResponse(const ServeRequest& request,
   response.Set("space_words", result.space_words);
   response.Set("projection_words_peak", result.projection_words_peak);
   response.Set("duration_ms", result.duration_ms);
+  if (!result.shard_stats.empty()) {
+    JsonValue shards = JsonValue::Array();
+    for (const ShardStat& stat : result.shard_stats) {
+      JsonValue row = JsonValue::Object();
+      row.Set("shard", static_cast<uint64_t>(stat.shard));
+      row.Set("sets_seen", stat.sets_seen);
+      row.Set("candidates", stat.candidates);
+      row.Set("inserts", stat.inserts);
+      row.Set("work_items", stat.work_items);
+      shards.Append(std::move(row));
+    }
+    response.Set("shards", std::move(shards));
+    JsonValue merge = JsonValue::Object();
+    merge.Set("candidates", result.merge_stats.candidates);
+    merge.Set("duplicates_dropped", result.merge_stats.duplicates_dropped);
+    merge.Set("picked", result.merge_stats.picked);
+    merge.Set("duration_ms", result.merge_stats.duration_ms);
+    response.Set("merge", std::move(merge));
+  }
   if (request.include_cover) {
     JsonValue ids = JsonValue::Array();
     for (uint32_t id : result.cover.set_ids) {

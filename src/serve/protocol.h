@@ -56,6 +56,8 @@ struct ServeRequest {
   uint64_t seed = 1;
   double coverage_fraction = 1.0;
   uint32_t threads = 1;
+  /// Shard count for the sharded_greedi family (range [1, 1024]).
+  uint32_t shards = 1;
 };
 
 /// Parses one request line. On failure returns false and fills *error

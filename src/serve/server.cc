@@ -51,6 +51,8 @@ void CoverageServer::CountOutcome(const ServeRequest& request,
   std::lock_guard<std::mutex> lock(mu_);
   if (outcome == std::string_view("ok")) {
     ++counters_.ok;
+  } else if (outcome == std::string_view(kErrBadRequest)) {
+    ++counters_.bad_request;
   } else if (outcome == std::string_view(kErrNotFound)) {
     ++counters_.not_found;
   } else if (outcome == std::string_view(kErrDeadlineExceeded)) {
@@ -239,9 +241,17 @@ void CoverageServer::RunSolve(Job& job) {
   std::shared_ptr<const Instance> instance =
       cache_.Get(job.request.instance, &cache_error);
   if (instance == nullptr) {
-    CountOutcome(job.request, kErrNotFound);
+    // Distinguish a request that is syntactically broken (unparseable
+    // workload spec — the client's bug) from one naming an unknown
+    // workload or absent file (the name's fault): bad_request vs
+    // not_found, so clients and dashboards can tell them apart.
+    std::string spec_error;
+    const bool malformed =
+        IsMalformedInstanceSpec(job.request.instance, &spec_error);
+    const char* code = malformed ? kErrBadRequest : kErrNotFound;
+    CountOutcome(job.request, code);
     solve_latency_.Record(job.admitted.ElapsedMillis());
-    job.respond(ErrorResponse(job.request.id, kErrNotFound,
+    job.respond(ErrorResponse(job.request.id, code,
                               "instance '" + job.request.instance +
                                   "': " + cache_error)
                     .Dump(0));
@@ -252,11 +262,24 @@ void CoverageServer::RunSolve(Job& job) {
   options.seed = job.request.seed;
   options.coverage_fraction = job.request.coverage_fraction;
   options.threads = job.request.threads;
+  options.shards = job.request.shards;
   options.cancel = job.cancel.get();
   RunResult result =
       RunSolverShared(job.request.solver, *instance, options);
   run_latency_.Record(result.duration_ms);
   solve_latency_.Record(job.admitted.ElapsedMillis());
+  if (!result.shard_stats.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++shard_counters_.runs;
+    shard_counters_.shards_max = std::max<uint64_t>(
+        shard_counters_.shards_max, result.shard_stats.size());
+    for (const ShardStat& stat : result.shard_stats) {
+      shard_counters_.candidates += stat.candidates;
+    }
+    shard_counters_.merge_picked += result.merge_stats.picked;
+    shard_counters_.merge_duplicates_dropped +=
+        result.merge_stats.duplicates_dropped;
+  }
   if (!result.ok()) {
     const bool deadline = result.error == kDeadlineExceededError;
     CountOutcome(job.request,
@@ -319,6 +342,14 @@ JsonValue CoverageServer::StatsJson() const {
       per_instance.Set(name, count);
     }
     stats.Set("per_instance", std::move(per_instance));
+    JsonValue shard = JsonValue::Object();
+    shard.Set("runs", shard_counters_.runs);
+    shard.Set("shards_max", shard_counters_.shards_max);
+    shard.Set("candidates", shard_counters_.candidates);
+    shard.Set("merge_picked", shard_counters_.merge_picked);
+    shard.Set("merge_duplicates_dropped",
+              shard_counters_.merge_duplicates_dropped);
+    stats.Set("shard", std::move(shard));
   }
   stats.Set("latency", HistogramJson(solve_latency_.TakeSnapshot()));
   stats.Set("run_latency", HistogramJson(run_latency_.TakeSnapshot()));

@@ -125,6 +125,16 @@ class CoverageServer {
     std::map<std::string, uint64_t> per_instance;
   };
   Counters counters_;
+  /// Aggregates over the sharded_greedi family's per-run shard/merge
+  /// stats, surfaced as the stats endpoint's "shard" section.
+  struct ShardCounters {
+    uint64_t runs = 0;        ///< solves that reported shard stats
+    uint64_t shards_max = 0;  ///< largest shard count observed
+    uint64_t candidates = 0;  ///< per-shard candidates, summed over runs
+    uint64_t merge_picked = 0;
+    uint64_t merge_duplicates_dropped = 0;
+  };
+  ShardCounters shard_counters_;
   LatencyHistogram solve_latency_;   // full request: queue + execution
   LatencyHistogram run_latency_;     // solver execution only
   WallTimer uptime_;

@@ -1,0 +1,91 @@
+#include "shard/merge_stage.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/mathutil.h"
+
+namespace streamcover {
+namespace {
+
+/// Heap key: gain in the high half, earliest-candidate-wins tie-break
+/// in the low half (max-heap, so the low half stores the complement of
+/// the insertion index).
+uint64_t Pack(uint64_t gain, size_t idx) {
+  return (gain << 32) |
+         (std::numeric_limits<uint32_t>::max() - static_cast<uint32_t>(idx));
+}
+uint64_t PackedGain(uint64_t key) { return key >> 32; }
+size_t PackedIndex(uint64_t key) {
+  return std::numeric_limits<uint32_t>::max() -
+         static_cast<uint32_t>(key & 0xFFFFFFFFULL);
+}
+
+}  // namespace
+
+MergeStage::MergeStage(uint32_t num_elements, uint32_t num_sets,
+                       MergeStageOptions options)
+    : num_elements_(num_elements),
+      options_(options),
+      seen_ids_(num_sets) {
+  tracker_.Charge(seen_ids_.WordCount());
+}
+
+void MergeStage::AddCandidate(uint32_t id,
+                              std::span<const uint32_t> elems) {
+  SC_CHECK_LT(id, seen_ids_.size());
+  if (seen_ids_.Test(id)) {
+    ++duplicates_dropped_;
+    return;
+  }
+  seen_ids_.Set(id);
+  ids_.push_back(id);
+  elems_.insert(elems_.end(), elems.begin(), elems.end());
+  offsets_.push_back(elems_.size());
+  tracker_.Charge(elems.size() + 1);
+}
+
+MergeOutcome MergeStage::Merge() {
+  MergeOutcome outcome;
+  const uint64_t required =
+      num_elements_ - AllowedUncovered(num_elements_,
+                                       options_.coverage_fraction);
+  LiveMask uncovered(num_elements_, true);
+  std::vector<uint64_t> heap;
+  heap.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    // Initial mask is all-live and spans are duplicate-free, so the
+    // first-round gain is just the span length.
+    const uint64_t gain = offsets_[i + 1] - offsets_[i];
+    if (gain > 0) heap.push_back(Pack(gain, i));
+  }
+  tracker_.Charge(uncovered.WordCount() + heap.size());
+  std::make_heap(heap.begin(), heap.end());
+
+  while (outcome.covered < required && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const uint64_t top = heap.back();
+    heap.pop_back();
+    const size_t idx = PackedIndex(top);
+    const std::span<const uint32_t> elems = CandidateElems(idx);
+    const uint64_t gain = CountUncovered(elems, uncovered.bits(),
+                                         options_.kernel);
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < PackedGain(heap.front())) {
+      // Stale: residual shrank below the runner-up's claim; re-queue
+      // with the recomputed gain (the lazy-deletion greedy idiom).
+      heap.push_back(Pack(gain, idx));
+      std::push_heap(heap.begin(), heap.end());
+      continue;
+    }
+    MarkCovered(elems, uncovered.bits(), options_.kernel);
+    outcome.covered += gain;
+    outcome.cover.set_ids.push_back(ids_[idx]);
+    tracker_.Charge(1);
+  }
+  outcome.success = outcome.covered >= required;
+  return outcome;
+}
+
+}  // namespace streamcover

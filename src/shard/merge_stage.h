@@ -1,0 +1,84 @@
+// MergeStage — greedy re-cover over the union of shard candidates.
+//
+// The second half of the RandGreeDI pattern: the shard engines each
+// hand over a bounded candidate buffer, and the merge runs an
+// in-memory lazy greedy (the offline/greedy.cc idiom) over the union,
+// re-covering the full universe with the PR-5 word kernels
+// (CountUncovered / MarkCovered over one LiveMask). Candidates are
+// deduplicated by set id at insertion — shards produced by a
+// partitioner are disjoint by construction, but the stage is the seam
+// future candidate producers (overlapping samplers, retries) also feed,
+// so duplicates are dropped here and counted rather than assumed away.
+//
+// Determinism: candidates are stored in insertion order and ties in the
+// greedy heap break toward the earliest-inserted candidate, so the
+// merged cover is a pure function of the candidate sequence.
+
+#ifndef STREAMCOVER_SHARD_MERGE_STAGE_H_
+#define STREAMCOVER_SHARD_MERGE_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "setsystem/cover.h"
+#include "stream/space_tracker.h"
+#include "util/bitset.h"
+#include "util/cover_kernels.h"
+
+namespace streamcover {
+
+struct MergeStageOptions {
+  KernelPolicy kernel = KernelPolicy::kWord;
+  /// epsilon-Partial target, same semantics as RunOptions: the merge
+  /// stops once 1 - coverage_fraction of U may stay uncovered.
+  double coverage_fraction = 1.0;
+};
+
+struct MergeOutcome {
+  Cover cover;            ///< picks, in greedy order
+  uint64_t covered = 0;   ///< elements of U the picks cover
+  bool success = false;   ///< covered its coverage_fraction target
+};
+
+class MergeStage {
+ public:
+  MergeStage(uint32_t num_elements, uint32_t num_sets,
+             MergeStageOptions options);
+
+  /// Records one candidate. A repeated id is dropped (not re-stored)
+  /// and counted in duplicates_dropped(). Elements must be the sorted
+  /// unique span the stream layer guarantees.
+  void AddCandidate(uint32_t id, std::span<const uint32_t> elems);
+
+  /// Lazy greedy over everything added so far. Call once.
+  MergeOutcome Merge();
+
+  uint64_t candidates() const { return ids_.size(); }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t space_words() const { return tracker_.peak_words(); }
+
+ private:
+  std::span<const uint32_t> CandidateElems(size_t i) const {
+    return std::span<const uint32_t>(elems_).subspan(
+        offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  const uint32_t num_elements_;
+  const MergeStageOptions options_;
+
+  DynamicBitset seen_ids_;
+  uint64_t duplicates_dropped_ = 0;
+
+  // Candidate CSR, insertion order.
+  std::vector<uint32_t> ids_;
+  std::vector<size_t> offsets_{0};
+  std::vector<uint32_t> elems_;
+
+  SpaceTracker tracker_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SHARD_MERGE_STAGE_H_

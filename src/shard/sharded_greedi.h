@@ -1,0 +1,31 @@
+// sharded_greedi — the distributed-greedy solver family over src/shard/.
+//
+// RandGreeDI shape, shared-scan execution: the stream is hash-split into
+// S substreams (StreamPartitioner), each substream feeds its own
+// ThresholdBucketEngine, all S engines ride ONE physical scan as
+// ScanConsumers of the run's PassScheduler (threads = S makes the
+// scheduler fan the per-shard work across its pool), and a MergeStage
+// re-covers greedily from the union of shard candidates. `greedi` is the
+// S-independent reference: one engine, no partitioner, same merge —
+// sharded_greedi with shards == 1 produces a byte-identical cover to it
+// by construction (one engine seeing the whole stream makes identical
+// accept decisions either way), which tests/shard_test.cc pins.
+
+#ifndef STREAMCOVER_SHARD_SHARDED_GREEDI_H_
+#define STREAMCOVER_SHARD_SHARDED_GREEDI_H_
+
+#include "core/solver_registry.h"
+
+namespace streamcover {
+
+/// Runner behind the `sharded_greedi` registry entry: partitioned into
+/// RunOptions::shards substreams. shards == 0 fails dispatch.
+RunResult RunShardedGreedi(RunContext& ctx);
+
+/// Runner behind the `greedi` registry entry: ONE unpartitioned engine
+/// over the whole stream + the same merge. The shards=1 parity oracle.
+RunResult RunGreediReference(RunContext& ctx);
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SHARD_SHARDED_GREEDI_H_

@@ -1,0 +1,27 @@
+#include "shard/stream_partitioner.h"
+
+#include "util/check.h"
+
+namespace streamcover {
+
+StreamPartitioner::StreamPartitioner(uint64_t seed, uint32_t shards)
+    : seed_(seed), shards_(shards) {
+  SC_CHECK_GE(shards, 1u);
+  seed_key_ = Mix(seed ^ 0x5368617264537472ULL);  // "ShardStr"
+}
+
+uint64_t StreamPartitioner::Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t StreamPartitioner::SubSeed(uint32_t shard) const {
+  SC_CHECK_LT(shard, shards_);
+  // A different salt than the assignment key: the substream membership
+  // hash and the shard's private draw stream must never correlate.
+  return Mix(seed_ ^ (0x5375625365656473ULL + shard));  // "SubSeeds"
+}
+
+}  // namespace streamcover

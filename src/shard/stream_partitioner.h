@@ -1,0 +1,62 @@
+// StreamPartitioner — deterministic hash-split of a set stream into S
+// shard substreams.
+//
+// The RandGreeDI/GreeDIMM distribution pattern partitions the set
+// family across S machines, solves each partition locally, and merges
+// the local candidates. Here the "machines" are S ScanConsumers riding
+// ONE physical scan (stream/pass_scheduler.h), so the partition must be
+// a pure function of data the consumers can all see: the set id. The
+// assignment mixes (seed, id) through a SplitMix64 finalizer and
+// reduces mod S — it depends on nothing else, so the same (seed, S)
+// yields byte-identical substreams whether the repository is in-memory
+// CSR, a text file, or an mmapped binary file, and at every scheduler
+// thread count.
+//
+// Randomized shard-local work draws from per-shard sub-RNGs: SubSeed /
+// SubRng derive an independent deterministic generator per (seed,
+// shard), so no shard's draw sequence depends on another shard's
+// consumption (the same keying discipline as the streaming generators).
+
+#ifndef STREAMCOVER_SHARD_STREAM_PARTITIONER_H_
+#define STREAMCOVER_SHARD_STREAM_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace streamcover {
+
+class StreamPartitioner {
+ public:
+  /// `shards` must be >= 1. One shard degenerates to the identity
+  /// partition (every set lands in shard 0).
+  StreamPartitioner(uint64_t seed, uint32_t shards);
+
+  uint32_t shards() const { return shards_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Shard of `set_id`, in [0, shards). Pure in (seed, shards, set_id).
+  uint32_t ShardOf(uint32_t set_id) const {
+    return static_cast<uint32_t>(Mix(seed_key_ + set_id) % shards_);
+  }
+
+  /// Deterministic seed of the shard's private RNG stream; distinct per
+  /// shard, independent of every other shard's draws.
+  uint64_t SubSeed(uint32_t shard) const;
+
+  /// Rng seeded with SubSeed(shard).
+  Rng SubRng(uint32_t shard) const { return Rng(SubSeed(shard)); }
+
+ private:
+  /// SplitMix64 finalizer — the avalanche mix both ShardOf and SubSeed
+  /// key their inputs through.
+  static uint64_t Mix(uint64_t x);
+
+  uint64_t seed_;
+  uint64_t seed_key_;  // pre-mixed seed, so ShardOf is one Mix per set
+  uint32_t shards_;
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_SHARD_STREAM_PARTITIONER_H_

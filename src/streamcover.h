@@ -43,6 +43,10 @@
 #include "setsystem/set_system.h"             // IWYU pragma: export
 #include "setsystem/set_view.h"               // IWYU pragma: export
 #include "setsystem/stream_generators.h"      // IWYU pragma: export
+#include "shard/merge_stage.h"                // IWYU pragma: export
+#include "shard/sharded_greedi.h"             // IWYU pragma: export
+#include "shard/stream_partitioner.h"         // IWYU pragma: export
+#include "shard/threshold_bucket.h"           // IWYU pragma: export
 #include "stream/mmap_set_source.h"           // IWYU pragma: export
 #include "stream/pass_scheduler.h"            // IWYU pragma: export
 #include "stream/sampling.h"                  // IWYU pragma: export

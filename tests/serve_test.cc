@@ -199,6 +199,131 @@ TEST(ServeTest, UnknownInstanceAndSolverAreDistinctErrors) {
   server.Shutdown();
 }
 
+TEST(ServeProtocolTest, ShardsFieldIsStrictlyTyped) {
+  ServeRequest request;
+  std::string error;
+  // Valid: integer in range.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"sharded_greedi",)"
+      R"("shards":4})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.shards, 4u);
+  // Absent: keeps the default.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter"})", &request, &error));
+  EXPECT_EQ(request.shards, 1u);
+  // A string is a type error, not a silent default.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","shards":"4"})",
+      &request, &error));
+  // Non-integer number.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","shards":2.5})",
+      &request, &error));
+  // Out of range.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","shards":0})",
+      &request, &error));
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","shards":-3})",
+      &request, &error));
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","shards":4096})",
+      &request, &error));
+}
+
+TEST(ServeTest, ShardedSolveSurfacesShardAndMergeCounters) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue solve = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","id":"sh1","instance":")") +
+                  kSmallInstance +
+                  R"(","solver":"sharded_greedi","shards":4})"));
+  ASSERT_TRUE(solve.At("ok").AsBool()) << solve.Dump(0);
+  EXPECT_TRUE(solve.At("success").AsBool());
+  ASSERT_EQ(solve.At("shards").size(), 4u);
+  uint64_t sets_seen = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    sets_seen += solve.At("shards")[s].At("sets_seen").AsUint64();
+  }
+  EXPECT_EQ(sets_seen, 600u);  // every set of m=600 lands in one shard
+  EXPECT_GT(solve.At("merge").At("candidates").AsUint64(), 0u);
+  EXPECT_EQ(solve.At("merge").At("picked").AsUint64(),
+            solve.At("cover_size").AsUint64());
+
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  const JsonValue& shard = stats.At("shard");
+  EXPECT_EQ(shard.At("runs").AsUint64(), 1u);
+  EXPECT_EQ(shard.At("shards_max").AsUint64(), 4u);
+  EXPECT_GT(shard.At("candidates").AsUint64(), 0u);
+  EXPECT_GT(shard.At("merge_picked").AsUint64(), 0u);
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, ShardsRejectedBeforeAdmission) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue zero = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") +
+                  kSmallInstance +
+                  R"(","solver":"sharded_greedi","shards":0})"));
+  EXPECT_FALSE(zero.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(zero), kErrBadRequest);
+
+  JsonValue typed = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") +
+                  kSmallInstance +
+                  R"(","solver":"sharded_greedi","shards":"two"})"));
+  EXPECT_FALSE(typed.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(typed), kErrBadRequest);
+
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  EXPECT_GE(stats.At("requests").At("bad_request").AsUint64(), 2u);
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, MalformedInstanceSpecIsBadRequestNotNotFound) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  // Duplicate key: the spec itself is broken — bad_request.
+  JsonValue dup = ParseResponse(Call(
+      server,
+      R"({"op":"solve","instance":"planted:n=300,n=400","solver":"iter"})"));
+  EXPECT_FALSE(dup.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(dup), kErrBadRequest) << dup.Dump(0);
+
+  // Unparseable value: also bad_request.
+  JsonValue bad_value = ParseResponse(Call(
+      server,
+      R"({"op":"solve","instance":"planted:n=abc","solver":"iter"})"));
+  EXPECT_FALSE(bad_value.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(bad_value), kErrBadRequest) << bad_value.Dump(0);
+
+  // A bare unknown name is still not_found — nothing malformed about it.
+  JsonValue unknown = ParseResponse(Call(
+      server, R"({"op":"solve","instance":"no_such","solver":"iter"})"));
+  EXPECT_FALSE(unknown.At("ok").AsBool());
+  EXPECT_EQ(ErrorCode(unknown), kErrNotFound) << unknown.Dump(0);
+
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  EXPECT_GE(stats.At("requests").At("bad_request").AsUint64(), 2u);
+  EXPECT_GE(stats.At("requests").At("not_found").AsUint64(), 1u);
+
+  server.Shutdown();
+}
+
 TEST(ServeTest, ExpiredInQueueDeadlineAnswersWithoutRunning) {
   ServerOptions options;
   options.workers = 1;

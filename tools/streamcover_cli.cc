@@ -188,12 +188,12 @@ int Usage() {
       "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
       "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
       "[--p P] [--seed SEED] [--coverage F] [--budget B] [--threads N] "
-      "[--kernel scalar|word] [--early-exit] [--from-disk]\n"
+      "[--shards S] [--kernel scalar|word] [--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
       "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
-      "[--threads N] [--kernel scalar|word] [--early-exit] "
+      "[--threads N] [--shards S] [--kernel scalar|word] [--early-exit] "
       "[--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
@@ -604,8 +604,15 @@ int SolveOnInstance(Instance& instance, const Args& args) {
   options.threshold_passes = static_cast<uint32_t>(args.GetInt("p", 2));
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
   options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+  const int64_t shards = args.GetInt("shards", 1);
   options.early_exit = args.Has("early-exit");
   if (args.BadFlags()) return 1;
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1, got %lld\n",
+                 static_cast<long long>(shards));
+    return 1;
+  }
+  options.shards = static_cast<uint32_t>(shards);
   if (!(options.coverage_fraction > 0.0 &&
         options.coverage_fraction <= 1.0)) {
     std::fprintf(stderr, "--coverage must be in (0, 1], got %g\n",
@@ -671,6 +678,12 @@ int CmdSweep(const Args& args) {
 
   KernelPolicy kernel = KernelPolicy::kWord;
   if (!ResolveKernel(args, &kernel)) return 1;
+  const int64_t shards = args.GetInt("shards", 1);
+  if (shards < 1 && args.parse_errors.empty()) {
+    std::fprintf(stderr, "--shards must be >= 1, got %lld\n",
+                 static_cast<long long>(shards));
+    return 1;
+  }
 
   RunPlan plan;
   for (const std::string& solver : solvers) {
@@ -682,6 +695,7 @@ int CmdSweep(const Args& args) {
         static_cast<uint32_t>(args.GetInt("p", 2));
     spec.options.coverage_fraction = args.GetDouble("coverage", 1.0);
     spec.options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+    spec.options.shards = static_cast<uint32_t>(shards);
     spec.options.early_exit = args.Has("early-exit");
     spec.options.kernel = kernel;
     plan.solvers.push_back(std::move(spec));
@@ -957,6 +971,55 @@ int CmdSelfTest() {
     Args bad;
     bad.flags = {{"solvers", "iter"}, {"workloads", "planted"},
                  {"kernel", "avx512"}};
+    if (CmdSweep(bad) != 1) return 1;
+  }
+  {
+    // Sharded solve family: the unsharded reference and the sharded
+    // engine dispatch; --shards is strictly parsed (malformed and
+    // non-positive values exit 1, never silently coerce).
+    Args solve;
+    solve.flags = {{"in", path}, {"algo", "greedi"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "sharded_greedi"},
+                   {"shards", "4"}, {"threads", "4"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "sharded_greedi"},
+                   {"shards", "2x"}};
+    if (CmdSolve(solve) != 1) return 1;
+    solve.flags = {{"in", path}, {"algo", "sharded_greedi"},
+                   {"shards", "0"}};
+    if (CmdSolve(solve) != 1) return 1;
+  }
+  {
+    // Sharded sweep: the shards axis must land in the report's solver
+    // options JSON.
+    const std::string json_path = dir + "/streamcover_cli_shardsweep.json";
+    Args sweep;
+    sweep.flags = {{"solvers", "greedi,sharded_greedi"},
+                   {"workloads", "planted"},
+                   {"seeds", "1"},
+                   {"n", "200"},
+                   {"m", "400"},
+                   {"k", "5"},
+                   {"shards", "2"},
+                   {"json", json_path}};
+    if (CmdSweep(sweep) != 0) return 1;
+    std::ifstream is(json_path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    std::string error;
+    auto parsed = JsonValue::Parse(buffer.str(), &error);
+    if (!parsed.has_value() ||
+        parsed->At("cells").size() != 2 ||
+        parsed->At("solvers")[0].At("options").At("shards").AsUint64() !=
+            2) {
+      std::fprintf(stderr, "selftest: sharded sweep JSON invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    Args bad;
+    bad.flags = {{"solvers", "sharded_greedi"}, {"workloads", "planted"},
+                 {"shards", "0"}};
     if (CmdSweep(bad) != 1) return 1;
   }
   // Geometric pipeline.
