@@ -32,13 +32,31 @@
 // checksum cross-check proving the three dispatch identical elements.
 // Reported as GB/s of underlying bytes and sets/sec per source.
 //
+// A fourth stage A/Bs gain maintenance: MergeStage runs the exact
+// greedy over all m planted candidates twice — kRescan (every
+// unpicked candidate's gain recomputed per round) vs kTransposed (the
+// element→candidates index + decremental GainTracker + lazy heap) —
+// with an identical-cover check. The reported reduction in gain
+// evaluations per round (sets_touched / rounds) is the
+// output-sensitivity headline the CI release gate holds at >= 5x.
+//
+// A fifth stage A/Bs the dense representation: the dense-eligible sets
+// of a zipf instance generated at max_set_size = n/2 run the sparse
+// word kernels over their spans vs the fused dense kernels
+// (count/mark) over their BitsetCSR rows under `auto` ISA dispatch,
+// checksum-verified to do identical work. The CI release gate holds
+// the dense fused count path at >= 1.5x the sparse word path.
+//
 // Reported: sets/sec dispatched, ns per element projected, the
-// view-vs-vector and word-vs-scalar speedups, the scan-stage GB/s,
-// peak RSS, and a timed registry run of the full `iter` solver with
-// its covers/passes/space so the perf trajectory carries correctness
-// context. `--json FILE` (default BENCH_hotpath.json) writes schema
-// streamcover.bench_hotpath.v3; CI uploads it per PR so the numbers
-// accumulate.
+// view-vs-vector / word-vs-scalar / dense-vs-word speedups and the
+// transposed-vs-rescan work reduction, the scan-stage GB/s, peak RSS,
+// the detected SIMD tier (`cpu` block), and a timed registry run of
+// the full `iter` solver with its covers/passes/space so the perf
+// trajectory carries correctness context. `--json FILE` (default
+// BENCH_hotpath.json) writes schema streamcover.bench_hotpath.v4; CI
+// uploads it per PR so the numbers accumulate. `--selftest` checks the
+// strict flag parser (non-positive and malformed values rejected) and
+// exits.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,7 +71,9 @@
 #include "core/solver_registry.h"
 #include "core/workload_registry.h"
 #include "setsystem/binary_io.h"
+#include "setsystem/generators.h"
 #include "setsystem/stream_generators.h"
+#include "shard/merge_stage.h"
 #include "stream/mmap_set_source.h"
 #include "stream/pass_scheduler.h"
 #include "stream/set_source.h"
@@ -489,6 +509,262 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   return true;
 }
 
+// --- Gain-maintenance A/B: MergeStage kRescan vs kTransposed over all
+// m planted candidates. Same covers byte for byte; only the work
+// differs — the reduction in gain evaluations per round is the
+// output-sensitivity measurement. -------------------------------------
+
+struct GainModeStats {
+  double seconds = 0;
+  uint64_t rounds = 0;
+  uint64_t sets_touched = 0;
+  uint64_t gain_updates = 0;
+  double touched_per_round = 0;
+  std::vector<uint32_t> cover;
+};
+
+GainModeStats RunGainMode(const SetSystem& system, GainMaintenance mode) {
+  MergeStageOptions options;
+  options.kernel = KernelPolicy::kWord;
+  options.gain = mode;
+  MergeStage stage(system.num_elements(), system.num_sets(), options);
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    stage.AddCandidate(s, system.GetSet(s));
+  }
+  WallTimer timer;
+  MergeOutcome outcome = stage.Merge();
+  GainModeStats stats;
+  stats.seconds = timer.ElapsedSeconds();
+  stats.rounds = stage.counters().rounds;
+  stats.sets_touched = stage.counters().sets_touched;
+  stats.gain_updates = stage.counters().gain_updates;
+  stats.touched_per_round =
+      stats.rounds > 0 ? static_cast<double>(stats.sets_touched) /
+                             static_cast<double>(stats.rounds)
+                       : 0.0;
+  stats.cover = std::move(outcome.cover.set_ids);
+  return stats;
+}
+
+JsonValue GainModeJson(const GainModeStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seconds", stats.seconds);
+  v.Set("rounds", stats.rounds);
+  v.Set("sets_touched", stats.sets_touched);
+  v.Set("gain_updates", stats.gain_updates);
+  v.Set("touched_per_round", stats.touched_per_round);
+  v.Set("cover", static_cast<uint64_t>(stats.cover.size()));
+  return v;
+}
+
+bool RunGainStage(const SetSystem& system, JsonValue* gain_json) {
+  const GainModeStats rescan =
+      RunGainMode(system, GainMaintenance::kRescan);
+  const GainModeStats transposed =
+      RunGainMode(system, GainMaintenance::kTransposed);
+  if (rescan.cover != transposed.cover) {
+    std::fprintf(stderr,
+                 "gain stage: rescan and transposed covers differ "
+                 "(%zu vs %zu picks)\n",
+                 rescan.cover.size(), transposed.cover.size());
+    return false;
+  }
+  const double reduction =
+      transposed.touched_per_round > 0
+          ? rescan.touched_per_round / transposed.touched_per_round
+          : 0.0;
+
+  benchutil::Banner(
+      "Gain maintenance — transposed index vs per-round rescan "
+      "(MergeStage over all m=" + std::to_string(system.num_sets()) +
+      " candidates, identical covers of " +
+      std::to_string(transposed.cover.size()) + " picks)");
+  Table table({"mode", "seconds", "rounds", "gain evals", "evals/round",
+               "gain updates"});
+  table.AddRow({"rescan", Table::Fmt(rescan.seconds, 3),
+                Table::Fmt(rescan.rounds),
+                Table::Fmt(rescan.sets_touched),
+                Table::Fmt(rescan.touched_per_round, 1),
+                Table::Fmt(rescan.gain_updates)});
+  table.AddRow({"transposed", Table::Fmt(transposed.seconds, 3),
+                Table::Fmt(transposed.rounds),
+                Table::Fmt(transposed.sets_touched),
+                Table::Fmt(transposed.touched_per_round, 1),
+                Table::Fmt(transposed.gain_updates)});
+  table.Print(std::cout);
+  benchutil::Note("evals/round reduction (rescan / transposed): " +
+                  Table::Fmt(reduction, 1) + "x; wall speedup " +
+                  Table::Fmt(rescan.seconds / transposed.seconds, 2) +
+                  "x");
+
+  *gain_json = JsonValue::Object();
+  gain_json->Set("rescan", GainModeJson(rescan));
+  gain_json->Set("transposed", GainModeJson(transposed));
+  gain_json->Set("covers_match", true);
+  gain_json->Set("touched_per_round_reduction", reduction);
+  gain_json->Set("speedup", rescan.seconds / transposed.seconds);
+  return true;
+}
+
+// --- Dense-representation A/B: sparse word kernels over spans vs the
+// fused dense kernels over BitsetCSR rows, on the dense-eligible sets
+// of a zipf instance drawn at max_set_size = n/2. ---------------------
+
+struct DenseStats {
+  double seconds = 0;
+  double melems_per_sec = 0;  ///< span elements per second (shared unit)
+  uint64_t checksum = 0;
+};
+
+JsonValue DenseStatsJson(const DenseStats& stats) {
+  JsonValue v = JsonValue::Object();
+  v.Set("seconds", stats.seconds);
+  v.Set("melems_per_sec", stats.melems_per_sec);
+  v.Set("checksum", stats.checksum);
+  return v;
+}
+
+JsonValue DenseAbJson(const DenseStats& word, const DenseStats& dense) {
+  JsonValue v = JsonValue::Object();
+  v.Set("word", DenseStatsJson(word));
+  v.Set("dense_auto", DenseStatsJson(dense));
+  v.Set("speedup", dense.melems_per_sec / word.melems_per_sec);
+  return v;
+}
+
+bool RunDenseStage(uint64_t rounds, uint64_t seed, JsonValue* dense_json) {
+  const uint32_t n = 4096;
+  const uint32_t m = 2000;
+  const double alpha = 1.1;
+  const uint32_t max_set_size = n / 2;
+  Rng rng(seed);
+  PlantedInstance zipf = GenerateZipf(n, m, alpha, max_set_size, rng);
+  const SetSystem& system = zipf.system;
+
+  // The stage runs only the dense-eligible sets, in both forms: the
+  // sparse span (as stored in the CSR) and a BitsetCSR row.
+  BitsetCSR csr(n);
+  std::vector<uint32_t> dense_ids;
+  uint64_t span_elems = 0;
+  for (uint32_t s = 0; s < system.num_sets(); ++s) {
+    if (!ShouldStoreDense(system.SetSize(s), n)) continue;
+    csr.AddRow(system.GetSet(s));
+    dense_ids.push_back(s);
+    span_elems += system.SetSize(s);
+  }
+  if (dense_ids.empty()) {
+    std::fprintf(stderr, "dense stage: no dense-eligible sets\n");
+    return false;
+  }
+  const DynamicBitset live = MakeLiveMask(n);
+  const double total_elems = static_cast<double>(span_elems) *
+                             static_cast<double>(rounds);
+
+  // Fused count: popcount(row & mask) vs the span's masked popcount.
+  DenseStats count_word, count_dense;
+  {
+    WallTimer timer;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t id : dense_ids) {
+        count_word.checksum +=
+            CountUncovered(system.GetSet(id), live,
+                           KernelPolicy::kWord);
+      }
+    }
+    count_word.seconds = timer.ElapsedSeconds();
+    count_word.melems_per_sec = total_elems / count_word.seconds / 1e6;
+  }
+  {
+    WallTimer timer;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t row = 0; row < csr.rows(); ++row) {
+        count_dense.checksum +=
+            CountUncoveredDense(csr.Row(row), live, KernelPolicy::kAuto);
+      }
+    }
+    count_dense.seconds = timer.ElapsedSeconds();
+    count_dense.melems_per_sec = total_elems / count_dense.seconds / 1e6;
+  }
+
+  // Fused mark: mask &= ~row vs the span's clear loop, restored to the
+  // pristine mask per round (covered bits are a subset, so OrInto is an
+  // exact reset).
+  DenseStats mark_word, mark_dense;
+  {
+    DynamicBitset working = live;
+    WallTimer timer;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t id : dense_ids) {
+        mark_word.checksum += MarkCovered(system.GetSet(id), working,
+                                          KernelPolicy::kWord);
+      }
+      live.OrInto(working);
+    }
+    mark_word.seconds = timer.ElapsedSeconds();
+    mark_word.melems_per_sec = total_elems / mark_word.seconds / 1e6;
+  }
+  {
+    DynamicBitset working = live;
+    WallTimer timer;
+    for (uint64_t r = 0; r < rounds; ++r) {
+      for (uint32_t row = 0; row < csr.rows(); ++row) {
+        mark_dense.checksum +=
+            MarkCoveredDense(csr.Row(row), working, KernelPolicy::kAuto);
+      }
+      live.OrInto(working);
+    }
+    mark_dense.seconds = timer.ElapsedSeconds();
+    mark_dense.melems_per_sec = total_elems / mark_dense.seconds / 1e6;
+  }
+
+  if (count_word.checksum != count_dense.checksum ||
+      mark_word.checksum != mark_dense.checksum) {
+    std::fprintf(stderr,
+                 "dense stage: checksum mismatch (count %llu/%llu, mark "
+                 "%llu/%llu)\n",
+                 static_cast<unsigned long long>(count_word.checksum),
+                 static_cast<unsigned long long>(count_dense.checksum),
+                 static_cast<unsigned long long>(mark_word.checksum),
+                 static_cast<unsigned long long>(mark_dense.checksum));
+    return false;
+  }
+
+  benchutil::Banner(
+      "Dense representation — fused bitset-row kernels (auto ISA: " +
+      std::string(KernelIsaName(DetectKernelIsa())) +
+      ") vs sparse word kernels on the zipf dense sets (n=" +
+      std::to_string(n) + ", " + std::to_string(dense_ids.size()) +
+      "/" + std::to_string(m) + " sets dense-eligible)");
+  Table table({"kernel", "word Melem/s", "dense-auto Melem/s", "speedup"});
+  table.AddRow({"fused count", Table::Fmt(count_word.melems_per_sec, 1),
+                Table::Fmt(count_dense.melems_per_sec, 1),
+                Table::Fmt(count_dense.melems_per_sec /
+                               count_word.melems_per_sec,
+                           2) +
+                    "x"});
+  table.AddRow({"fused mark", Table::Fmt(mark_word.melems_per_sec, 1),
+                Table::Fmt(mark_dense.melems_per_sec, 1),
+                Table::Fmt(mark_dense.melems_per_sec /
+                               mark_word.melems_per_sec,
+                           2) +
+                    "x"});
+  table.Print(std::cout);
+
+  *dense_json = JsonValue::Object();
+  dense_json->Set("n", static_cast<uint64_t>(n));
+  dense_json->Set("m", static_cast<uint64_t>(m));
+  dense_json->Set("alpha", alpha);
+  dense_json->Set("max_set_size", static_cast<uint64_t>(max_set_size));
+  dense_json->Set("dense_sets", static_cast<uint64_t>(dense_ids.size()));
+  dense_json->Set("words_per_row",
+                  static_cast<uint64_t>(csr.words_per_row()));
+  dense_json->Set("rounds", rounds);
+  dense_json->Set("count", DenseAbJson(count_word, count_dense));
+  dense_json->Set("mark", DenseAbJson(mark_word, mark_dense));
+  dense_json->Set("checksums_equal", true);
+  return true;
+}
+
 /// VmHWM from /proc/self/status, in KiB; 0 where unavailable.
 uint64_t PeakRssKb() {
   std::ifstream status("/proc/self/status");
@@ -631,6 +907,14 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
   JsonValue scan_json;
   if (!RunScanStage(scan_m, kSeed, &scan_json)) return 1;
 
+  // --- Gain maintenance: transposed index vs per-round rescan. ---
+  JsonValue gain_json;
+  if (!RunGainStage(*system, &gain_json)) return 1;
+
+  // --- Dense representation: fused bitset-row kernels vs word spans. ---
+  JsonValue dense_json;
+  if (!RunDenseStage(rounds * 10, kSeed, &dense_json)) return 1;
+
   // One timed full solver run for correctness context in the trajectory.
   RunOptions options;
   options.sample_constant = 0.05;
@@ -653,7 +937,19 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
 
   if (!json_path.empty()) {
     JsonValue doc = JsonValue::Object();
-    doc.Set("schema", "streamcover.bench_hotpath.v3");
+    doc.Set("schema", "streamcover.bench_hotpath.v4");
+    // What the auto dense kernels dispatch to on this host — keeps the
+    // trajectory's absolute numbers interpretable across runners.
+    JsonValue cpu = JsonValue::Object();
+    cpu.Set("isa", KernelIsaName(DetectKernelIsa()));
+    bool has_avx2 = false, has_avx512 = false;
+    for (KernelIsa isa : SupportedKernelIsas()) {
+      if (isa == KernelIsa::kAvx2) has_avx2 = true;
+      if (isa == KernelIsa::kAvx512) has_avx512 = true;
+    }
+    cpu.Set("avx2", has_avx2);
+    cpu.Set("avx512", has_avx512);
+    doc.Set("cpu", std::move(cpu));
     JsonValue p = JsonValue::Object();
     p.Set("workload", "planted");
     p.Set("n", static_cast<uint64_t>(kN));
@@ -677,6 +973,8 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
     kernels.Set("mark", KernelAbJson(mark_scalar, mark_word));
     doc.Set("kernels", std::move(kernels));
     doc.Set("scan", std::move(scan_json));
+    doc.Set("gain", std::move(gain_json));
+    doc.Set("dense", std::move(dense_json));
     JsonValue solver = JsonValue::Object();
     solver.Set("solver", "iter");
     solver.Set("success", iter.success);
@@ -703,45 +1001,87 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
 }  // namespace
 }  // namespace streamcover
 
+namespace {
+
+/// In-process check of the strict flag parser: every malformed or
+/// non-positive spelling that atoi/atoll used to coerce must now be
+/// rejected. Run by CI before the timed stages.
+int SelfTest() {
+  uint64_t v = 0;
+  for (const char* bad : {"0", "-3", "abc", "20q0", ""}) {
+    if (streamcover::benchutil::ParsePositiveInt("--scan-m", bad, &v)) {
+      std::fprintf(stderr, "selftest: accepted bad value '%s'\n", bad);
+      return 1;
+    }
+  }
+  if (!streamcover::benchutil::ParsePositiveInt("--scan-m", "123", &v) ||
+      v != 123) {
+    std::fprintf(stderr, "selftest: rejected valid value '123'\n");
+    return 1;
+  }
+  std::printf("bench_hotpath selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   // Stable default path so the per-PR trajectory accumulates in one
   // place (CI uploads it as an artifact).
   std::string json_path = "BENCH_hotpath.json";
-  uint32_t consumers = 12;
+  uint64_t consumers = 12;
   uint64_t rounds = 12;
-  uint32_t threads = 1;
+  uint64_t threads = 1;
   // Sets in the scan-stage instance; 10^7 is the paper-scale
   // acceptance run, the default keeps CI fast.
   uint64_t scan_m = 200000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--selftest") return SelfTest();
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: bench_hotpath [--json FILE] [--consumers N] "
-                     "[--rounds N] [--threads N] [--scan-m N]  "
-                     "(missing value for %s)\n",
+                     "[--rounds N] [--threads N] [--scan-m N] "
+                     "[--selftest]  (missing value for %s)\n",
                      flag);
         std::exit(1);
       }
       return argv[++i];
     };
+    // Every count flag is strictly parsed and must be positive: the
+    // old atoi/atoll path read `--scan-m 0` (and any malformed value)
+    // as zero and fed a zero set count into the scan stage.
     if (arg == "--json") {
       json_path = next("--json");
     } else if (arg == "--consumers") {
-      consumers = static_cast<uint32_t>(std::atoi(next("--consumers")));
+      if (!streamcover::benchutil::ParsePositiveInt(
+              "--consumers", next("--consumers"), &consumers)) {
+        return 1;
+      }
     } else if (arg == "--rounds") {
-      rounds = static_cast<uint64_t>(std::atoll(next("--rounds")));
+      if (!streamcover::benchutil::ParsePositiveInt(
+              "--rounds", next("--rounds"), &rounds)) {
+        return 1;
+      }
     } else if (arg == "--threads") {
-      threads = static_cast<uint32_t>(std::atoi(next("--threads")));
+      if (!streamcover::benchutil::ParsePositiveInt(
+              "--threads", next("--threads"), &threads)) {
+        return 1;
+      }
     } else if (arg == "--scan-m") {
-      scan_m = static_cast<uint64_t>(std::atoll(next("--scan-m")));
+      if (!streamcover::benchutil::ParsePositiveInt(
+              "--scan-m", next("--scan-m"), &scan_m)) {
+        return 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--json FILE] [--consumers N] "
-                   "[--rounds N] [--threads N] [--scan-m N]\n");
+                   "[--rounds N] [--threads N] [--scan-m N] "
+                   "[--selftest]\n");
       return 1;
     }
   }
-  return streamcover::Run(json_path, consumers, rounds, threads, scan_m);
+  return streamcover::Run(json_path, static_cast<uint32_t>(consumers),
+                          rounds, static_cast<uint32_t>(threads), scan_m);
 }

@@ -1,12 +1,16 @@
-// Shared helpers for the bench binaries: section banners and common
-// instance recipes. Every bench prints GitHub-markdown tables (via
-// util/table.h) mirroring the paper artifact it reproduces, so
-// bench_output.txt can be pasted into EXPERIMENTS.md verbatim.
+// Shared helpers for the bench binaries: section banners, common
+// instance recipes, and strict flag parsing. Every bench prints
+// GitHub-markdown tables (via util/table.h) mirroring the paper
+// artifact it reproduces, so bench_output.txt can be pasted into
+// EXPERIMENTS.md verbatim.
 
 #ifndef STREAMCOVER_BENCH_BENCH_UTIL_H_
 #define STREAMCOVER_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace streamcover {
@@ -18,6 +22,26 @@ inline void Banner(const std::string& title) {
 
 inline void Note(const std::string& text) {
   std::printf("%s\n", text.c_str());
+}
+
+/// Strict full-token parse of a positive integer flag value into *out.
+/// False (with a diagnostic on stderr) for malformed, out-of-range, or
+/// non-positive input. atoi/atoll used to swallow all three silently:
+/// `--scan-m abc` became 0 and fed a zero set count into the scan
+/// stage's derived sizes, and `--rounds 20q0` became 20.
+inline bool ParsePositiveInt(const char* flag, const char* value,
+                             uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (value[0] == '\0' || end == nullptr || *end != '\0' ||
+      errno == ERANGE || v <= 0) {
+    std::fprintf(stderr, "%s expects a positive integer, got '%s'\n",
+                 flag, value);
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
 }
 
 }  // namespace benchutil

@@ -20,6 +20,10 @@ struct BaselineResult {
   /// passes" for the classic one-logical-instruction-stream baselines.
   uint64_t physical_scans = 0;
   uint64_t space_words = 0;    ///< peak retained 64-bit words
+  /// Gain-maintenance accounting (baselines that run a greedy gain
+  /// loop; zero elsewhere) — see setsystem/transposed_index.h.
+  uint64_t gain_updates = 0;   ///< O(1) transposed-index decrements
+  uint64_t sets_touched = 0;   ///< candidate-gain evaluations
 };
 
 }  // namespace streamcover

@@ -25,6 +25,8 @@ BaselineResult StoreAllGreedy(SetStream& stream, KernelPolicy kernel) {
   result.success = IsFullCover(buffered, result.cover);
   result.passes = stream.passes() - passes_before;
   result.space_words = tracker.peak_words();
+  result.gain_updates = offline.gain_updates;
+  result.sets_touched = offline.sets_touched;
   return result;
 }
 

@@ -98,8 +98,19 @@ void ThresholdSieveConsumer::OnSet(const SetView& set) {
     sol_.set_ids.push_back(set.id);
     tracker_.Charge(1);
     for (uint32_t e : residual_scratch_) uncovered_.Reset(e);
+    if (delta_scheduler_ != nullptr &&
+        delta_scheduler_->has_delta_listeners()) {
+      pass_delta_.insert(pass_delta_.end(), residual_scratch_.begin(),
+                         residual_scratch_.end());
+    }
     remaining_ -= gain;
   }
+}
+
+void ThresholdSieveConsumer::FlushPassDelta() {
+  if (delta_scheduler_ == nullptr) return;
+  delta_scheduler_->PublishCoverageDelta(pass_delta_);
+  pass_delta_.clear();
 }
 
 void ThresholdSieveConsumer::FinishFromBackups() {
@@ -113,6 +124,10 @@ void ThresholdSieveConsumer::FinishFromBackups() {
     sol_.set_ids.push_back(backup_[e]);
     tracker_.Charge(1);
     uncovered_.Reset(e);
+    if (delta_scheduler_ != nullptr &&
+        delta_scheduler_->has_delta_listeners()) {
+      pass_delta_.push_back(e);
+    }
     --remaining_;
   }
   sol_.Deduplicate();
@@ -129,9 +144,11 @@ void ThresholdSieveConsumer::OnPassEnd() {
     const double exponent = static_cast<double>(p_ + 1 - pass_index_) /
                             static_cast<double>(p_ + 1);
     threshold_ = std::pow(dn_, exponent);
+    FlushPassDelta();  // scheduling thread: hand this pass's coverage on
     return;
   }
   FinishFromBackups();
+  FlushPassDelta();
   done_ = true;
 }
 
@@ -150,6 +167,9 @@ BaselineResult PolynomialThresholdCover(PassScheduler& scheduler, uint32_t p,
                                         KernelPolicy kernel) {
   ThresholdSieveConsumer consumer(scheduler.stream().num_elements(), p,
                                   coverage_fraction, kernel);
+  // Registered GainTrackers (scheduler delta bus) see every element the
+  // sieve covers, batched per pass.
+  consumer.PublishDeltasTo(&scheduler);
   PassScheduler::SoloRun run = scheduler.DriveToCompletion(consumer);
   BaselineResult result = consumer.TakeResult(run.logical_passes);
   result.physical_scans = run.physical_scans;

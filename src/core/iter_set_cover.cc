@@ -163,6 +163,8 @@ class GuessConsumer final : public ScanConsumer {
     result.space_words_parallel = tracker_.peak_words();
     result.space_words_max_guess = tracker_.peak_words();
     result.winning_k = k_;
+    result.gain_updates = gain_updates_;
+    result.sets_touched = sets_touched_;
     result.diagnostics = std::move(diagnostics_);
     return result;
   }
@@ -256,6 +258,8 @@ class GuessConsumer final : public ScanConsumer {
       }
       SetSystem sub = std::move(sub_builder).Build();
       OfflineResult offline_result = offline_->Solve(sub);
+      gain_updates_ += offline_result.gain_updates;
+      sets_touched_ += offline_result.sets_touched;
       size_t take = offline_result.cover.size();
       if (allowed_uncovered_ > 0 && uncovered_count_ > 0) {
         // epsilon-Partial: the sample is a relative approximation of the
@@ -350,6 +354,8 @@ class GuessConsumer final : public ScanConsumer {
   DynamicBitset picked_distinct_;
   uint64_t distinct_picks_ = 0;
   std::vector<IterSetCoverIterationDiag> diagnostics_;
+  uint64_t gain_updates_ = 0;
+  uint64_t sets_touched_ = 0;
   uint64_t iter_ = 0;
   bool success_ = false;
   bool killed_ = false;

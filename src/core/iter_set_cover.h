@@ -110,6 +110,12 @@ struct StreamingResult {
   uint64_t space_words_max_guess = 0;
   /// The guess k that produced the returned cover.
   uint64_t winning_k = 0;
+  /// Gain-maintenance accounting of the winning guess's offline solves,
+  /// summed over its iterations (setsystem/transposed_index.h): O(1)
+  /// gain decrements and candidate-gain evaluations. Zero when the
+  /// offline solver does not report them.
+  uint64_t gain_updates = 0;
+  uint64_t sets_touched = 0;
   std::vector<IterSetCoverIterationDiag> diagnostics;
 };
 

@@ -129,6 +129,8 @@ RunReport ExecutePlan(const RunPlan& plan, const CancelToken* cancel) {
                 static_cast<double>(r.projection_words_peak));
           }
           cell.duration_ms.Add(r.duration_ms);
+          cell.gain_updates.Add(static_cast<double>(r.gain_updates));
+          cell.sets_touched.Add(static_cast<double>(r.sets_touched));
         }
       }
     }
@@ -148,7 +150,7 @@ const RunCell* RunReport::FindCell(std::string_view solver_label,
 
 JsonValue RunReport::ToJson() const {
   JsonValue out = JsonValue::Object();
-  out.Set("schema", "streamcover.run_report.v3");
+  out.Set("schema", "streamcover.run_report.v4");
 
   JsonValue solvers = JsonValue::Array();
   for (const SolverSpec& spec : plan.solvers) {
@@ -191,6 +193,8 @@ JsonValue RunReport::ToJson() const {
     c.Set("space_words", StatsJson(cell.space_words));
     c.Set("projection_words", StatsJson(cell.projection_words));
     c.Set("duration_ms", StatsJson(cell.duration_ms));
+    c.Set("gain_updates", StatsJson(cell.gain_updates));
+    c.Set("sets_touched", StatsJson(cell.sets_touched));
     if (!cell.errors.empty()) {
       JsonValue errors = JsonValue::Array();
       for (const std::string& error : cell.errors) errors.Append(error);

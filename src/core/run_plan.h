@@ -10,7 +10,7 @@
 // cover/OPT ratio (when the workload plants a bound), passes,
 // sequential_scans, physical_scans, space words, and wall-clock
 // duration_ms into a RunReport that serializes to JSON (util/json.h,
-// schema streamcover.run_report.v3) for the perf trajectory and
+// schema streamcover.run_report.v4) for the perf trajectory and
 // external tooling.
 //
 // Determinism: instances are generated once per (workload, seed) with
@@ -94,6 +94,12 @@ struct RunCell {
   /// Wall-clock run time (RunResult::duration_ms) — the same field the
   /// serve histograms and bench_serve consume.
   RunningStats duration_ms;
+  /// Gain-maintenance counters (RunResult::gain_updates /
+  /// ::sets_touched), recorded for every ok() run — zero-valued for
+  /// solvers without a gain loop, so the v4 JSON fields are always
+  /// present.
+  RunningStats gain_updates;
+  RunningStats sets_touched;
   /// Distinct error strings seen (dispatch failures, build failures).
   std::vector<std::string> errors;
 };
@@ -109,7 +115,8 @@ struct RunReport {
                           std::string_view workload_label) const;
 
   /// Full report as a JSON document (schema
-  /// "streamcover.run_report.v3": v2 + per-cell "duration_ms" stats).
+  /// "streamcover.run_report.v4": v3 + per-cell "gain_updates" /
+  /// "sets_touched" stats).
   JsonValue ToJson() const;
 
   /// Pretty-printed ToJson().

@@ -32,6 +32,8 @@ RunResult FromBaseline(BaselineResult r) {
   result.sequential_scans = r.passes;
   result.physical_scans = r.physical_scans > 0 ? r.physical_scans : r.passes;
   result.space_words = r.space_words;
+  result.gain_updates = r.gain_updates;
+  result.sets_touched = r.sets_touched;
   return result;
 }
 
@@ -65,6 +67,8 @@ RunResult RunIterSetCover(RunContext& ctx) {
   result.physical_scans = r.physical_scans;
   result.space_words = r.space_words_max_guess;
   result.projection_words_peak = PeakProjectionWords(r);
+  result.gain_updates = r.gain_updates;
+  result.sets_touched = r.sets_touched;
   return result;
 }
 
@@ -122,6 +126,8 @@ RunResult RunOffline(RunContext& ctx) {
   result.sequential_scans = result.passes;
   result.physical_scans = result.passes;
   result.space_words = tracker.peak_words();
+  result.gain_updates = offline.gain_updates;
+  result.sets_touched = offline.sets_touched;
   return result;
 }
 

@@ -159,6 +159,14 @@ struct RunResult {
   /// Filled for every dispatched run, successful or not; 0 only when
   /// dispatch itself failed (unknown solver, bad options).
   double duration_ms = 0;
+  /// Gain-maintenance accounting for solvers that keep residual gains
+  /// (the greedy family: sharded merge, store_all_greedy,
+  /// offline_greedy, iterSetCover's per-guess solves). `gain_updates`
+  /// counts O(1) transposed-index gain decrements; `sets_touched`
+  /// counts candidate-gain evaluations (heap inspections / rescans).
+  /// Zero for solvers without a gain-maintenance loop.
+  uint64_t gain_updates = 0;
+  uint64_t sets_touched = 0;
   /// Sharded-solver extras: empty for every other solver family.
   std::vector<ShardStat> shard_stats;
   MergeStat merge_stats;

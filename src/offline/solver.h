@@ -25,6 +25,12 @@ struct OfflineResult {
   bool proven_optimal = false;
   /// Solver-specific work counter (greedy: sets scanned; exact: B&B nodes).
   uint64_t work = 0;
+  /// Gain-maintenance accounting (solvers that track residual gains;
+  /// zero elsewhere): individual O(1) gain decrements applied, and
+  /// candidate-gain evaluations performed. See
+  /// setsystem/transposed_index.h for the semantics.
+  uint64_t gain_updates = 0;
+  uint64_t sets_touched = 0;
 };
 
 /// Interface for offline solvers used as algOfflineSC.

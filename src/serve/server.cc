@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/solver_registry.h"
+#include "util/cover_kernels.h"
 
 namespace streamcover {
 
@@ -263,6 +264,7 @@ void CoverageServer::RunSolve(Job& job) {
   options.coverage_fraction = job.request.coverage_fraction;
   options.threads = job.request.threads;
   options.shards = job.request.shards;
+  options.kernel = job.request.kernel;
   options.cancel = job.cancel.get();
   RunResult result =
       RunSolverShared(job.request.solver, *instance, options);
@@ -362,6 +364,9 @@ JsonValue CoverageServer::StatsJson() const {
   cache.Set("resident_bytes", cache_stats.resident_bytes);
   cache.Set("resident_count", cache_stats.resident_count);
   stats.Set("cache", std::move(cache));
+  // What `"kernel":"auto"` dispatches to on this host — lets operators
+  // confirm the SIMD tier from the stats endpoint alone.
+  stats.Set("kernel_isa", KernelIsaName(DetectKernelIsa()));
   return stats;
 }
 

@@ -1,0 +1,56 @@
+#include "setsystem/transposed_index.h"
+
+#include <numeric>
+#include <utility>
+
+namespace streamcover {
+
+void TransposedIndex::Builder::PrepareFill() {
+  SC_CHECK(!prepared_);
+  prepared_ = true;
+  // counts_[e + 1] holds |column e|; prefix-sum in place to offsets.
+  for (size_t e = 1; e < counts_.size(); ++e) {
+    counts_[e] += counts_[e - 1];
+  }
+  entries_.resize(counts_.back());
+  // Fill cursors start at each column's offset and advance per entry.
+  cursors_.assign(counts_.begin(), counts_.end() - 1);
+}
+
+TransposedIndex TransposedIndex::Builder::Build() && {
+  SC_CHECK(prepared_);
+  // Every counted pair must have been filled: each cursor must have
+  // reached the next column's offset.
+  for (uint32_t e = 0; e < num_elements_; ++e) {
+    SC_CHECK_EQ(cursors_[e], counts_[e + 1]);
+  }
+  TransposedIndex index;
+  index.offsets_ = std::move(counts_);
+  index.entries_ = std::move(entries_);
+  return index;
+}
+
+void GainTracker::InitFromMask(const DynamicBitset& uncovered) {
+  SC_CHECK_EQ(uncovered.size(), index_->num_elements());
+  for (uint32_t& g : gains_) g = 0;
+  uncovered.ForEach([&](uint32_t e) {
+    for (uint32_t s : index_->Sets(e)) {
+      SC_DCHECK_LT(s, gains_.size());
+      ++gains_[s];
+    }
+  });
+}
+
+void GainTracker::OnCovered(std::span<const uint32_t> newly_covered) {
+  for (uint32_t e : newly_covered) {
+    const std::span<const uint32_t> sets = index_->Sets(e);
+    for (uint32_t s : sets) {
+      SC_DCHECK_LT(s, gains_.size());
+      SC_DCHECK_GT(gains_[s], 0u);
+      --gains_[s];
+    }
+    gain_updates_ += sets.size();
+  }
+}
+
+}  // namespace streamcover

@@ -92,6 +92,8 @@ RunResult RunShardFamily(RunContext& ctx, bool partitioned) {
   result.merge_stats.duplicates_dropped = merge.duplicates_dropped();
   result.merge_stats.picked = outcome.cover.set_ids.size();
   result.merge_stats.duration_ms = merge_timer.ElapsedMillis();
+  result.gain_updates = merge.counters().gain_updates;
+  result.sets_touched = merge.counters().sets_touched;
   tracker.AddParallelPeak(merge.space_words());
 
   result.cover = std::move(outcome.cover);

@@ -36,7 +36,7 @@ ThresholdBucketEngine::ThresholdBucketEngine(
 }
 
 void ThresholdBucketEngine::RefreshSkipMask() {
-  refresh_countdown_ = kRefreshInterval;
+  cleared_since_refresh_ = 0;
   if (live_buckets_ == 0) {
     skip_active_ = false;
     return;
@@ -60,7 +60,12 @@ void ThresholdBucketEngine::OnSet(const SetView& set) {
   }
   ++counters_.sets_seen;
   if (live_buckets_ == 0) return;
-  if (--refresh_countdown_ == 0) RefreshSkipMask();
+  // Coverage-progress refresh: the union only drifts when inserts clear
+  // residual bits, so refresh once enough have accumulated.
+  if (cleared_since_refresh_ * kRefreshProgressRatio >= num_elements_ &&
+      cleared_since_refresh_ > 0) {
+    RefreshSkipMask();
+  }
   if (skip_active_) {
     counters_.work_items += set.size();
     if (!Intersects(set, skip_union_, kernel_)) return;
@@ -74,6 +79,7 @@ void ThresholdBucketEngine::OnSet(const SetView& set) {
     if (gain < bucket.tau) continue;
     MarkCovered(set, bucket.uncovered, kernel_);
     bucket.remaining -= gain;
+    cleared_since_refresh_ += gain;
     ++counters_.inserts;
     if (!stored) {
       stored = true;

@@ -110,13 +110,19 @@ class ThresholdBucketEngine final : public ScanConsumer {
   // union of the live residuals and one Intersects against it replaces
   // the whole ladder walk in the saturated tail of the substream. Only
   // consulted once it is sparse enough that the pre-test usually wins
-  // (skip_active_); refreshed on bucket death and every
-  // kRefreshInterval substream sets — both substream-deterministic, so
-  // counters stay invariant across backends and thread counts.
-  static constexpr uint64_t kRefreshInterval = 4096;
+  // (skip_active_); refreshed on bucket death and on coverage progress:
+  // once the inserts since the last refresh cleared >= n /
+  // kRefreshProgressRatio residual bits, the stale superset has drifted
+  // enough to be worth recomputing. (A blind every-K-sets countdown
+  // refreshes identical unions through no-progress stretches and lets
+  // the mask go stale through bursts; progress is the only thing that
+  // changes the union.) Both triggers are pure functions of the
+  // substream, so counters stay invariant across backends and thread
+  // counts.
+  static constexpr uint64_t kRefreshProgressRatio = 8;
   LiveMask skip_union_;
   bool skip_active_ = false;
-  uint64_t refresh_countdown_ = kRefreshInterval;
+  uint64_t cleared_since_refresh_ = 0;
 
   // Candidate CSR: ids_[i] owns elems_[offsets_[i], offsets_[i+1]).
   std::vector<uint32_t> ids_;

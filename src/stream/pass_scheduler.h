@@ -37,6 +37,7 @@
 
 #include "stream/set_stream.h"
 #include "util/cover_kernels.h"
+#include "util/coverage_delta.h"
 
 namespace streamcover {
 
@@ -153,6 +154,29 @@ class PassScheduler {
   uint32_t threads() const { return threads_; }
   SetStream& stream() { return *stream_; }
 
+  /// Registers a coverage-delta listener (setsystem/transposed_index.h's
+  /// GainTracker, or any CoverageDeltaListener). Non-owning; the
+  /// listener must outlive the scheduler's last publish.
+  /// Register before the first RunRound: publishing consumers may read
+  /// has_delta_listeners() from their worker-owned dispatches to skip
+  /// delta buffering when nobody subscribed.
+  void AddDeltaListener(CoverageDeltaListener* listener) {
+    delta_listeners_.push_back(listener);
+  }
+
+  bool has_delta_listeners() const { return !delta_listeners_.empty(); }
+
+  /// Hands a batch of newly covered elements to every registered
+  /// listener. Publishing consumers call this from OnPassEnd (or any
+  /// other scheduling-thread context) — never from OnSet/OnBatch, which
+  /// may run on worker threads. Each element must be published at most
+  /// once per publisher, matching the listener contract.
+  void PublishCoverageDelta(std::span<const uint32_t> newly_covered) {
+    for (CoverageDeltaListener* listener : delta_listeners_) {
+      listener->OnCoverageDelta(newly_covered);
+    }
+  }
+
  private:
   struct Slot {
     ScanConsumer* consumer = nullptr;
@@ -167,6 +191,7 @@ class PassScheduler {
   uint32_t threads_;
   KernelPolicy kernel_;
   std::vector<Slot> slots_;
+  std::vector<CoverageDeltaListener*> delta_listeners_;
   uint64_t physical_scans_ = 0;
   bool stream_failed_ = false;
 

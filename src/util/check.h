@@ -45,7 +45,9 @@ namespace internal {
 #define SC_DCHECK(cond) SC_CHECK(cond)
 #endif
 
+#define SC_DCHECK_EQ(a, b) SC_DCHECK((a) == (b))
 #define SC_DCHECK_LT(a, b) SC_DCHECK((a) < (b))
 #define SC_DCHECK_LE(a, b) SC_DCHECK((a) <= (b))
+#define SC_DCHECK_GT(a, b) SC_DCHECK((a) > (b))
 
 #endif  // STREAMCOVER_UTIL_CHECK_H_

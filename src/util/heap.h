@@ -1,0 +1,41 @@
+// Flat binary max-heap helpers shared by the lazy-deletion greedy
+// loops (offline/greedy.cc, shard/merge_stage.cc).
+//
+// The loops keep a std::make_heap/pop_heap-layout vector of packed
+// (gain, tie-break) keys. When the root's cached gain turns out stale,
+// the pop-and-reuse idiom re-keys heap[0] in place and restores the
+// heap with ONE sift-down — instead of pop_heap + pop_back + push_back
+// + push_heap, which walks two root-to-leaf paths and a leaf-to-root
+// path for the same net effect.
+
+#ifndef STREAMCOVER_UTIL_HEAP_H_
+#define STREAMCOVER_UTIL_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace streamcover {
+
+/// Restores the max-heap property of `heap` after heap[0] was replaced
+/// with a smaller key. Layout-compatible with std::make_heap /
+/// std::pop_heap (children of i at 2i+1, 2i+2). `heap` must be
+/// non-empty.
+inline void SiftDownRoot(std::vector<uint64_t>& heap) {
+  const size_t n = heap.size();
+  const uint64_t value = heap[0];
+  size_t i = 0;
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap[child] < heap[child + 1]) ++child;
+    if (heap[child] <= value) break;
+    heap[i] = heap[child];
+    i = child;
+  }
+  heap[i] = value;
+}
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_UTIL_HEAP_H_

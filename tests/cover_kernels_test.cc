@@ -39,11 +39,66 @@ DynamicBitset RandomMask(uint32_t n, double density, Rng& rng) {
 TEST(KernelPolicyTest, NamesRoundTrip) {
   EXPECT_STREQ(KernelPolicyName(KernelPolicy::kScalar), "scalar");
   EXPECT_STREQ(KernelPolicyName(KernelPolicy::kWord), "word");
+  EXPECT_STREQ(KernelPolicyName(KernelPolicy::kAuto), "auto");
   EXPECT_EQ(ParseKernelPolicy("scalar"), KernelPolicy::kScalar);
   EXPECT_EQ(ParseKernelPolicy("word"), KernelPolicy::kWord);
+  EXPECT_EQ(ParseKernelPolicy("auto"), KernelPolicy::kAuto);
   EXPECT_FALSE(ParseKernelPolicy("simd").has_value());
+  EXPECT_FALSE(ParseKernelPolicy("avx512").has_value());
   EXPECT_FALSE(ParseKernelPolicy("").has_value());
   EXPECT_FALSE(ParseKernelPolicy("WORD").has_value());
+}
+
+TEST(KernelIsaTest, DetectedTierIsSupportedAndNamed) {
+  const KernelIsa detected = DetectKernelIsa();
+  const std::vector<KernelIsa> supported = SupportedKernelIsas();
+  // kWord is always executable; the detected tier must be one this
+  // binary can actually run.
+  EXPECT_NE(std::find(supported.begin(), supported.end(), KernelIsa::kWord),
+            supported.end());
+  EXPECT_NE(std::find(supported.begin(), supported.end(), detected),
+            supported.end());
+  for (KernelIsa isa : supported) {
+    const std::string name = KernelIsaName(isa);
+    EXPECT_TRUE(name == "word" || name == "avx2" || name == "avx512") << name;
+  }
+}
+
+TEST(DenseStorageTest, ThresholdIsOneEighthOfUniverse) {
+  // Exactly 1/kDenseStorageRatio of the universe tips into dense.
+  EXPECT_TRUE(ShouldStoreDense(16, 128));
+  EXPECT_FALSE(ShouldStoreDense(15, 128));
+  EXPECT_TRUE(ShouldStoreDense(128, 128));
+  EXPECT_FALSE(ShouldStoreDense(0, 128));
+  // Non-multiple universe: 1000/8 = 125.
+  EXPECT_TRUE(ShouldStoreDense(125, 1000));
+  EXPECT_FALSE(ShouldStoreDense(124, 1000));
+  // Empty universe never stores dense (no row shape to build).
+  EXPECT_FALSE(ShouldStoreDense(0, 0));
+  EXPECT_FALSE(ShouldStoreDense(5, 0));
+}
+
+TEST(BitsetCSRTest, RowsAreMaskShapedBitsets) {
+  BitsetCSR csr(130);
+  EXPECT_EQ(csr.num_elements(), 130u);
+  EXPECT_EQ(csr.words_per_row(), 3u);
+  EXPECT_EQ(csr.rows(), 0u);
+  EXPECT_EQ(csr.word_count(), 0u);
+
+  const std::vector<uint32_t> a{0, 63, 64, 129};
+  const std::vector<uint32_t> b{};
+  EXPECT_EQ(csr.AddRow(std::span<const uint32_t>(a)), 0u);
+  EXPECT_EQ(csr.AddRow(std::span<const uint32_t>(b)), 1u);
+  EXPECT_EQ(csr.rows(), 2u);
+  EXPECT_EQ(csr.word_count(), 6u);
+
+  const std::span<const uint64_t> row0 = csr.Row(0);
+  ASSERT_EQ(row0.size(), 3u);
+  EXPECT_EQ(row0[0], (1ULL << 0) | (1ULL << 63));
+  EXPECT_EQ(row0[1], 1ULL);
+  EXPECT_EQ(row0[2], 2ULL);  // bit 129 = word 2, bit 1; tail above is zero
+  const std::span<const uint64_t> row1 = csr.Row(1);
+  for (uint64_t w : row1) EXPECT_EQ(w, 0u);
 }
 
 TEST(LiveMaskTest, ForwardsToBitset) {
@@ -194,6 +249,94 @@ TEST(CoverKernelsTest, SetViewAndLiveMaskWrappersMatchSpanKernels) {
   const size_t gain = MarkCovered(view, marked, KernelPolicy::kWord);
   EXPECT_EQ(gain, via_view.size());
   EXPECT_EQ(marked.Count() + gain, live.Count());
+}
+
+// One (universe, mask, set) case through every dense kernel and every
+// compiled SIMD tier, checked against the sparse scalar oracle over the
+// same elements.
+void ExpectDenseTwinsAgree(const DynamicBitset& mask,
+                           const std::vector<uint32_t>& elems) {
+  const uint32_t n = static_cast<uint32_t>(mask.size());
+  BitsetCSR csr(n);
+  const uint32_t row_id = csr.AddRow(std::span<const uint32_t>(elems));
+  const std::span<const uint64_t> row = csr.Row(row_id);
+  const std::span<const uint32_t> span(elems);
+
+  const size_t oracle_count =
+      CountUncovered(span, mask, KernelPolicy::kScalar);
+  for (KernelPolicy policy : {KernelPolicy::kScalar, KernelPolicy::kWord,
+                              KernelPolicy::kAuto}) {
+    EXPECT_EQ(CountUncoveredDense(row, mask, policy), oracle_count);
+    EXPECT_EQ(IntersectsDense(row, mask, policy),
+              Intersects(span, mask, KernelPolicy::kScalar));
+
+    std::vector<uint32_t> dense_out{0xDEAD};  // appends only
+    EXPECT_EQ(FilterIntoDense(row, mask, dense_out, policy), oracle_count);
+    std::vector<uint32_t> sparse_out{0xDEAD};
+    FilterInto(span, mask, sparse_out, KernelPolicy::kScalar);
+    EXPECT_EQ(dense_out, sparse_out);
+
+    DynamicBitset dense_mask = mask;
+    DynamicBitset sparse_mask = mask;
+    EXPECT_EQ(MarkCoveredDense(row, dense_mask, policy),
+              MarkCovered(span, sparse_mask, KernelPolicy::kScalar));
+    EXPECT_TRUE(dense_mask == sparse_mask);
+    EXPECT_EQ(MarkCoveredDense(row, dense_mask, policy), 0u);
+  }
+
+  // Tier-pinned variants: every SIMD path this binary compiled in must
+  // match the oracle too, regardless of what DetectKernelIsa() picks.
+  for (KernelIsa isa : SupportedKernelIsas()) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(isa));
+    EXPECT_EQ(CountUncoveredDenseIsa(row, mask.Words(), isa), oracle_count);
+    DynamicBitset isa_mask = mask;
+    DynamicBitset sparse_mask = mask;
+    EXPECT_EQ(MarkCoveredDenseIsa(row, isa_mask.MutableWords(), isa),
+              MarkCovered(span, sparse_mask, KernelPolicy::kScalar));
+    EXPECT_TRUE(isa_mask == sparse_mask);
+  }
+}
+
+TEST(DenseKernelsTest, TwinsAgreeOnWordBoundarySizes) {
+  Rng rng(43);
+  // Same tail-handling universes as the sparse suite; set densities
+  // bracket the 1/kDenseStorageRatio storage threshold (below, at,
+  // above, and the extremes) — dense rows must stay correct even for
+  // sets the policy would keep sparse.
+  for (uint32_t n : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    DynamicBitset empty(n);
+    DynamicBitset full(n, true);
+    for (double mask_density : {0.0, 0.5, 1.0}) {
+      DynamicBitset mask = mask_density == 0.0   ? empty
+                           : mask_density == 1.0 ? full
+                                                 : RandomMask(n, 0.5, rng);
+      for (double set_density : {0.0, 0.06, 1.0 / kDenseStorageRatio,
+                                 0.3, 1.0}) {
+        const size_t set_size =
+            static_cast<size_t>(set_density * static_cast<double>(n));
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " mask_density=" + std::to_string(mask_density) +
+                     " set_size=" + std::to_string(set_size));
+        ExpectDenseTwinsAgree(mask, RandomSortedSet(n, set_size, rng));
+      }
+      // Boundary-hugging set: first/last bit of every word.
+      std::vector<uint32_t> edges;
+      for (uint32_t e = 0; e < n; ++e) {
+        if (e % 64 == 0 || e % 64 == 63 || e + 1 == n) edges.push_back(e);
+      }
+      ExpectDenseTwinsAgree(mask, edges);
+    }
+  }
+}
+
+TEST(DenseKernelsTest, FuzzTwinsAgree) {
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(520));
+    DynamicBitset mask = RandomMask(n, rng.Uniform(101) / 100.0, rng);
+    const size_t set_size = rng.Uniform(n + 1);
+    ExpectDenseTwinsAgree(mask, RandomSortedSet(n, set_size, rng));
+  }
 }
 
 }  // namespace

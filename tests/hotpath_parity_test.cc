@@ -12,11 +12,11 @@
 //  * thread-count invariance through the registry: `iter` on planted,
 //    zipf, and file-backed workloads at --threads 1 and 4 must agree on
 //    covers, space_words, and projection_words_peak exactly;
-//  * kernel-policy invariance: every streaming/offline solver run with
-//    --kernel scalar and --kernel word (the PR-5 coverage kernels) must
-//    agree on covers, passes, scans, and space exactly, serial and
-//    threaded (the threaded path additionally exercises the scheduler's
-//    batch prefilter).
+//  * kernel-policy invariance: every registered non-geometric solver
+//    run with --kernel scalar, word, and auto (auto adds runtime SIMD
+//    dispatch for the dense kernels) must agree on covers, passes,
+//    scans, and space exactly, at --threads 1 and 4 (the threaded path
+//    additionally exercises the scheduler's batch prefilter).
 
 #include <cmath>
 #include <cstdio>
@@ -293,21 +293,34 @@ TEST(HotpathParityTest, ThreadedRegistryRunsAreByteIdentical) {
 }
 
 TEST(HotpathParityTest, KernelPoliciesAreByteIdenticalAcrossSolvers) {
+  // Every registered non-geometric solver, scalar/word/auto x threads
+  // 1 and 4, all against the scalar serial reference. kAuto engages
+  // whatever SIMD tier this host detects for the dense kernels, so this
+  // is also the dispatch-correctness gate.
   for (const char* family : {"planted", "zipf"}) {
     Instance instance = MakeRegistered(family, 6);
-    for (const char* solver :
-         {"iter", "dimv14", "threshold_greedy", "progressive_greedy",
-          "iterative_greedy", "store_all_greedy", "streaming_max_cover",
-          "offline_greedy"}) {
-      RunOptions scalar;
-      scalar.sample_constant = 0.05;
-      scalar.kernel = KernelPolicy::kScalar;
-      RunOptions word = scalar;
-      word.kernel = KernelPolicy::kWord;
-      RunResult a = RunSolver(solver, instance, scalar);
-      RunResult b = RunSolver(solver, instance, word);
-      SCOPED_TRACE(std::string(family) + " x " + solver);
-      ExpectRunParity(a, b);
+    for (const SolverRegistry::Entry* entry :
+         SolverRegistry::Global().Entries()) {
+      if (entry->kind == SolverRegistry::Kind::kGeometric) continue;
+      RunOptions reference_options;
+      reference_options.sample_constant = 0.05;
+      reference_options.kernel = KernelPolicy::kScalar;
+      RunResult reference = RunSolver(entry->name, instance,
+                                      reference_options);
+      for (KernelPolicy kernel : {KernelPolicy::kScalar, KernelPolicy::kWord,
+                                  KernelPolicy::kAuto}) {
+        for (uint32_t threads : {1u, 4u}) {
+          if (kernel == KernelPolicy::kScalar && threads == 1) continue;
+          RunOptions options = reference_options;
+          options.kernel = kernel;
+          options.threads = threads;
+          RunResult run = RunSolver(entry->name, instance, options);
+          SCOPED_TRACE(std::string(family) + " x " + entry->name + " x " +
+                       KernelPolicyName(kernel) + " x threads=" +
+                       std::to_string(threads));
+          ExpectRunParity(reference, run);
+        }
+      }
     }
   }
 }

@@ -157,7 +157,7 @@ TEST(RunPlanTest, JsonRoundTrip) {
   std::string error;
   std::optional<JsonValue> parsed = JsonValue::Parse(text, &error);
   ASSERT_TRUE(parsed.has_value()) << error;
-  EXPECT_EQ(parsed->At("schema").AsString(), "streamcover.run_report.v3");
+  EXPECT_EQ(parsed->At("schema").AsString(), "streamcover.run_report.v4");
   EXPECT_EQ(parsed->At("solvers").size(), 2u);
   EXPECT_EQ(parsed->At("workloads").size(), 3u);
   EXPECT_EQ(parsed->At("seeds").size(), 2u);
@@ -176,6 +176,22 @@ TEST(RunPlanTest, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(cell0.At("space_words").At("max").AsDouble(),
                    report.cells[0].space_words.max());
   EXPECT_EQ(cell0.At("runs").AsDouble(), 4.0);
+
+  // v4: the gain-maintenance stats are present on every cell (recorded
+  // for every ok() run — zero-valued for gainless solvers, never
+  // omitted).
+  for (size_t i = 0; i < parsed->At("cells").size(); ++i) {
+    const JsonValue& cell = parsed->At("cells")[i];
+    ASSERT_TRUE(cell.At("gain_updates").is_object()) << i;
+    ASSERT_TRUE(cell.At("sets_touched").is_object()) << i;
+    EXPECT_EQ(cell.At("gain_updates").At("count").AsDouble(), 4.0);
+    EXPECT_EQ(cell.At("sets_touched").At("count").AsDouble(), 4.0);
+  }
+  // The greedy family reports real maintenance work, not zeros: both
+  // solvers of SmallPlan end in an exact-greedy loop over the
+  // transposed index.
+  EXPECT_GT(cell0.At("gain_updates").At("mean").AsDouble(), 0.0);
+  EXPECT_GT(cell0.At("sets_touched").At("mean").AsDouble(), 0.0);
 
   // Dump -> Parse -> Dump is a fixed point.
   EXPECT_EQ(parsed->Dump(2), text);

@@ -233,6 +233,46 @@ TEST(ServeProtocolTest, ShardsFieldIsStrictlyTyped) {
       &request, &error));
 }
 
+TEST(ServeProtocolTest, KernelFieldIsStrictlyTyped) {
+  ServeRequest request;
+  std::string error;
+  // All three policy spellings parse.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","kernel":"scalar"})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.kernel, KernelPolicy::kScalar);
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","kernel":"auto"})",
+      &request, &error));
+  EXPECT_EQ(request.kernel, KernelPolicy::kAuto);
+  // Absent: keeps the word default.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter"})", &request, &error));
+  EXPECT_EQ(request.kernel, KernelPolicy::kWord);
+  // Unknown spellings (ISA names are runtime-detected, never
+  // request-pinned) and wrong types are hard errors.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","kernel":"avx512"})",
+      &request, &error));
+  EXPECT_NE(error.find("kernel"), std::string::npos);
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","kernel":7})",
+      &request, &error));
+}
+
+TEST(ServeTest, StatsReportsDetectedKernelIsa) {
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.At("ok").AsBool());
+  const std::string isa = stats.At("kernel_isa").AsString();
+  EXPECT_TRUE(isa == "word" || isa == "avx2" || isa == "avx512") << isa;
+  server.Shutdown();
+}
+
 TEST(ServeTest, ShardedSolveSurfacesShardAndMergeCounters) {
   ServerOptions options;
   options.workers = 1;

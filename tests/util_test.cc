@@ -179,6 +179,24 @@ TEST(DynamicBitsetTest, OrIntoMatchesOrAssign) {
   EXPECT_EQ(src.Count(), 3u);
 }
 
+TEST(DynamicBitsetTest, MismatchedUniversesAreFatal) {
+  // The word-parallel combiners assume both operands span the same
+  // universe; a mismatch would read/write off the shorter word array,
+  // so it is a CHECK (active in every build), not a debug assert. The
+  // off-by-one-word case (64 vs 65) is the one a length bug would
+  // actually produce.
+  DynamicBitset small(64);
+  DynamicBitset large(65);
+  EXPECT_DEATH(small.OrInto(large), "CHECK failed");
+  EXPECT_DEATH(large.OrInto(small), "CHECK failed");
+  EXPECT_DEATH((void)small.AndNotCountWords(large), "CHECK failed");
+  EXPECT_DEATH((void)large.AndNotCountWords(small), "CHECK failed");
+  // Same word count but different logical sizes is still a mismatch.
+  DynamicBitset sixty_three(63);
+  EXPECT_DEATH(sixty_three.OrInto(small), "CHECK failed");
+  EXPECT_DEATH((void)small.AndNotCountWords(sixty_three), "CHECK failed");
+}
+
 TEST(DynamicBitsetTest, WordsViewsExposeBackingStorage) {
   DynamicBitset b(130);
   b.Set(0);

@@ -15,10 +15,12 @@
 //       Streams an instance file (either format, sniffed by magic)
 //       into the other format in one pass without materializing it.
 //   stats    --in FILE
-//       Prints n, m, nnz, set-size distribution. Accepts both formats.
+//       Prints n, m, nnz, set-size distribution, the dense-eligible set
+//       count, and the SIMD tier `--kernel auto` would dispatch to on
+//       this host. Accepts both formats.
 //   solve    (--in FILE | --workload NAME) --algo ALGO [--n N --m M
 //            --k K] [--delta D] [--p P] [--seed SEED] [--coverage F]
-//            [--budget B] [--threads N] [--kernel scalar|word]
+//            [--budget B] [--threads N] [--kernel scalar|word|auto]
 //            [--early-exit] [--from-disk]
 //       ALGO: any name from `list-solvers` (plus the legacy aliases
 //       store-all / iterative / progressive / threshold); --workload
@@ -33,19 +35,20 @@
 //       --threads N fans multiplexed consumers out
 //       over N workers of the shared-scan PassScheduler; --kernel
 //       selects the coverage-kernel twin (word-parallel by default;
-//       scalar is the reference loop — results are identical).
+//       scalar is the reference loop; auto adds runtime SIMD dispatch
+//       for the dense kernels — results are identical either way).
 //   list-solvers  (also: --list_solvers)
 //       Prints every registered solver with its kind and bounds.
 //   list-workloads
 //       Prints every registered workload family with its kind.
 //   sweep    [--solvers a,b,c] [--workloads x,y,z] [--seeds S]
 //            [--trials T] [--n N --m M --k K] [--delta D] [--c C]
-//            [--threads N] [--kernel scalar|word] [--early-exit]
+//            [--threads N] [--kernel scalar|word|auto] [--early-exit]
 //            [--json FILE]
 //       Executes the (solvers × workloads × seeds × trials) grid
 //       through WorkloadRegistry/RunPlan, prints the summary table
 //       (passes vs sequential vs physical scans), and optionally
-//       writes the RunReport JSON (schema streamcover.run_report.v3).
+//       writes the RunReport JSON (schema streamcover.run_report.v4).
 //   generate-geom --type disk|rect|tri|figure12 --n N --m M --k K
 //            [--seed SEED] --out FILE
 //       Writes a geometric instance (geometry/geom_io.h format).
@@ -188,12 +191,12 @@ int Usage() {
       "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
       "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
       "[--p P] [--seed SEED] [--coverage F] [--budget B] [--threads N] "
-      "[--shards S] [--kernel scalar|word] [--early-exit] [--from-disk]\n"
+      "[--shards S] [--kernel scalar|word|auto] [--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
       "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
-      "[--threads N] [--shards S] [--kernel scalar|word] [--early-exit] "
+      "[--threads N] [--shards S] [--kernel scalar|word|auto] [--early-exit] "
       "[--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
@@ -217,7 +220,8 @@ bool ResolveKernel(const Args& args, KernelPolicy* kernel) {
   const std::string name = args.Get("kernel", "word");
   std::optional<KernelPolicy> parsed = ParseKernelPolicy(name);
   if (!parsed.has_value()) {
-    std::fprintf(stderr, "unknown --kernel '%s'; available: scalar, word\n",
+    std::fprintf(stderr,
+                 "unknown --kernel '%s'; available: scalar, word, auto\n",
                  name.c_str());
     return false;
   }
@@ -561,9 +565,13 @@ int CmdStats(const Args& args) {
     return 1;
   }
   size_t min_size = SIZE_MAX, max_size = 0;
+  uint32_t dense_eligible = 0;
   for (uint32_t s = 0; s < system->num_sets(); ++s) {
     min_size = std::min(min_size, system->SetSize(s));
     max_size = std::max(max_size, system->SetSize(s));
+    if (ShouldStoreDense(system->SetSize(s), system->num_elements())) {
+      ++dense_eligible;
+    }
   }
   if (system->num_sets() == 0) min_size = 0;
   std::printf("instance %s\n", in.c_str());
@@ -576,6 +584,12 @@ int CmdStats(const Args& args) {
                         system->num_sets()
                   : 0.0,
               max_size);
+  std::printf("  dense sets   : %u (>= n/%u elements; stored as bitset "
+              "rows)\n",
+              dense_eligible, kDenseStorageRatio);
+  std::printf("  kernel isa   : %s (what --kernel auto dispatches to "
+              "here)\n",
+              KernelIsaName(DetectKernelIsa()));
   std::printf("  coverable    : %s\n",
               IsCoverable(*system) ? "yes" : "NO (some element in no set)");
   return 0;
@@ -854,14 +868,19 @@ int CmdSelfTest() {
     if (CmdSolve(solve) != 1) return 1;
   }
   {
-    // Kernel policy: both twins dispatch; unknown spellings fail
-    // cleanly with the alternatives on stderr.
+    // Kernel policy: all three twins dispatch; unknown spellings
+    // (including ISA names — the tier is runtime-detected, never
+    // user-pinned) fail cleanly with the alternatives on stderr.
     Args solve;
     solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "scalar"}};
     if (CmdSolve(solve) != 0) return 1;
     solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "word"}};
     if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "auto"}};
+    if (CmdSolve(solve) != 0) return 1;
     solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "simd"}};
+    if (CmdSolve(solve) != 1) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"kernel", "avx512"}};
     if (CmdSolve(solve) != 1) return 1;
   }
   {
@@ -937,9 +956,11 @@ int CmdSelfTest() {
   if (CmdListWorkloads() != 0) return 1;
   {
     // A tiny sweep through WorkloadRegistry/RunPlan — multiplexed over
-    // 4 scheduler threads on the scalar reference kernel; its v2 JSON
-    // must parse back with the physical-scans column populated and the
-    // kernel policy recorded in the solver options.
+    // 4 scheduler threads on the scalar reference kernel; its v4 JSON
+    // must parse back with the physical-scans column populated, the
+    // kernel policy recorded in the solver options, and the v4
+    // gain-maintenance stats (gain_updates / sets_touched) present on
+    // every cell.
     const std::string json_path = dir + "/streamcover_cli_selftest.json";
     Args sweep;
     sweep.flags = {{"solvers", "iter,store_all_greedy,progressive_greedy"},
@@ -958,7 +979,7 @@ int CmdSelfTest() {
     std::string error;
     auto parsed = JsonValue::Parse(buffer.str(), &error);
     if (!parsed.has_value() || !parsed->is_object() ||
-        parsed->At("schema").AsString() != "streamcover.run_report.v3" ||
+        parsed->At("schema").AsString() != "streamcover.run_report.v4" ||
         parsed->At("cells").size() != 9 ||
         !parsed->At("cells")[0].At("physical_scans").is_object() ||
         parsed->At("solvers")[0].At("options").At("kernel").AsString() !=
@@ -966,6 +987,14 @@ int CmdSelfTest() {
       std::fprintf(stderr, "selftest: sweep JSON invalid: %s\n",
                    error.c_str());
       return 1;
+    }
+    for (size_t cell = 0; cell < parsed->At("cells").size(); ++cell) {
+      if (!parsed->At("cells")[cell].At("gain_updates").is_object() ||
+          !parsed->At("cells")[cell].At("sets_touched").is_object()) {
+        std::fprintf(stderr,
+                     "selftest: cell %zu missing v4 gain stats\n", cell);
+        return 1;
+      }
     }
     // An unknown kernel spelling must fail cleanly, not abort.
     Args bad;
