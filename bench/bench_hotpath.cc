@@ -53,7 +53,7 @@
 // the detected SIMD tier (`cpu` block), and a timed registry run of
 // the full `iter` solver with its covers/passes/space so the perf
 // trajectory carries correctness context. `--json FILE` (default
-// BENCH_hotpath.json) writes schema streamcover.bench_hotpath.v4; CI
+// BENCH_hotpath.json) writes schema streamcover.bench_hotpath.v5; CI
 // uploads it per PR so the numbers accumulate. `--selftest` checks the
 // strict flag parser (non-positive and malformed values rejected) and
 // exits.
@@ -63,7 +63,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -335,14 +337,28 @@ struct ScanStats {
 };
 
 /// One warmup scan (page cache / parse buffers), then one timed scan
-/// that folds every dispatched element into a checksum.
+/// that folds every dispatched element into a checksum. Sources with a
+/// batch scan path (the pipelined mmap decode) are consumed through
+/// ScanBatches — the grain PassScheduler's threaded mode actually uses
+/// — so the pipelined-vs-serial gate measures the production consumer,
+/// not a per-set re-wrap of it.
 bool MeasureScan(SetSource& source, uint64_t bytes, ScanStats* stats) {
   auto scan_once = [&](ScanStats* out) {
     uint64_t checksum = 0, sets = 0;
-    const bool ok = source.Scan([&](const SetView& view) {
-      ++sets;
-      for (uint32_t e : view.elems) checksum += e;
-    });
+    bool ok;
+    if (source.SupportsBatchScan()) {
+      ok = source.ScanBatches([&](std::span<const SetView> views) {
+        sets += views.size();
+        for (const SetView& view : views) {
+          for (uint32_t e : view.elems) checksum += e;
+        }
+      });
+    } else {
+      ok = source.Scan([&](const SetView& view) {
+        ++sets;
+        for (uint32_t e : view.elems) checksum += e;
+      });
+    }
     if (out != nullptr) {
       out->checksum = checksum;
       out->sets = sets;
@@ -356,6 +372,23 @@ bool MeasureScan(SetSource& source, uint64_t bytes, ScanStats* stats) {
   stats->bytes = bytes;
   stats->gb_per_sec = static_cast<double>(bytes) / stats->seconds / 1e9;
   stats->sets_per_sec = static_cast<double>(stats->sets) / stats->seconds;
+  return true;
+}
+
+/// Best of `trials` timed scans (one shared warmup inside the first
+/// MeasureScan) — the measurement the pipelined-vs-serial gate runs on,
+/// so a single scheduler hiccup can't fail CI.
+bool MeasureScanBestOf(SetSource& source, uint64_t bytes, int trials,
+                       ScanStats* stats) {
+  ScanStats best;
+  for (int trial = 0; trial < trials; ++trial) {
+    ScanStats current;
+    if (!MeasureScan(source, bytes, &current)) return false;
+    if (trial == 0 || current.sets_per_sec > best.sets_per_sec) {
+      best = current;
+    }
+  }
+  *stats = best;
   return true;
 }
 
@@ -421,7 +454,8 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   const uint64_t bin_bytes = FileBytes(bin_path);
   const uint64_t txt_bytes = FileBytes(txt_path);
 
-  ScanStats text_stats, mmap_stats, memory_stats;
+  ScanStats text_stats, mmap_stats, pipelined_stats, memory_stats;
+  constexpr uint32_t kPipelineThreads = 4;
   {
     std::optional<FileSetSource> source =
         FileSetSource::Open(txt_path, &error);
@@ -436,11 +470,20 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   {
     std::optional<MmapSetSource> source =
         MmapSetSource::Open(bin_path, &error);
+    // Serial and pipelined runs share the mapping (and its page-cache
+    // warmup), best-of-3 each: the 2x gate compares equal work — the
+    // checksum cross-check below proves it — under equal cache state.
     if (!source.has_value() ||
-        !MeasureScan(*source, bin_bytes, &mmap_stats)) {
+        !MeasureScanBestOf(*source, bin_bytes, 3, &mmap_stats)) {
       std::fprintf(stderr, "scan stage: mmap scan failed: %s\n",
                    source.has_value() ? source->error().c_str()
                                       : error.c_str());
+      return false;
+    }
+    source->set_scan_threads(kPipelineThreads);
+    if (!MeasureScanBestOf(*source, bin_bytes, 3, &pipelined_stats)) {
+      std::fprintf(stderr, "scan stage: pipelined scan failed: %s\n",
+                   source->error().c_str());
       return false;
     }
   }
@@ -460,13 +503,17 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   }
   if (text_stats.checksum != mmap_stats.checksum ||
       text_stats.checksum != memory_stats.checksum ||
+      text_stats.checksum != pipelined_stats.checksum ||
       text_stats.sets != mmap_stats.sets ||
-      text_stats.sets != memory_stats.sets) {
-    std::fprintf(stderr,
-                 "scan stage: sources disagree (checksums %llu/%llu/%llu)\n",
-                 static_cast<unsigned long long>(text_stats.checksum),
-                 static_cast<unsigned long long>(mmap_stats.checksum),
-                 static_cast<unsigned long long>(memory_stats.checksum));
+      text_stats.sets != memory_stats.sets ||
+      text_stats.sets != pipelined_stats.sets) {
+    std::fprintf(
+        stderr,
+        "scan stage: sources disagree (checksums %llu/%llu/%llu/%llu)\n",
+        static_cast<unsigned long long>(text_stats.checksum),
+        static_cast<unsigned long long>(mmap_stats.checksum),
+        static_cast<unsigned long long>(pipelined_stats.checksum),
+        static_cast<unsigned long long>(memory_stats.checksum));
     return false;
   }
 
@@ -482,6 +529,10 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   table.AddRow({"binary (MmapSetSource)", Table::Fmt(bin_bytes),
                 Table::Fmt(mmap_stats.gb_per_sec, 3),
                 Table::Fmt(static_cast<uint64_t>(mmap_stats.sets_per_sec))});
+  table.AddRow(
+      {"binary pipelined (x" + std::to_string(kPipelineThreads) + ")",
+       Table::Fmt(bin_bytes), Table::Fmt(pipelined_stats.gb_per_sec, 3),
+       Table::Fmt(static_cast<uint64_t>(pipelined_stats.sets_per_sec))});
   table.AddRow({"in-memory CSR", Table::Fmt(memory_stats.bytes),
                 Table::Fmt(memory_stats.gb_per_sec, 3),
                 Table::Fmt(
@@ -495,6 +546,12 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
                      static_cast<double>(bin_bytes),
                  2) +
       "x smaller than text");
+  benchutil::Note(
+      "pipelined vs serial mmap: " +
+      Table::Fmt(pipelined_stats.sets_per_sec / mmap_stats.sets_per_sec,
+                 2) +
+      "x sets/sec at " + std::to_string(kPipelineThreads) +
+      " decode threads (best of 3, equal checksums)");
 
   *scan_json = JsonValue::Object();
   scan_json->Set("m", scan_m);
@@ -503,6 +560,11 @@ bool RunScanStage(uint64_t scan_m, uint64_t seed, JsonValue* scan_json) {
   scan_json->Set("generation_seconds", gen_seconds);
   scan_json->Set("text", ScanStatsJson(text_stats));
   scan_json->Set("mmap", ScanStatsJson(mmap_stats));
+  JsonValue pipelined = ScanStatsJson(pipelined_stats);
+  pipelined.Set("scan_threads", static_cast<uint64_t>(kPipelineThreads));
+  pipelined.Set("speedup_vs_mmap",
+                pipelined_stats.sets_per_sec / mmap_stats.sets_per_sec);
+  scan_json->Set("pipelined", std::move(pipelined));
   scan_json->Set("in_memory", ScanStatsJson(memory_stats));
   std::remove(bin_path.c_str());
   std::remove(txt_path.c_str());
@@ -937,7 +999,7 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
 
   if (!json_path.empty()) {
     JsonValue doc = JsonValue::Object();
-    doc.Set("schema", "streamcover.bench_hotpath.v4");
+    doc.Set("schema", "streamcover.bench_hotpath.v5");
     // What the auto dense kernels dispatch to on this host — keeps the
     // trajectory's absolute numbers interpretable across runners.
     JsonValue cpu = JsonValue::Object();
@@ -949,6 +1011,10 @@ int Run(const std::string& json_path, uint32_t consumers, uint64_t rounds,
     }
     cpu.Set("avx2", has_avx2);
     cpu.Set("avx512", has_avx512);
+    // Interprets the pipelined-scan numbers: on a 1-hardware-thread
+    // host the decode pool cannot overlap and the speedup reads < 1.
+    cpu.Set("hardware_threads",
+            static_cast<uint64_t>(std::thread::hardware_concurrency()));
     doc.Set("cpu", std::move(cpu));
     JsonValue p = JsonValue::Object();
     p.Set("workload", "planted");

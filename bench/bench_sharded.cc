@@ -149,8 +149,8 @@ JsonValue LevelJson(const LevelStats& level, const LevelStats& base) {
 
 int Run(const std::string& json_path, uint32_t n, uint32_t m, uint32_t k,
         uint32_t noise_max, uint64_t seed,
-        const std::vector<uint32_t>& shard_levels, std::string file,
-        bool keep_file) {
+        const std::vector<uint32_t>& shard_levels, uint32_t scan_threads,
+        std::string file, bool keep_file) {
   benchutil::Banner("Sharded solve — hash partition + bucket engines + "
                     "greedy merge (planted n=" + std::to_string(n) +
                     ", m=" + std::to_string(m) + ", k=" + std::to_string(k) +
@@ -187,6 +187,14 @@ int Run(const std::string& json_path, uint32_t n, uint32_t m, uint32_t k,
 
   RunOptions options;
   options.seed = seed;
+  // Decode workers for the pipelined mmap scan feed every level the
+  // same way — the axis measures shard scaling on top of whatever scan
+  // throughput the host gives, not instead of it.
+  options.scan_threads = scan_threads;
+  if (scan_threads > 1) {
+    benchutil::Note("pipelined scan: " + std::to_string(scan_threads) +
+                    " decode workers");
+  }
 
   // --- Unsharded reference: the `greedi` family with one engine. ---
   RunResult reference = RunSolver("greedi", *instance, options);
@@ -291,6 +299,7 @@ int Run(const std::string& json_path, uint32_t n, uint32_t m, uint32_t k,
       shard_list.Append(static_cast<uint64_t>(shards));
     }
     p.Set("shards", std::move(shard_list));
+    p.Set("scan_threads", static_cast<uint64_t>(scan_threads));
     doc.Set("params", std::move(p));
     JsonValue host = JsonValue::Object();
     host.Set("hardware_concurrency",
@@ -344,12 +353,13 @@ int main(int argc, char** argv) {
   uint32_t noise_max = 64;
   uint64_t seed = 1;
   std::vector<uint32_t> shard_levels = {1, 2, 4, 8};
+  uint32_t scan_threads = 1;
   std::string file;
   bool keep_file = false;
   const char* usage =
       "usage: bench_sharded [--json FILE] [--n N] [--m N] [--k N] "
-      "[--noise-max N] [--seed N] [--shards L1,L2,...] [--file BIN] "
-      "[--keep]\n";
+      "[--noise-max N] [--seed N] [--shards L1,L2,...] "
+      "[--scan-threads N] [--file BIN] [--keep]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -390,6 +400,13 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (arg == "--scan-threads") {
+      const long value = std::atol(next("--scan-threads"));
+      if (value < 1) {
+        std::fprintf(stderr, "bench_sharded: --scan-threads must be >= 1\n");
+        return 1;
+      }
+      scan_threads = static_cast<uint32_t>(value);
     } else if (arg == "--file") {
       file = next("--file");
     } else if (arg == "--keep") {
@@ -400,5 +417,5 @@ int main(int argc, char** argv) {
     }
   }
   return streamcover::Run(json_path, n, m, k, noise_max, seed, shard_levels,
-                          file, keep_file);
+                          scan_threads, file, keep_file);
 }

@@ -37,6 +37,7 @@ JsonValue OptionsJson(const RunOptions& options) {
   out.Set("max_cover_budget",
           static_cast<uint64_t>(options.max_cover_budget));
   out.Set("threads", static_cast<uint64_t>(options.threads));
+  out.Set("scan_threads", static_cast<uint64_t>(options.scan_threads));
   out.Set("shards", static_cast<uint64_t>(options.shards));
   out.Set("kernel", KernelPolicyName(options.kernel));
   if (options.iter_guess > 0) out.Set("iter_guess", options.iter_guess);

@@ -344,6 +344,7 @@ RunResult DispatchSolver(
   }
   WallTimer timer;
   stream->set_cancel(options.cancel);
+  stream->set_scan_threads(options.scan_threads);
   PassScheduler scheduler(*stream, options.threads, options.kernel);
   RunContext ctx{*stream, scheduler, nullptr, options};
   RunResult result = entry->run(ctx);

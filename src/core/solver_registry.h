@@ -68,6 +68,12 @@ struct RunOptions {
   /// Worker threads for the shared-scan PassScheduler; <= 1 dispatches
   /// inline. Results are bit-identical at every thread count.
   uint32_t threads = 1;
+  /// Decode workers for the pipelined binary-disk scan
+  /// (stream/pipelined_scan.h): <= 1 keeps the serial decode loop,
+  /// larger values overlap chunked varint decode with dispatch on
+  /// mmap-backed instances. Text and in-memory repositories ignore it.
+  /// Results are bit-identical at every value.
+  uint32_t scan_threads = 1;
   /// iterSetCover: retire guesses that provably cannot beat a completed
   /// winner (never changes the winning cover; shaves physical scans and
   /// makes `passes` reflect passes actually consumed).

@@ -94,6 +94,13 @@ bool ParseServeRequest(const std::string& line, ServeRequest* request,
     return false;
   }
   req.threads = static_cast<uint32_t>(threads);
+  int64_t scan_threads = req.scan_threads;
+  if (!ReadInt64(*doc, "scan_threads", &scan_threads, error)) return false;
+  if (scan_threads <= 0 || scan_threads > 256) {
+    *error = "field 'scan_threads' out of range [1, 256]";
+    return false;
+  }
+  req.scan_threads = static_cast<uint32_t>(scan_threads);
   int64_t shards = req.shards;
   if (!ReadInt64(*doc, "shards", &shards, error)) return false;
   if (shards <= 0 || shards > 1024) {

@@ -57,6 +57,9 @@ struct ServeRequest {
   uint64_t seed = 1;
   double coverage_fraction = 1.0;
   uint32_t threads = 1;
+  /// Decode workers for the pipelined binary-disk scan (range
+  /// [1, 256]); 1 = serial decode, byte-identical results either way.
+  uint32_t scan_threads = 1;
   /// Shard count for the sharded_greedi family (range [1, 1024]).
   uint32_t shards = 1;
   /// Coverage-kernel twin ("scalar" | "word" | "auto"); an unknown

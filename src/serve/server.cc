@@ -263,9 +263,16 @@ void CoverageServer::RunSolve(Job& job) {
   options.seed = job.request.seed;
   options.coverage_fraction = job.request.coverage_fraction;
   options.threads = job.request.threads;
+  options.scan_threads = job.request.scan_threads;
   options.shards = job.request.shards;
   options.kernel = job.request.kernel;
   options.cancel = job.cancel.get();
+  if (job.request.scan_threads > 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++scan_counters_.pipelined_requests;
+    scan_counters_.scan_threads_max = std::max<uint64_t>(
+        scan_counters_.scan_threads_max, job.request.scan_threads);
+  }
   RunResult result =
       RunSolverShared(job.request.solver, *instance, options);
   run_latency_.Record(result.duration_ms);
@@ -352,6 +359,10 @@ JsonValue CoverageServer::StatsJson() const {
     shard.Set("merge_duplicates_dropped",
               shard_counters_.merge_duplicates_dropped);
     stats.Set("shard", std::move(shard));
+    JsonValue scan = JsonValue::Object();
+    scan.Set("pipelined_requests", scan_counters_.pipelined_requests);
+    scan.Set("scan_threads_max", scan_counters_.scan_threads_max);
+    stats.Set("scan", std::move(scan));
   }
   stats.Set("latency", HistogramJson(solve_latency_.TakeSnapshot()));
   stats.Set("run_latency", HistogramJson(run_latency_.TakeSnapshot()));

@@ -135,6 +135,14 @@ class CoverageServer {
     uint64_t merge_duplicates_dropped = 0;
   };
   ShardCounters shard_counters_;
+  /// Pipelined-scan request accounting, surfaced as the stats
+  /// endpoint's "scan" section — lets operators confirm clients are
+  /// actually exercising the parallel decode path.
+  struct ScanCounters {
+    uint64_t pipelined_requests = 0;  ///< solves with scan_threads > 1
+    uint64_t scan_threads_max = 0;    ///< largest worker count observed
+  };
+  ScanCounters scan_counters_;
   LatencyHistogram solve_latency_;   // full request: queue + execution
   LatencyHistogram run_latency_;     // solver execution only
   WallTimer uptime_;

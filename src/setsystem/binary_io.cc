@@ -43,6 +43,29 @@ uint64_t BinaryLayout::SetOffset(uint64_t s) const {
   return GetU64(footer + s * 8);
 }
 
+std::vector<ScanChunk> BuildChunkPlan(const BinaryLayout& layout,
+                                      uint64_t target_bytes) {
+  std::vector<ScanChunk> chunks;
+  const uint64_t m = layout.m;
+  if (m == 0) return chunks;
+  uint64_t first = 0;
+  uint64_t begin = layout.SetOffset(0);
+  for (uint64_t s = 1; s <= m; ++s) {
+    const uint64_t offset = layout.SetOffset(s);
+    if (s == m || (target_bytes > 0 && offset - begin >= target_bytes)) {
+      ScanChunk chunk;
+      chunk.first_set = static_cast<uint32_t>(first);
+      chunk.set_count = static_cast<uint32_t>(s - first);
+      chunk.byte_begin = begin;
+      chunk.byte_end = offset;
+      chunks.push_back(chunk);
+      first = s;
+      begin = offset;
+    }
+  }
+  return chunks;
+}
+
 bool ValidateBinaryLayout(const uint8_t* data, uint64_t size,
                           BinaryLayout* layout, std::string* error) {
   auto fail = [error](const std::string& msg) {

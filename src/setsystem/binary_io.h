@@ -98,6 +98,26 @@ struct BinaryLayout {
 bool ValidateBinaryLayout(const uint8_t* data, uint64_t size,
                           BinaryLayout* layout, std::string* error);
 
+/// A contiguous run of sets for one decode unit of the pipelined scan:
+/// sets [first_set, first_set + set_count) occupying body bytes
+/// [byte_begin, byte_end) — absolute file offsets straight off the
+/// offsets footer, so a chunk can be decoded (and madvise'd) without
+/// touching any predecessor.
+struct ScanChunk {
+  uint32_t first_set = 0;
+  uint32_t set_count = 0;
+  uint64_t byte_begin = 0;
+  uint64_t byte_end = 0;
+};
+
+/// Splits [0, m) into chunks of >= 1 set each, walking the offsets
+/// footer and closing a chunk once it holds at least `target_bytes` of
+/// encoded body (so chunk count tracks encoded size, not set count —
+/// fixed work per decode unit regardless of set-size skew).
+/// target_bytes == 0 yields one chunk; m == 0 yields none.
+std::vector<ScanChunk> BuildChunkPlan(const BinaryLayout& layout,
+                                      uint64_t target_bytes);
+
 }  // namespace binfmt
 
 /// True iff `path` starts with the binary magic. False for missing,

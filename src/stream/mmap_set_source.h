@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "setsystem/binary_io.h"
+#include "stream/pipelined_scan.h"
 #include "stream/set_source.h"
 
 namespace streamcover {
@@ -55,7 +56,18 @@ class MmapSetSource : public SetSource {
 
   uint32_t num_elements() const override { return num_elements_; }
   uint32_t num_sets() const override { return num_sets_; }
+
+  /// scan_threads() <= 1 runs the serial decode loop below, untouched
+  /// since PR 6 and the byte-identity reference; > 1 routes through the
+  /// pipelined chunk engine (stream/pipelined_scan.h) with that many
+  /// decode workers, dispatching the same views in the same order.
   bool Scan(const SetVisitor& visit) override;
+
+  /// Pipelined runs deliver each decoded chunk as one batch whose views
+  /// stay valid for the whole callback — what the threaded
+  /// PassScheduler consumes directly instead of re-buffering.
+  bool ScanBatches(const SetBatchVisitor& visit) override;
+  bool SupportsBatchScan() const override { return scan_threads() > 1; }
 
   /// Shares the mapping (one mmap, refcounted) but owns a fresh decode
   /// buffer and error state, so fork and parent may scan concurrently.
@@ -64,6 +76,10 @@ class MmapSetSource : public SetSource {
 
   const std::string& path() const { return map_->path; }
   uint64_t nnz() const { return map_->layout.nnz; }
+
+  /// The validated file structure — what the `stats` CLI command walks
+  /// to report chunk counts without a second Open.
+  const binfmt::BinaryLayout& layout() const { return map_->layout; }
 
   /// Bytes of the underlying mapping, for cache byte accounting.
   uint64_t repository_bytes() const { return map_->size; }
@@ -87,11 +103,29 @@ class MmapSetSource : public SetSource {
 
   explicit MmapSetSource(std::shared_ptr<const Mapping> map);
 
+  /// One pipelined pass over the whole file; shared by Scan (per-set
+  /// fan-in) and ScanBatches (chunk batches). Handles sticky error,
+  /// scan counting, and the error latch.
+  bool PipelinedPass(const PipelinedScanner::BatchVisitor& visit);
+
+  /// The per-scanner pipeline engine, built lazily on the first
+  /// pipelined pass (and rebuilt if scan_threads changes). Chunk plans
+  /// and slot pools are retained across passes, so multi-pass solvers
+  /// pay construction once.
+  PipelinedScanner& EnsureScanner();
+
   std::shared_ptr<const Mapping> map_;
   uint32_t num_elements_ = 0;
   uint32_t num_sets_ = 0;
   uint64_t scans_ = 0;
   std::vector<uint32_t> scan_buffer_;  // reused across sets and scans
+
+  // Pipelined-scan state; untouched (and unallocated) at
+  // scan_threads <= 1. The plan is a pure function of the mapping;
+  // the scanner additionally depends on the worker count.
+  std::vector<binfmt::ScanChunk> chunk_plan_;
+  std::unique_ptr<PipelinedScanner> scanner_;
+  uint32_t scanner_threads_ = 0;
 };
 
 /// Opens `path` as whichever source its magic announces: MmapSetSource

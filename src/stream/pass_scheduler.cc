@@ -70,7 +70,16 @@ void PassScheduler::FlushBatch(const std::vector<ScanConsumer*>& live,
         std::span<const uint32_t>(batch_elems_.data() + batch_offsets_[i],
                                   batch_offsets_[i + 1] - batch_offsets_[i])});
   }
-  const std::span<const SetView> views(batch_views_);
+  DispatchBatch(std::span<const SetView>(batch_views_), live, workers);
+  batch_ids_.clear();
+  batch_offsets_.assign(1, 0);
+  batch_elems_.clear();
+}
+
+void PassScheduler::DispatchBatch(std::span<const SetView> views,
+                                  const std::vector<ScanConsumer*>& live,
+                                  uint32_t workers) {
+  if (views.empty()) return;
   // Static partition: worker w serves consumers w, w+workers, ... Each
   // consumer is touched by exactly one worker and receives the whole
   // batch in stream order, so no locks and no dispatch-order
@@ -101,9 +110,6 @@ void PassScheduler::FlushBatch(const std::vector<ScanConsumer*>& live,
   for (uint32_t w = 1; w < workers; ++w) pool.emplace_back(serve, w);
   serve(0);
   for (std::thread& t : pool) t.join();
-  batch_ids_.clear();
-  batch_offsets_.assign(1, 0);
-  batch_elems_.clear();
 }
 
 size_t PassScheduler::RunRound() {
@@ -126,6 +132,14 @@ size_t PassScheduler::RunRound() {
   if (workers <= 1) {
     scan_ok = stream_->ForEachSet([&](const SetView& set) {
       for (ScanConsumer* consumer : live) consumer->OnSet(set);
+    });
+  } else if (stream_->supports_batch_scan()) {
+    // The source pre-decodes whole batches (pipelined mmap scan) whose
+    // views are stable for the callback — dispatch them to the worker
+    // pool directly, no copy-and-batch staging. A failed scan needs no
+    // tail cleanup: the source only ever delivers complete batches.
+    scan_ok = stream_->ForEachBatch([&](std::span<const SetView> views) {
+      DispatchBatch(views, live, workers);
     });
   } else {
     scan_ok = stream_->ForEachSet([&](const SetView& set) {

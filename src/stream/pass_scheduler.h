@@ -187,6 +187,14 @@ class PassScheduler {
   /// then clears the batch.
   void FlushBatch(const std::vector<ScanConsumer*>& live, uint32_t workers);
 
+  /// Fans one materialized batch of views out to `live` across the
+  /// worker pool (static partition + per-consumer batch prefilter).
+  /// Views must stay valid for the whole call — true for the staged
+  /// batch_views_ and for source-delivered pipelined chunks alike.
+  void DispatchBatch(std::span<const SetView> views,
+                     const std::vector<ScanConsumer*>& live,
+                     uint32_t workers);
+
   SetStream* stream_;
   uint32_t threads_;
   KernelPolicy kernel_;

@@ -1,0 +1,219 @@
+#include "stream/pipelined_scan.h"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.h"
+
+namespace streamcover {
+namespace {
+
+/// Scan-loop poll stride inside decode workers — the same granularity
+/// as SetSource::kCancelStride so a pipelined deadline lands exactly as
+/// promptly as a serial one.
+constexpr uint32_t kCancelStride = 256;
+
+}  // namespace
+
+PipelinedScanner::PipelinedScanner(const uint8_t* data,
+                                   uint64_t num_elements,
+                                   const binfmt::BinaryLayout& layout,
+                                   std::span<const binfmt::ScanChunk> chunks,
+                                   const PipelinedScanOptions& options)
+    : data_(data),
+      num_elements_(num_elements),
+      layout_(&layout),
+      chunks_(chunks),
+      options_(options) {
+  SC_CHECK(options_.decode_threads >= 1);
+  depth_ = options_.ring_depth != 0
+               ? options_.ring_depth
+               : std::max(2u, 2 * options_.decode_threads);
+}
+
+void PipelinedScanner::Readahead(uint64_t claimed) {
+  if (options_.readahead_chunks == 0) return;
+  const uint64_t want =
+      std::min<uint64_t>(chunks_.size(), claimed + 1 + options_.readahead_chunks);
+  uint64_t from = 0;
+  {
+    // advise_frontier_ rides the claim lock's cadence: the caller just
+    // claimed under mu_, so re-taking it here is one uncontended
+    // round-trip per chunk, not per page.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (advise_frontier_ >= want) return;
+    from = advise_frontier_;
+    advise_frontier_ = want;
+  }
+  // The syscall runs outside the lock; the window [from, want) is
+  // exclusively ours by the frontier exchange above.
+  constexpr uint64_t kPage = 4096;
+  const uint64_t begin = chunks_[from].byte_begin & ~(kPage - 1);
+  const uint64_t end = chunks_[want - 1].byte_end;
+  ::madvise(const_cast<uint8_t*>(data_ + begin), end - begin,
+            MADV_WILLNEED);
+}
+
+bool PipelinedScanner::DecodeChunk(const binfmt::ScanChunk& chunk,
+                                   Slot& slot, const std::string& path,
+                                   const CancelToken* cancel,
+                                   std::string* error) {
+  auto fail = [&](uint32_t set_id, const std::string& msg) {
+    // Byte-for-byte the serial MmapSetSource::Scan diagnostic, so the
+    // error contract is invariant under scan_threads.
+    *error =
+        path + ": corrupt set " + std::to_string(set_id) + ": " + msg;
+    return false;
+  };
+  slot.elems.clear();
+  slot.offsets.clear();
+  slot.offsets.reserve(chunk.set_count + 1);
+  slot.offsets.push_back(0);
+  const uint8_t* cursor = data_ + chunk.byte_begin;
+  for (uint32_t i = 0; i < chunk.set_count; ++i) {
+    const uint32_t s = chunk.first_set + i;
+    if (i % kCancelStride == 0) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        *error = kDeadlineExceededError;
+        return false;
+      }
+      if (abort_) {  // racy read is fine: abort only accelerates exit
+        *error = kDeadlineExceededError;
+        return false;
+      }
+    }
+    // Offsets were validated monotone at Open, so every
+    // [cursor, set_end) is an in-bounds window; only varint contents
+    // still need checking.
+    const uint8_t* set_end = data_ + layout_->SetOffset(s + 1);
+    auto size = binfmt::DecodeVarint(&cursor, set_end);
+    if (!size.has_value() || *size > num_elements_) {
+      return fail(s, "bad size varint");
+    }
+    uint64_t prev = 0;
+    for (uint64_t j = 0; j < *size; ++j) {
+      auto delta = binfmt::DecodeVarint(&cursor, set_end);
+      if (!delta.has_value()) return fail(s, "truncated body");
+      const uint64_t e = (j == 0) ? *delta : prev + *delta + 1;
+      if (e >= num_elements_) return fail(s, "element id out of range");
+      slot.elems.push_back(static_cast<uint32_t>(e));
+      prev = e;
+    }
+    if (cursor != set_end) return fail(s, "trailing bytes");
+    slot.offsets.push_back(slot.elems.size());
+  }
+  // Views are materialized only now, after elems stops growing, so the
+  // spans can never dangle across a reallocation.
+  slot.views.clear();
+  slot.views.reserve(chunk.set_count);
+  for (uint32_t i = 0; i < chunk.set_count; ++i) {
+    slot.views.push_back(SetView{
+        chunk.first_set + i,
+        std::span<const uint32_t>(slot.elems.data() + slot.offsets[i],
+                                  slot.offsets[i + 1] - slot.offsets[i])});
+  }
+  return true;
+}
+
+bool PipelinedScanner::Run(const std::string& path,
+                           const BatchVisitor& visit,
+                           const CancelToken* cancel, std::string* error) {
+  const uint64_t num_chunks = chunks_.size();
+  if (num_chunks == 0) return true;
+
+  // Fresh per-run pipeline state (Run may be called repeatedly); slot
+  // element pools keep their capacity across runs, so steady-state
+  // multi-pass solvers decode allocation-free.
+  slots_.resize(depth_);
+  for (Slot& slot : slots_) {
+    slot.state = Slot::State::kEmpty;
+    slot.chunk = 0;
+    slot.error.clear();
+  }
+  next_claim_ = 0;
+  next_consume_ = 0;
+  advise_frontier_ = 0;
+  abort_ = false;
+
+  auto worker = [&] {
+    for (;;) {
+      uint64_t c = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        claim_cv_.wait(lock, [&] {
+          return abort_ || next_claim_ >= num_chunks ||
+                 next_claim_ < next_consume_ + depth_;
+        });
+        if (abort_ || next_claim_ >= num_chunks) return;
+        c = next_claim_++;
+        Slot& slot = slots_[c % depth_];
+        // Modular slot assignment + in-order consumption guarantee the
+        // slot is free: chunk c is claimable only once chunk c - depth
+        // was consumed.
+        SC_CHECK(slot.state == Slot::State::kEmpty);
+        slot.state = Slot::State::kDecoding;
+        slot.chunk = c;
+      }
+      Readahead(c);
+      Slot& slot = slots_[c % depth_];
+      std::string decode_error;
+      const bool ok =
+          DecodeChunk(chunks_[c], slot, path, cancel, &decode_error);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot.state = ok ? Slot::State::kReady : Slot::State::kFailed;
+        slot.error = ok ? std::string() : decode_error;
+      }
+      consume_cv_.notify_all();
+    }
+  };
+
+  const uint32_t pool_size = static_cast<uint32_t>(std::min<uint64_t>(
+      options_.decode_threads, num_chunks));
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (uint32_t w = 0; w < pool_size; ++w) pool.emplace_back(worker);
+
+  bool ok = true;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    Slot& slot = slots_[c % depth_];
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      consume_cv_.wait(lock, [&] {
+        return slot.chunk == c && (slot.state == Slot::State::kReady ||
+                                   slot.state == Slot::State::kFailed);
+      });
+      if (slot.state == Slot::State::kFailed) {
+        // First failed chunk in set-id order — its recorded error names
+        // the first corrupt set in stream order, exactly like serial.
+        *error = slot.error;
+        ok = false;
+        abort_ = true;
+      }
+    }
+    if (!ok) break;
+    // Dispatch outside the lock: decode of later chunks proceeds while
+    // the consumer works through this one. The slot stays kReady (so no
+    // worker reuses it) until we mark it consumed below.
+    visit(std::span<const SetView>(slot.views));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot.state = Slot::State::kEmpty;
+      ++next_consume_;
+    }
+    claim_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = abort_ || !ok;
+    // Completed runs also pass here with next_claim_ == num_chunks, so
+    // waiting workers fall through and exit either way.
+  }
+  claim_cv_.notify_all();
+  for (std::thread& t : pool) t.join();
+  return ok;
+}
+
+}  // namespace streamcover

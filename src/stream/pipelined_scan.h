@@ -1,0 +1,147 @@
+// Pipelined parallel decode over a mapped binary repository.
+//
+// The serial MmapSetSource::Scan leaves the disk path ~4.5x below
+// in-memory throughput (BENCH_hotpath.json): one thread both decodes
+// LEB128 varints and dispatches sets, so the consumer idles while bytes
+// decode and the decoder idles while the consumer works. This engine
+// closes that gap by splitting the set range into fixed-work chunks via
+// the SCOVRB01 offsets footer (~256KB of encoded body each — fixed
+// bytes, not fixed sets, so set-size skew cannot starve a worker),
+// decoding chunks on a small worker pool into per-chunk SetView
+// batches, and handing completed chunks to the single consumer thread
+// strictly **in set-id order** through a bounded ring of in-flight
+// chunks. Decode of chunks k+1..k+D overlaps dispatch of chunk k; an
+// madvise(MADV_WILLNEED) readahead window walks ahead of the decode
+// frontier so page faults are prefetched before a worker blocks on
+// them.
+//
+// Contracts kept identical to the serial decode loop:
+//   * sets reach the consumer in set-id order, with the same values —
+//     a scan_threads=1 run is byte-identical to the pipelined one;
+//   * a corrupt varint anywhere fails the scan gracefully with the
+//     exact serial diagnostic ("path: corrupt set S: msg") for the
+//     first corrupt set in stream order, and no partially decoded
+//     chunk is ever delivered;
+//   * the CancelToken is polled inside decode workers every
+//     kCancelStride sets, so a deadline fires during decode stalls,
+//     not just between dispatches.
+
+#ifndef STREAMCOVER_STREAM_PIPELINED_SCAN_H_
+#define STREAMCOVER_STREAM_PIPELINED_SCAN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "setsystem/binary_io.h"
+#include "setsystem/set_view.h"
+#include "util/cancel_token.h"
+
+namespace streamcover {
+
+/// Target encoded body bytes per decode chunk. Small enough that a
+/// handful of in-flight chunks fit in L2/L3 and the consumer never
+/// waits long for chunk 0; large enough that per-chunk handoff costs
+/// (one lock round-trip, one batch dispatch) vanish against the
+/// ~100k+ varints decoded inside.
+inline constexpr uint64_t kDefaultScanChunkBytes = 256 * 1024;
+
+struct PipelinedScanOptions {
+  /// Decode workers; must be >= 1 (callers route <= 1 to the serial
+  /// loop before constructing a scanner).
+  uint32_t decode_threads = 2;
+  /// Encoded bytes per chunk (see kDefaultScanChunkBytes).
+  uint64_t chunk_bytes = kDefaultScanChunkBytes;
+  /// Bounded ring of in-flight chunks; 0 = auto (2 * decode_threads,
+  /// min 2). Bounds decoded-but-undelivered memory to
+  /// ring_depth * ~chunk_bytes of element storage.
+  uint32_t ring_depth = 0;
+  /// madvise(MADV_WILLNEED) window, in chunks ahead of the claim
+  /// frontier; 0 disables readahead.
+  uint32_t readahead_chunks = 8;
+};
+
+/// One scan = one PipelinedScanner::Run. The scanner borrows the
+/// mapping and the chunk plan; per-run state (ring slots, workers) is
+/// owned here and torn down before Run returns, so a source can run
+/// scans back to back while reusing nothing but the plan.
+class PipelinedScanner {
+ public:
+  /// Called once per completed chunk, in set-id order, from the Run
+  /// calling thread. Views (and the spans inside them) are valid only
+  /// for the duration of the call — they point into a ring slot that
+  /// is recycled for a later chunk afterwards.
+  using BatchVisitor =
+      std::function<void(std::span<const SetView> sets)>;
+
+  /// `data` is the full mapped file; `chunks` comes from
+  /// binfmt::BuildChunkPlan over the same layout. Both must outlive
+  /// the scanner.
+  PipelinedScanner(const uint8_t* data, uint64_t num_elements,
+                   const binfmt::BinaryLayout& layout,
+                   std::span<const binfmt::ScanChunk> chunks,
+                   const PipelinedScanOptions& options);
+
+  /// Runs one full scan: decodes every chunk across the worker pool
+  /// and delivers each to `visit` in order. Returns false — with the
+  /// serial-format diagnostic in *error — on a corrupt body or a fired
+  /// cancel token (*error == kDeadlineExceededError then, matching the
+  /// serial poll). Workers are always joined before returning.
+  bool Run(const std::string& path, const BatchVisitor& visit,
+           const CancelToken* cancel, std::string* error);
+
+ private:
+  /// One ring slot: the decoded element pool + views for one chunk.
+  /// Storage is per-slot (not shared) so decode of chunk k+1 never
+  /// invalidates views the consumer is still dispatching for chunk k.
+  struct Slot {
+    enum class State { kEmpty, kDecoding, kReady, kFailed };
+    State state = State::kEmpty;
+    uint64_t chunk = 0;           // which chunk currently occupies it
+    std::vector<uint32_t> elems;  // decoded ids, all sets of the chunk
+    std::vector<size_t> offsets;  // CSR offsets into elems
+    std::vector<SetView> views;   // materialized after decode completes
+    std::string error;            // set iff kFailed
+  };
+
+  /// Decodes `chunk` into `slot` (everything but the final state
+  /// transition — that happens under the lock in the worker loop).
+  /// Returns false with *error set in serial format on corruption, a
+  /// fired cancel, or an observed abort.
+  bool DecodeChunk(const binfmt::ScanChunk& chunk, Slot& slot,
+                   const std::string& path, const CancelToken* cancel,
+                   std::string* error);
+
+  /// Advises the kernel of upcoming chunk bytes up to
+  /// `claimed + readahead_chunks`. Called by workers right after
+  /// claiming; frontier bookkeeping is internal.
+  void Readahead(uint64_t claimed);
+
+  const uint8_t* data_;
+  uint64_t num_elements_;
+  const binfmt::BinaryLayout* layout_;
+  std::span<const binfmt::ScanChunk> chunks_;
+  PipelinedScanOptions options_;
+  uint32_t depth_;
+
+  // Per-run pipeline state, guarded by mu_ except where noted.
+  std::mutex mu_;
+  std::condition_variable claim_cv_;    // workers wait for ring space
+  std::condition_variable consume_cv_;  // consumer waits for its chunk
+  std::vector<Slot> slots_;
+  uint64_t next_claim_ = 0;    // next chunk index a worker takes
+  uint64_t next_consume_ = 0;  // next chunk index the consumer needs
+  uint64_t advise_frontier_ = 0;  // chunks already madvise'd
+  /// Consumer saw a failure; workers bail out. Atomic because decode
+  /// loops poll it lock-free at kCancelStride granularity.
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace streamcover
+
+#endif  // STREAMCOVER_STREAM_PIPELINED_SCAN_H_

@@ -1,5 +1,8 @@
 #include "stream/set_source.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <fstream>
 
@@ -10,6 +13,15 @@ namespace streamcover {
 std::unique_ptr<SetSource> SetSource::Fork(std::string* error) const {
   if (error != nullptr) *error = "source does not support forking";
   return nullptr;
+}
+
+bool SetSource::ScanBatches(const SetBatchVisitor& visit) {
+  // Degenerate batching over the per-set scan: one view per batch.
+  // Correctness-equivalent to Scan by construction; sources answering
+  // true from SupportsBatchScan() override this with a real batch path.
+  return Scan([&visit](const SetView& set) {
+    visit(std::span<const SetView>(&set, 1));
+  });
 }
 
 InMemorySetSource::InMemorySetSource(const SetSystem* system)
@@ -88,6 +100,14 @@ bool FileSetSource::Scan(const SetVisitor& visit) {
   // between passes — report that, don't abort.
   if (!in) return fail("cannot reopen");
   ++parses_;
+  // Advise sequential readahead on the file's page cache before the
+  // front-to-back parse. fadvise keys on the inode's cache, not the
+  // descriptor, so a transient fd covers the ifstream's reads too; a
+  // failure (exotic filesystems) only loses the hint.
+  if (const int fd = ::open(path_.c_str(), O_RDONLY); fd >= 0) {
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_SEQUENTIAL);
+    ::close(fd);
+  }
   std::string magic;
   uint64_t n = 0, m = 0;
   if (!(in >> magic >> n >> m) || magic != "setcover") {

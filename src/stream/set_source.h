@@ -31,6 +31,11 @@ namespace streamcover {
 /// source's storage and is valid only for the duration of the call.
 using SetVisitor = std::function<void(const SetView&)>;
 
+/// Callback invoked once per contiguous batch of sets during a batched
+/// scan (SetSource::ScanBatches). Views borrow the source's storage and
+/// are valid only for the duration of the call.
+using SetBatchVisitor = std::function<void(std::span<const SetView>)>;
+
 /// A sequentially scannable repository of sets.
 class SetSource {
  public:
@@ -56,6 +61,30 @@ class SetSource {
   /// repository cannot be reattached (file vanished) or the source does
   /// not support forking (the default).
   virtual std::unique_ptr<SetSource> Fork(std::string* error) const;
+
+  /// One full sequential scan delivered as contiguous batches of sets,
+  /// still in set-id order — same pass, same error contract as Scan,
+  /// just a coarser dispatch grain. The default wraps Scan one set per
+  /// batch; sources that pre-decode whole batches (the pipelined mmap
+  /// path) override it so a threaded consumer gets stable views for the
+  /// whole batch callback without re-buffering.
+  virtual bool ScanBatches(const SetBatchVisitor& visit);
+
+  /// True when ScanBatches delivers genuinely pre-decoded multi-set
+  /// batches worth consuming as such (PassScheduler's threaded mode
+  /// then skips its own copy-and-batch staging). The default — and any
+  /// serial configuration — answers false.
+  virtual bool SupportsBatchScan() const { return false; }
+
+  /// Decode workers for sources with a parallel scan path (the
+  /// pipelined binary mmap scan): <= 1 keeps the serial decode loop,
+  /// byte-identical to the pipelined output by contract. Sources
+  /// without such a path ignore it. Like set_cancel, the setting is
+  /// per-scanner — forks start back at 1.
+  void set_scan_threads(uint32_t threads) {
+    scan_threads_ = threads == 0 ? 1 : threads;
+  }
+  uint32_t scan_threads() const { return scan_threads_; }
 
   /// Arms cooperative cancellation: every Scan polls `cancel` at batch
   /// granularity (a few hundred sets) and fails with the sticky error
@@ -84,10 +113,15 @@ class SetSource {
     return true;
   }
 
+  /// The armed token (nullptr = uncancellable), for scan paths that
+  /// poll it off the main loop (pipelined decode workers).
+  const CancelToken* cancel_token() const { return cancel_; }
+
   std::string error_;
 
  private:
   const CancelToken* cancel_ = nullptr;
+  uint32_t scan_threads_ = 1;
 };
 
 /// Scans an in-memory SetSystem (does not take ownership).

@@ -52,6 +52,28 @@ class SetStream {
     return source_->Scan(SetVisitor(std::forward<Fn>(fn)));
   }
 
+  /// Performs one pass delivered as contiguous batches in stream order
+  /// (fn(std::span<const SetView>)) — same pass accounting and failure
+  /// contract as ForEachSet, coarser dispatch grain. Worth calling only
+  /// when supports_batch_scan(); otherwise batches degenerate to one
+  /// set each.
+  template <typename Fn>
+  bool ForEachBatch(Fn&& fn) {
+    ++passes_;
+    return source_->ScanBatches(SetBatchVisitor(std::forward<Fn>(fn)));
+  }
+
+  /// True when the source pre-decodes genuine multi-set batches
+  /// (pipelined mmap scan) — the scheduler's cue to skip its own
+  /// copy-and-batch staging.
+  bool supports_batch_scan() const { return source_->SupportsBatchScan(); }
+
+  /// Sets the decode-worker count for sources with a parallel scan
+  /// path; see SetSource::set_scan_threads.
+  void set_scan_threads(uint32_t threads) {
+    source_->set_scan_threads(threads);
+  }
+
   /// The source's sticky scan error; empty while the stream is healthy.
   const std::string& error() const { return source_->error(); }
 

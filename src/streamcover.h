@@ -49,6 +49,7 @@
 #include "shard/threshold_bucket.h"           // IWYU pragma: export
 #include "stream/mmap_set_source.h"           // IWYU pragma: export
 #include "stream/pass_scheduler.h"            // IWYU pragma: export
+#include "stream/pipelined_scan.h"            // IWYU pragma: export
 #include "stream/sampling.h"                  // IWYU pragma: export
 #include "stream/set_source.h"                // IWYU pragma: export
 #include "stream/set_stream.h"                // IWYU pragma: export

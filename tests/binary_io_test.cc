@@ -271,5 +271,78 @@ TEST(BinaryIoTest, EmptyAndSingletonSystemsRoundTrip) {
   EXPECT_EQ(sloaded->SetSize(0), 1u);
 }
 
+TEST(ChunkPlanTest, CoversEverySetContiguouslyAndRespectsTarget) {
+  Rng rng(21);
+  PlantedOptions options;
+  options.num_elements = 200;
+  options.num_sets = 400;
+  options.cover_size = 7;
+  PlantedInstance inst = GeneratePlanted(options, rng);
+  const std::string path = TempPath("chunkplan.bin");
+  std::string error;
+  ASSERT_TRUE(WriteBinarySetSystem(inst.system, path, &error)) << error;
+  const std::string bytes = ReadFileBytes(path);
+  binfmt::BinaryLayout layout;
+  ASSERT_TRUE(binfmt::ValidateBinaryLayout(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(),
+      &layout, &error))
+      << error;
+
+  for (uint64_t target : {64u, 512u, 1u << 20}) {
+    const std::vector<binfmt::ScanChunk> chunks =
+        binfmt::BuildChunkPlan(layout, target);
+    ASSERT_FALSE(chunks.empty());
+    // Contiguous cover of [0, m) in both sets and bytes.
+    EXPECT_EQ(chunks.front().first_set, 0u);
+    EXPECT_EQ(chunks.front().byte_begin, layout.SetOffset(0));
+    uint64_t sets = 0;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      ASSERT_GE(chunks[c].set_count, 1u) << "empty chunk " << c;
+      EXPECT_EQ(chunks[c].byte_begin,
+                layout.SetOffset(chunks[c].first_set));
+      EXPECT_EQ(chunks[c].byte_end,
+                layout.SetOffset(chunks[c].first_set +
+                                 chunks[c].set_count));
+      if (c > 0) {
+        EXPECT_EQ(chunks[c].first_set,
+                  chunks[c - 1].first_set + chunks[c - 1].set_count);
+        EXPECT_EQ(chunks[c].byte_begin, chunks[c - 1].byte_end);
+        // Every chunk but the last carries at least the target (a
+        // chunk closes only once it crossed it) unless it holds a
+        // single oversized set.
+        EXPECT_TRUE(chunks[c - 1].byte_end - chunks[c - 1].byte_begin >=
+                        target ||
+                    chunks[c - 1].set_count == 1u)
+            << "undersized interior chunk " << c - 1;
+      }
+      sets += chunks[c].set_count;
+    }
+    EXPECT_EQ(sets, layout.m);
+    EXPECT_EQ(chunks.back().byte_end, layout.SetOffset(layout.m));
+  }
+
+  // target 0: one chunk spanning the whole body.
+  const std::vector<binfmt::ScanChunk> whole =
+      binfmt::BuildChunkPlan(layout, 0);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].first_set, 0u);
+  EXPECT_EQ(whole[0].set_count, layout.m);
+}
+
+TEST(ChunkPlanTest, EmptySystemYieldsEmptyPlan) {
+  SetSystem::Builder builder(5);
+  SetSystem empty = std::move(builder).Build();
+  const std::string path = TempPath("chunkplan_empty.bin");
+  std::string error;
+  ASSERT_TRUE(WriteBinarySetSystem(empty, path, &error)) << error;
+  const std::string bytes = ReadFileBytes(path);
+  binfmt::BinaryLayout layout;
+  ASSERT_TRUE(binfmt::ValidateBinaryLayout(
+      reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size(),
+      &layout, &error))
+      << error;
+  EXPECT_TRUE(binfmt::BuildChunkPlan(layout, 256 * 1024).empty());
+}
+
 }  // namespace
 }  // namespace streamcover

@@ -7,7 +7,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/iter_set_cover.h"
@@ -15,8 +18,10 @@
 #include "setsystem/generators.h"
 #include "setsystem/io.h"
 #include "stream/mmap_set_source.h"
+#include "stream/pipelined_scan.h"
 #include "stream/set_source.h"
 #include "stream/set_stream.h"
+#include "util/cancel_token.h"
 #include "util/rng.h"
 
 namespace streamcover {
@@ -206,6 +211,268 @@ TEST(OpenDiskSetSourceTest, SniffsMagicAndPicksTheRightBackend) {
   EXPECT_EQ(OpenDiskSetSource(TempPath("factory_missing.bin"), &error),
             nullptr);
   EXPECT_FALSE(error.empty());
+}
+
+// --- Pipelined scan (scan_threads > 1) -------------------------------
+
+std::vector<std::vector<uint32_t>> CollectSerial(MmapSetSource& source) {
+  std::vector<std::vector<uint32_t>> sets;
+  EXPECT_TRUE(source.Scan([&](const SetView& set) {
+    EXPECT_EQ(set.id, sets.size());
+    sets.emplace_back(set.begin(), set.end());
+  }));
+  return sets;
+}
+
+TEST(PipelinedScanTest, MatchesSerialOrderAndContentAcrossThreadCounts) {
+  PlantedInstance inst = MakeInstance(7);
+  const std::string bin = WriteBinary(inst.system, "pipe_parity.bin");
+  std::string error;
+  auto serial = MmapSetSource::Open(bin, &error);
+  ASSERT_TRUE(serial.has_value()) << error;
+  const std::vector<std::vector<uint32_t>> expect = CollectSerial(*serial);
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    auto source = MmapSetSource::Open(bin, &error);
+    ASSERT_TRUE(source.has_value()) << error;
+    source->set_scan_threads(threads);
+    EXPECT_TRUE(source->SupportsBatchScan());
+    std::vector<std::vector<uint32_t>> sets;
+    ASSERT_TRUE(source->Scan([&](const SetView& set) {
+      ASSERT_EQ(set.id, sets.size()) << "out-of-order delivery";
+      sets.emplace_back(set.begin(), set.end());
+    })) << source->error();
+    EXPECT_EQ(sets, expect) << "scan_threads=" << threads;
+    EXPECT_EQ(source->scans(), 1u);
+
+    // ScanBatches delivers the same pass as contiguous in-order batches.
+    std::vector<std::vector<uint32_t>> batched;
+    ASSERT_TRUE(source->ScanBatches([&](std::span<const SetView> views) {
+      for (const SetView& set : views) {
+        ASSERT_EQ(set.id, batched.size()) << "batch out of order";
+        batched.emplace_back(set.begin(), set.end());
+      }
+    })) << source->error();
+    EXPECT_EQ(batched, expect) << "scan_threads=" << threads;
+    EXPECT_EQ(source->scans(), 2u);
+  }
+}
+
+TEST(PipelinedScanTest, ManySmallChunksDeliverInOrder) {
+  // Drive PipelinedScanner directly with a tiny chunk target so the
+  // ring wraps many times — the multi-chunk ordering case the default
+  // 256 KB plan never produces on test-sized instances.
+  PlantedInstance inst = MakeInstance(8);
+  const std::string bin = WriteBinary(inst.system, "pipe_chunks.bin");
+  std::ifstream is(bin, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>{});
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  binfmt::BinaryLayout layout;
+  std::string error;
+  ASSERT_TRUE(
+      binfmt::ValidateBinaryLayout(data, bytes.size(), &layout, &error))
+      << error;
+  const std::vector<binfmt::ScanChunk> chunks =
+      binfmt::BuildChunkPlan(layout, /*target_bytes=*/64);
+  ASSERT_GT(chunks.size(), 8u) << "chunk plan too coarse for this test";
+
+  PipelinedScanOptions options;
+  options.decode_threads = 4;
+  PipelinedScanner scanner(data, layout.n, layout,
+                           std::span<const binfmt::ScanChunk>(chunks),
+                           options);
+  std::vector<std::vector<uint32_t>> sets;
+  ASSERT_TRUE(scanner.Run(
+      bin,
+      [&](std::span<const SetView> views) {
+        for (const SetView& set : views) {
+          ASSERT_EQ(set.id, sets.size()) << "out-of-order chunk";
+          sets.emplace_back(set.begin(), set.end());
+        }
+      },
+      /*cancel=*/nullptr, &error))
+      << error;
+  ASSERT_EQ(sets.size(), inst.system.num_sets());
+  for (uint32_t s = 0; s < inst.system.num_sets(); ++s) {
+    auto expect = inst.system.GetSet(s);
+    ASSERT_EQ(sets[s],
+              std::vector<uint32_t>(expect.begin(), expect.end()))
+        << "set " << s;
+  }
+}
+
+TEST(PipelinedScanTest, CorruptVarintMatchesSerialDiagnosticAndSticks) {
+  PlantedInstance inst = MakeInstance(9);
+  const std::string bin = WriteBinary(inst.system, "pipe_corrupt_src.bin");
+  std::ifstream is(bin, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>{});
+  // Bit-flip the first set's size varint into a ~2^35 monster: the
+  // footer still lines up, so the fault is decode-level.
+  for (size_t i = 0; i < 5; ++i) {
+    bytes[binfmt::kHeaderBytes + i] = static_cast<char>(0xFF);
+  }
+  const std::string bad = TempPath("pipe_corrupt.bin");
+  {
+    std::ofstream os(bad, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  std::string error;
+  auto serial = MmapSetSource::Open(bad, &error);
+  ASSERT_TRUE(serial.has_value()) << error;
+  EXPECT_FALSE(serial->Scan([](const SetView&) {}));
+
+  auto pipelined = MmapSetSource::Open(bad, &error);
+  ASSERT_TRUE(pipelined.has_value()) << error;
+  pipelined->set_scan_threads(4);
+  size_t visited = 0;
+  EXPECT_FALSE(pipelined->Scan([&](const SetView&) { ++visited; }));
+  EXPECT_EQ(visited, 0u) << "no partial batch before the fault";
+  // The pipelined diagnostic is byte-identical to the serial one.
+  EXPECT_EQ(pipelined->error(), serial->error());
+  EXPECT_NE(pipelined->error().find("corrupt set 0"), std::string::npos)
+      << pipelined->error();
+  // Sticky: the next pipelined scan refuses immediately.
+  visited = 0;
+  EXPECT_FALSE(pipelined->Scan([&](const SetView&) { ++visited; }));
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(PipelinedScanTest, MidChunkTruncationFailsGracefullyInOrder) {
+  PlantedInstance inst = MakeInstance(10);
+  const std::string bin = WriteBinary(inst.system, "pipe_trunc_src.bin");
+  std::ifstream is(bin, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>{});
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  binfmt::BinaryLayout layout;
+  std::string error;
+  ASSERT_TRUE(
+      binfmt::ValidateBinaryLayout(data, bytes.size(), &layout, &error))
+      << error;
+  // Bump a mid-file set's one-byte size varint by one: the body then
+  // claims an element its slot does not hold — "truncated body", found
+  // mid-chunk rather than at a chunk boundary.
+  uint32_t corrupt_set = layout.m;  // sentinel: none found
+  for (uint32_t s = static_cast<uint32_t>(layout.m) / 2; s < layout.m;
+       ++s) {
+    const uint8_t size_byte = data[layout.SetOffset(s)];
+    if (size_byte >= 1 && size_byte < 0x7F &&
+        size_byte + 1u <= layout.n) {
+      corrupt_set = s;
+      break;
+    }
+  }
+  ASSERT_LT(corrupt_set, layout.m) << "no single-byte size varint found";
+  bytes[layout.SetOffset(corrupt_set)] = static_cast<char>(
+      static_cast<uint8_t>(bytes[layout.SetOffset(corrupt_set)]) + 1);
+  const std::string bad = TempPath("pipe_trunc.bin");
+  {
+    std::ofstream os(bad, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto serial = MmapSetSource::Open(bad, &error);
+  ASSERT_TRUE(serial.has_value()) << error;
+  EXPECT_FALSE(serial->Scan([](const SetView&) {}));
+  EXPECT_NE(serial->error().find("truncated body"), std::string::npos)
+      << serial->error();
+
+  auto pipelined = MmapSetSource::Open(bad, &error);
+  ASSERT_TRUE(pipelined.has_value()) << error;
+  pipelined->set_scan_threads(4);
+  EXPECT_FALSE(pipelined->Scan([&](const SetView& set) {
+    EXPECT_LT(set.id, corrupt_set) << "set delivered past the fault";
+  }));
+  EXPECT_EQ(pipelined->error(), serial->error());
+}
+
+TEST(PipelinedScanTest, CancelDuringDecodeReportsDeadline) {
+  PlantedInstance inst = MakeInstance(11);
+  const std::string bin = WriteBinary(inst.system, "pipe_cancel.bin");
+  std::string error;
+  auto source = MmapSetSource::Open(bin, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  source->set_scan_threads(4);
+  CancelToken expired = CancelToken::AfterMillis(0);
+  ASSERT_TRUE(expired.cancelled());
+  source->set_cancel(&expired);
+  EXPECT_FALSE(source->Scan([](const SetView&) {}));
+  // The bare error *code*, with no path or set prefix — dispatchers
+  // match it exactly (same contract as the serial scan).
+  EXPECT_EQ(source->error(), kDeadlineExceededError);
+}
+
+TEST(PipelinedScanTest, ConcurrentForksScanPipelinedSoak) {
+  // The TSan CI soak: several forks of one mapping, each running its
+  // own pipelined pass concurrently. Forks share only the immutable
+  // bytes; all ring state is per-fork.
+  PlantedInstance inst = MakeInstance(12);
+  const std::string bin = WriteBinary(inst.system, "pipe_forks.bin");
+  std::string error;
+  auto source = MmapSetSource::Open(bin, &error);
+  ASSERT_TRUE(source.has_value()) << error;
+  const uint64_t expect_total = inst.system.total_size();
+
+  constexpr int kForks = 3;
+  constexpr int kPassesPerFork = 4;
+  std::vector<std::unique_ptr<SetSource>> forks;
+  for (int f = 0; f < kForks; ++f) {
+    forks.push_back(source->Fork(&error));
+    ASSERT_NE(forks.back(), nullptr) << error;
+    forks.back()->set_scan_threads(2 + f);
+  }
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> totals(kForks, 0);
+  // Not vector<bool>: bit-packing would make per-fork writes race.
+  std::vector<int> oks(kForks, 0);
+  for (int f = 0; f < kForks; ++f) {
+    threads.emplace_back([&, f] {
+      bool ok = true;
+      for (int pass = 0; pass < kPassesPerFork; ++pass) {
+        totals[f] = 0;
+        ok = ok && forks[f]->Scan([&](const SetView& set) {
+          totals[f] += set.size();
+        });
+      }
+      oks[f] = ok ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int f = 0; f < kForks; ++f) {
+    EXPECT_TRUE(oks[f]) << "fork " << f << ": " << forks[f]->error();
+    EXPECT_EQ(totals[f], expect_total) << "fork " << f;
+  }
+}
+
+TEST(OpenDiskSetSourceTest, SurfacesBinaryValidatorErrorVerbatim) {
+  // Valid magic + corrupt footer: the sniff says binary, so the binary
+  // validator's diagnostic must come through verbatim — not be masked
+  // by a text-parser fallback's "bad magic"-style wording.
+  PlantedInstance inst = MakeInstance(13);
+  const std::string bin = WriteBinary(inst.system, "factory_badfooter_src.bin");
+  std::ifstream is(bin, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>{});
+  // Zero the last footer offset (the 8 bytes just before the end
+  // magic): offsets are no longer monotone up to footer_offset.
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t i = bytes.size() - 16; i < bytes.size() - 8; ++i) {
+    bytes[i] = 0;
+  }
+  const std::string bad = TempPath("factory_badfooter.bin");
+  {
+    std::ofstream os(bad, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_TRUE(IsBinarySetSystemFile(bad));
+  std::string error;
+  EXPECT_EQ(OpenDiskSetSource(bad, &error), nullptr);
+  EXPECT_NE(error.find("corrupt footer"), std::string::npos) << error;
+  EXPECT_NE(error.find(bad), std::string::npos)
+      << "diagnostic should name the file: " << error;
+  EXPECT_EQ(error.find("bad magic"), std::string::npos) << error;
 }
 
 }  // namespace

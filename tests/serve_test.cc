@@ -21,6 +21,7 @@
 #include "core/solver_registry.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "setsystem/binary_io.h"
 #include "setsystem/generators.h"
 #include "util/cancel_token.h"
 #include "util/json.h"
@@ -233,6 +234,41 @@ TEST(ServeProtocolTest, ShardsFieldIsStrictlyTyped) {
       &request, &error));
 }
 
+TEST(ServeProtocolTest, ScanThreadsFieldIsStrictlyTyped) {
+  ServeRequest request;
+  std::string error;
+  // Valid: integer in range.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter",)"
+      R"("scan_threads":4})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.scan_threads, 4u);
+  // Absent: keeps the serial default.
+  ASSERT_TRUE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter"})", &request, &error));
+  EXPECT_EQ(request.scan_threads, 1u);
+  // A string is a type error, not a silent default.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","scan_threads":"4"})",
+      &request, &error));
+  // Non-integer number.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","scan_threads":2.5})",
+      &request, &error));
+  // Out of range.
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","scan_threads":0})",
+      &request, &error));
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","scan_threads":-2})",
+      &request, &error));
+  EXPECT_FALSE(ParseServeRequest(
+      R"({"op":"solve","instance":"x","solver":"iter","scan_threads":257})",
+      &request, &error));
+  EXPECT_NE(error.find("scan_threads"), std::string::npos) << error;
+}
+
 TEST(ServeProtocolTest, KernelFieldIsStrictlyTyped) {
   ServeRequest request;
   std::string error;
@@ -404,6 +440,48 @@ TEST(ServeTest, DeadlineFiresMidSleepCooperatively) {
   EXPECT_FALSE(response.At("ok").AsBool());
   EXPECT_EQ(ErrorCode(response), kErrDeadlineExceeded);
   EXPECT_LT(elapsed_ms, 2000) << "cancellation was not cooperative";
+
+  server.Shutdown();
+}
+
+TEST(ServeTest, DeadlineDuringPipelinedDecodeIsDeadlineExceeded) {
+  // A disk-backed binary instance big enough that a 1 ms budget expires
+  // while the pipelined decode workers are still chewing: they poll the
+  // token mid-chunk and the request unwinds with the bare deadline
+  // code, never a partial answer or a hang.
+  Rng rng(31);
+  PlantedOptions popts;
+  popts.num_elements = 20000;
+  popts.num_sets = 30000;
+  popts.cover_size = 12;
+  PlantedInstance inst = GeneratePlanted(popts, rng);
+  const std::string bin = ::testing::TempDir() + "/serve_pipe.bin";
+  std::string werror;
+  ASSERT_TRUE(WriteBinarySetSystem(inst.system, bin, &werror)) << werror;
+
+  ServerOptions options;
+  options.workers = 1;
+  CoverageServer server(options);
+  server.Start();
+
+  JsonValue late = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") + bin +
+                  R"(","solver":"iterative_greedy","scan_threads":4,)"
+                  R"("deadline_ms":1})"));
+  EXPECT_FALSE(late.At("ok").AsBool()) << late.Dump(0);
+  EXPECT_EQ(ErrorCode(late), kErrDeadlineExceeded);
+
+  // The same instance with no deadline solves fine pipelined, and the
+  // stats surface the scan section.
+  JsonValue ok = ParseResponse(Call(
+      server, std::string(R"({"op":"solve","instance":")") + bin +
+                  R"(","solver":"store_all_greedy","scan_threads":4})"));
+  EXPECT_TRUE(ok.At("ok").AsBool()) << ok.Dump(0);
+
+  JsonValue stats = ParseResponse(Call(server, R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.At("ok").AsBool());
+  EXPECT_GE(stats.At("scan").At("pipelined_requests").AsUint64(), 1u);
+  EXPECT_EQ(stats.At("scan").At("scan_threads_max").AsUint64(), 4u);
 
   server.Shutdown();
 }

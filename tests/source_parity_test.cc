@@ -76,35 +76,36 @@ TEST_P(SourceParityTest, CoversIdenticalAcrossSourcesAndThreads) {
   Sources sources = MakeSources(/*seed=*/40 + GetParam());
   for (const char* solver : kSolvers) {
     for (uint32_t threads : {1u, 4u}) {
+    for (uint32_t scan_threads : {1u, 4u}) {
       RunOptions options;
       options.seed = 9;
       options.delta = 0.5;
       options.threads = threads;
+      options.scan_threads = scan_threads;
 
+      const std::string tag = std::string(solver) + " threads=" +
+                              std::to_string(threads) + " scan_threads=" +
+                              std::to_string(scan_threads);
       RunResult memory = SolveFromMemory(sources, solver, options);
-      ASSERT_TRUE(memory.ok())
-          << solver << " threads=" << threads << ": " << memory.error;
+      ASSERT_TRUE(memory.ok()) << tag << ": " << memory.error;
       RunResult text =
           SolveFromDisk(sources.text_path, solver, options);
-      ASSERT_TRUE(text.ok())
-          << solver << " threads=" << threads << ": " << text.error;
+      ASSERT_TRUE(text.ok()) << tag << ": " << text.error;
       RunResult binary =
           SolveFromDisk(sources.binary_path, solver, options);
-      ASSERT_TRUE(binary.ok())
-          << solver << " threads=" << threads << ": " << binary.error;
+      ASSERT_TRUE(binary.ok()) << tag << ": " << binary.error;
 
       // Byte-identical covers and identical pass accounting — not just
-      // equal sizes.
+      // equal sizes. scan_threads > 1 routes the binary source through
+      // the pipelined chunk decoder, which must be invisible here.
       EXPECT_EQ(memory.cover.set_ids, text.cover.set_ids)
-          << solver << " threads=" << threads << " (memory vs text)";
+          << tag << " (memory vs text)";
       EXPECT_EQ(memory.cover.set_ids, binary.cover.set_ids)
-          << solver << " threads=" << threads << " (memory vs binary)";
-      EXPECT_EQ(memory.passes, binary.passes)
-          << solver << " threads=" << threads;
-      EXPECT_EQ(text.passes, binary.passes)
-          << solver << " threads=" << threads;
-      EXPECT_EQ(memory.success, binary.success)
-          << solver << " threads=" << threads;
+          << tag << " (memory vs binary)";
+      EXPECT_EQ(memory.passes, binary.passes) << tag;
+      EXPECT_EQ(text.passes, binary.passes) << tag;
+      EXPECT_EQ(memory.success, binary.success) << tag;
+    }
     }
   }
 }

@@ -76,6 +76,7 @@
 
 #include "streamcover.h"
 #include "util/json.h"
+#include "util/timer.h"
 
 namespace streamcover {
 namespace {
@@ -191,13 +192,14 @@ int Usage() {
       "  streamcover_cli solve (--in FILE | --workload NAME) --algo NAME "
       "(see list-solvers / list-workloads) [--n N --m M --k K] [--delta D] "
       "[--p P] [--seed SEED] [--coverage F] [--budget B] [--threads N] "
-      "[--shards S] [--kernel scalar|word|auto] [--early-exit] [--from-disk]\n"
+      "[--scan-threads N] [--shards S] [--kernel scalar|word|auto] "
+      "[--early-exit] [--from-disk]\n"
       "  streamcover_cli list-solvers\n"
       "  streamcover_cli list-workloads\n"
       "  streamcover_cli sweep [--solvers a,b,c] [--workloads x,y,z] "
       "[--seeds S] [--trials T] [--n N --m M --k K] [--delta D] [--c C] "
-      "[--threads N] [--shards S] [--kernel scalar|word|auto] [--early-exit] "
-      "[--json FILE]\n"
+      "[--threads N] [--scan-threads N] [--shards S] "
+      "[--kernel scalar|word|auto] [--early-exit] [--json FILE]\n"
       "  streamcover_cli generate-geom --type disk|rect|tri|figure12 "
       "--n N --m M --k K [--seed SEED] --out FILE\n"
       "  streamcover_cli solve-geom --in FILE [--delta D] [--seed SEED]\n"
@@ -592,6 +594,54 @@ int CmdStats(const Args& args) {
               KernelIsaName(DetectKernelIsa()));
   std::printf("  coverable    : %s\n",
               IsCoverable(*system) ? "yes" : "NO (some element in no set)");
+  // Scan-path diagnostics: which source `solve --from-disk` would draw
+  // for this file, how the pipelined engine would chunk it, and a
+  // measured decode rate — so scan-throughput regressions are
+  // diagnosable from `stats` alone, without a bench run.
+  if (IsBinarySetSystemFile(in)) {
+    std::string mmap_error;
+    std::optional<MmapSetSource> source =
+        MmapSetSource::Open(in, &mmap_error);
+    if (!source.has_value()) {
+      std::fprintf(stderr, "mmap open failed: %s\n", mmap_error.c_str());
+      return 1;
+    }
+    const std::vector<binfmt::ScanChunk> chunks =
+        binfmt::BuildChunkPlan(source->layout(), kDefaultScanChunkBytes);
+    const uint64_t body_bytes =
+        source->layout().footer_offset - binfmt::kHeaderBytes;
+    // One serial decode pass (the scan_threads=1 reference the
+    // pipelined gate in bench_hotpath is measured against).
+    WallTimer timer;
+    uint64_t decoded = 0;
+    if (!source->Scan([&decoded](const SetView& view) {
+          decoded += view.size();
+        })) {
+      std::fprintf(stderr, "scan failed: %s\n", source->error().c_str());
+      return 1;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    std::printf("  scan path    : mmap (binary; decoded in place)\n");
+    std::printf("  decode chunks: %zu (target %llu KB encoded each)\n",
+                chunks.size(),
+                static_cast<unsigned long long>(kDefaultScanChunkBytes /
+                                                1024));
+    std::printf("  encoded GB/s : %.2f (serial decode, %llu body bytes, "
+                "warm cache)\n",
+                seconds > 0 ? static_cast<double>(body_bytes) / seconds /
+                                  1e9
+                            : 0.0,
+                static_cast<unsigned long long>(body_bytes));
+    if (decoded != source->nnz()) {
+      std::fprintf(stderr, "decoded nnz %llu != header nnz %llu\n",
+                   static_cast<unsigned long long>(decoded),
+                   static_cast<unsigned long long>(source->nnz()));
+      return 1;
+    }
+  } else {
+    std::printf("  scan path    : text (re-parsed per pass; `convert "
+                "--format binary` unlocks the mmap + pipelined scan)\n");
+  }
   return 0;
 }
 
@@ -618,9 +668,16 @@ int SolveOnInstance(Instance& instance, const Args& args) {
   options.threshold_passes = static_cast<uint32_t>(args.GetInt("p", 2));
   options.max_cover_budget = static_cast<uint32_t>(args.GetInt("budget", 0));
   options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+  const int64_t scan_threads = args.GetInt("scan-threads", 1);
   const int64_t shards = args.GetInt("shards", 1);
   options.early_exit = args.Has("early-exit");
   if (args.BadFlags()) return 1;
+  if (scan_threads < 1) {
+    std::fprintf(stderr, "--scan-threads must be >= 1, got %lld\n",
+                 static_cast<long long>(scan_threads));
+    return 1;
+  }
+  options.scan_threads = static_cast<uint32_t>(scan_threads);
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1, got %lld\n",
                  static_cast<long long>(shards));
@@ -698,6 +755,12 @@ int CmdSweep(const Args& args) {
                  static_cast<long long>(shards));
     return 1;
   }
+  const int64_t scan_threads = args.GetInt("scan-threads", 1);
+  if (scan_threads < 1 && args.parse_errors.empty()) {
+    std::fprintf(stderr, "--scan-threads must be >= 1, got %lld\n",
+                 static_cast<long long>(scan_threads));
+    return 1;
+  }
 
   RunPlan plan;
   for (const std::string& solver : solvers) {
@@ -709,6 +772,7 @@ int CmdSweep(const Args& args) {
         static_cast<uint32_t>(args.GetInt("p", 2));
     spec.options.coverage_fraction = args.GetDouble("coverage", 1.0);
     spec.options.threads = static_cast<uint32_t>(args.GetInt("threads", 1));
+    spec.options.scan_threads = static_cast<uint32_t>(scan_threads);
     spec.options.shards = static_cast<uint32_t>(shards);
     spec.options.early_exit = args.Has("early-exit");
     spec.options.kernel = kernel;
@@ -1018,6 +1082,25 @@ int CmdSelfTest() {
     solve.flags = {{"in", path}, {"algo", "sharded_greedi"},
                    {"shards", "0"}};
     if (CmdSolve(solve) != 1) return 1;
+  }
+  {
+    // Pipelined scan: --scan-threads dispatches the chunked decoder on
+    // the mmap path and must agree with the serial scan (same exit
+    // status and a successful cover); the flag is strictly parsed —
+    // malformed and non-positive values exit 1, never silently coerce.
+    const std::string bin_path = dir + "/streamcover_cli_selftest.bin";
+    Args solve;
+    solve.flags = {{"in", bin_path}, {"algo", "iter"},
+                   {"from-disk", "1"}, {"scan-threads", "4"}};
+    if (CmdSolve(solve) != 0) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"scan-threads", "0"}};
+    if (CmdSolve(solve) != 1) return 1;
+    solve.flags = {{"in", path}, {"algo", "iter"}, {"scan-threads", "4x"}};
+    if (CmdSolve(solve) != 1) return 1;
+    Args bad;
+    bad.flags = {{"solvers", "iter"}, {"workloads", "planted"},
+                 {"scan-threads", "-2"}};
+    if (CmdSweep(bad) != 1) return 1;
   }
   {
     // Sharded sweep: the shards axis must land in the report's solver
